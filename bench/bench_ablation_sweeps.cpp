@@ -1,0 +1,103 @@
+// Parameter sweeps around the evaluation's fixed choices (Section 5.1):
+// dissemination limit (paper: 5) and beaconing interval (paper: 10 min),
+// for both algorithms, reporting overhead and capacity quality. These
+// quantify the overhead/quality trade-off the fixed parameters sit on.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/path_quality.hpp"
+#include "bench/bench_common.hpp"
+#include "core/beaconing_sim.hpp"
+
+namespace scion::exp {
+namespace {
+
+struct SweepRow {
+  std::string label;
+  std::uint64_t bytes{0};
+  double fraction_of_optimal{0.0};
+};
+
+std::vector<SweepRow> g_rows;
+
+SweepRow run_point(const std::string& label, const topo::Topology& scion_view,
+                   ctrl::AlgorithmKind algorithm, std::size_t dissemination,
+                   util::Duration interval, const Scale& scale) {
+  ctrl::BeaconingSimConfig config;
+  config.server.algorithm = algorithm;
+  config.server.dissemination_limit = dissemination;
+  config.server.interval = interval;
+  config.server.compute_crypto = false;
+  if (algorithm == ctrl::AlgorithmKind::kDiversity) {
+    config.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+  }
+  config.sim_duration = scale.quality_duration;
+  config.seed = scale.seed;
+  ctrl::BeaconingSim sim{scion_view, config};
+  sim.run();
+
+  analysis::QualityEvaluator evaluator{scion_view};
+  util::Rng rng{scale.seed ^ 0x5EEB};
+  double achieved = 0, optimal = 0;
+  for (std::size_t i = 0; i < scale.sampled_pairs / 2; ++i) {
+    const auto a = static_cast<topo::AsIndex>(rng.index(scion_view.as_count()));
+    const auto b = static_cast<topo::AsIndex>(rng.index(scion_view.as_count()));
+    if (a == b) continue;
+    auto paths = sim.paths_at(a, scion_view.as_id(b));
+    auto reverse = sim.paths_at(b, scion_view.as_id(a));
+    paths.insert(paths.end(), reverse.begin(), reverse.end());
+    achieved += evaluator.of_paths(paths, a, b);
+    optimal += evaluator.optimal(a, b);
+  }
+  return SweepRow{label, sim.total_bytes(),
+                  optimal > 0 ? achieved / optimal : 0};
+}
+
+void BM_AblationSweeps(benchmark::State& state) {
+  Scale scale = bench_scale();
+  // Sweeps multiply runs; shrink the base topology a bit.
+  scale.core_ases = std::min<std::size_t>(scale.core_ases, 48);
+  for (auto _ : state) {
+    g_rows.clear();
+    const topo::Topology internet = build_internet(scale);
+    const CoreNetworks nets = build_core_networks(scale, internet);
+
+    for (const std::size_t limit : {1u, 5u, 10u}) {
+      for (const auto algorithm : {ctrl::AlgorithmKind::kBaseline,
+                                   ctrl::AlgorithmKind::kDiversity}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "%s limit=%zu",
+                      ctrl::to_string(algorithm), static_cast<size_t>(limit));
+        g_rows.push_back(run_point(label, nets.scion_view, algorithm, limit,
+                                   util::Duration::minutes(10), scale));
+      }
+    }
+    for (const int minutes : {5, 20}) {
+      for (const auto algorithm : {ctrl::AlgorithmKind::kBaseline,
+                                   ctrl::AlgorithmKind::kDiversity}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "%s interval=%dm",
+                      ctrl::to_string(algorithm), minutes);
+        g_rows.push_back(run_point(label, nets.scion_view, algorithm, 5,
+                                   util::Duration::minutes(minutes), scale));
+      }
+    }
+  }
+}
+BENCHMARK(BM_AblationSweeps)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    std::printf("\nDissemination-limit and interval sweeps\n");
+    std::printf("  %-28s %14s %18s\n", "configuration", "bytes",
+                "capacity/optimal");
+    for (const auto& r : scion::exp::g_rows) {
+      std::printf("  %-28s %14llu %18.3f\n", r.label.c_str(),
+                  static_cast<unsigned long long>(r.bytes),
+                  r.fraction_of_optimal);
+    }
+  });
+}

@@ -1,0 +1,36 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary runs standalone with no arguments at the default scale and
+// accepts the Scale flags (--paper, --core-ases=..., REPRO_* environment
+// variables) plus google-benchmark's own flags. The experiment executes
+// once inside a single-iteration google-benchmark (so the suite reports its
+// wall time), and the figure's series are printed afterwards.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "experiments/scale.hpp"
+#include "util/flags.hpp"
+
+namespace scion::exp {
+
+inline util::Flags& bench_flags() {
+  static util::Flags flags;
+  return flags;
+}
+
+inline Scale bench_scale() { return Scale::from_flags(bench_flags()); }
+
+/// Runs benchmark initialization + the registered benchmarks, then `print`.
+inline int bench_main(int argc, char** argv, const std::function<void()>& print) {
+  bench_flags() = util::Flags{argc, argv};
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print();
+  return 0;
+}
+
+}  // namespace scion::exp

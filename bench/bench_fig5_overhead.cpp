@@ -1,0 +1,42 @@
+// Fig. 5: monthly control-plane overhead relative to BGP (CDF over monitor
+// ASes) for BGPsec, SCION core beaconing (baseline + diversity-based), and
+// SCION intra-ISD beaconing; plus the Section 5.2 per-path overhead
+// numbers. Expected shape: BGPsec ~ one order of magnitude above BGP, core
+// baseline at or above BGPsec, core diversity ~ one order of magnitude
+// below BGP, intra-ISD ~ two orders below BGP.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/overhead_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<OverheadResult> g_result;
+
+void BM_Fig5Overhead(benchmark::State& state) {
+  const Scale scale = bench_scale();
+  for (auto _ : state) {
+    g_result = run_overhead_experiment(scale);
+  }
+  if (g_result && !g_result->core_diversity_rel.empty() &&
+      !g_result->core_baseline_rel.empty()) {
+    state.counters["diversity_rel_median"] =
+        g_result->core_diversity_rel.median();
+    state.counters["baseline_rel_median"] =
+        g_result->core_baseline_rel.median();
+    state.counters["bgpsec_rel_median"] = g_result->bgpsec_rel.median();
+  }
+}
+BENCHMARK(BM_Fig5Overhead)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      scion::exp::print_overhead_result(*scion::exp::g_result);
+    }
+  });
+}

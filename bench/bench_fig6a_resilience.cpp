@@ -1,0 +1,48 @@
+// Fig. 6a: minimum number of failing links disconnecting two core ASes —
+// optimum vs SCION diversity (storage 15/30/60/inf) vs SCION baseline (60)
+// vs BGP multipath, grouped by the pair's optimum. Expected shape: baseline
+// clearly above BGP (more than doubled for small optima), diversity close
+// to the optimum.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/quality_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<QualityResult> g_result;
+
+void BM_Fig6aResilience(benchmark::State& state) {
+  const Scale scale = bench_scale();
+  for (auto _ : state) {
+    const topo::Topology internet = build_internet(scale);
+    const CoreNetworks nets = build_core_networks(scale, internet);
+    QualityConfig config;
+    config.diversity_storage_limits = {15, 30, 60, 0};
+    config.baseline_storage_limits = {60};
+    config.include_bgp = true;
+    config.sampled_pairs = scale.sampled_pairs;
+    config.sim_duration = scale.quality_duration;
+    config.seed = scale.seed;
+    g_result = run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+  }
+  if (g_result) {
+    for (const QualitySeries& s : g_result->series) {
+      state.counters["opt_frac:" + s.name] = g_result->fraction_of_optimal(s);
+    }
+  }
+}
+BENCHMARK(BM_Fig6aResilience)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      std::printf("\nFig. 6a — link failure resilience (core network)\n");
+      scion::exp::print_resilience(*scion::exp::g_result, 15);
+    }
+  });
+}

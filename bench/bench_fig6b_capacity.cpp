@@ -1,0 +1,47 @@
+// Fig. 6b: maximum capacity between core AS pairs in multiples of inter-AS
+// link capacity (CDF). Expected shape: BGP lowest, baseline in between,
+// diversity close to optimal until the storage limit binds (paper: ~99/97/
+// 95/82 % of optimal capacity across the storage limits).
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/quality_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<QualityResult> g_result;
+
+void BM_Fig6bCapacity(benchmark::State& state) {
+  const Scale scale = bench_scale();
+  for (auto _ : state) {
+    const topo::Topology internet = build_internet(scale);
+    const CoreNetworks nets = build_core_networks(scale, internet);
+    QualityConfig config;
+    config.diversity_storage_limits = {15, 30, 60, 0};
+    config.baseline_storage_limits = {60};
+    config.include_bgp = true;
+    config.sampled_pairs = scale.sampled_pairs;
+    config.sim_duration = scale.quality_duration;
+    config.seed = scale.seed;
+    g_result = run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+  }
+  if (g_result) {
+    for (const QualitySeries& s : g_result->series) {
+      state.counters["opt_frac:" + s.name] = g_result->fraction_of_optimal(s);
+    }
+  }
+}
+BENCHMARK(BM_Fig6bCapacity)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      std::printf("\nFig. 6b — maximum capacity (core network)\n");
+      scion::exp::print_capacity(*scion::exp::g_result);
+    }
+  });
+}

@@ -1,0 +1,57 @@
+// Fig. 7 (Appendix B): minimum number of failing links disconnecting two
+// SCIONLab core ASes — diversity (storage 5/10/15/60) vs baseline (5, which
+// models the deployed "Measurement" series) vs the optimum. Expected shape:
+// diversity beats the deployed algorithm in a growing share of pairs as the
+// storage limit rises, with little benefit beyond 15.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/scionlab_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<ScionLabResult> g_result;
+
+void BM_Fig7ScionLabResilience(benchmark::State& state) {
+  const Scale scale = bench_scale();
+  for (auto _ : state) {
+    g_result = run_scionlab_experiment(scale);
+  }
+}
+BENCHMARK(BM_Fig7ScionLabResilience)->Unit(benchmark::kSecond)->Iterations(1);
+
+/// Paper comparison: fraction of pairs where each diversity configuration
+/// strictly beats the deployed (baseline-5) selection.
+void print_beats_measurement(const QualityResult& r) {
+  const QualitySeries* measurement = nullptr;
+  for (const QualitySeries& s : r.series) {
+    if (s.name.find("Baseline (5)") != std::string::npos) measurement = &s;
+  }
+  if (measurement == nullptr) return;
+  std::printf("\n  fraction of pairs where diversity beats the deployed "
+              "selection:\n");
+  for (const QualitySeries& s : r.series) {
+    if (s.name.find("Diversity") == std::string::npos) continue;
+    std::size_t better = 0;
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      better += s.values[i] > measurement->values[i];
+    }
+    std::printf("    %-24s %.2f\n", s.name.c_str(),
+                static_cast<double>(better) /
+                    static_cast<double>(s.values.size()));
+  }
+}
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      std::printf("\nFig. 7 — link failure resilience (SCIONLab testbed)\n");
+      scion::exp::print_resilience(scion::exp::g_result->quality, 6);
+      scion::exp::print_beats_measurement(scion::exp::g_result->quality);
+    }
+  });
+}

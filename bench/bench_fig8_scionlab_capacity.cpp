@@ -1,0 +1,37 @@
+// Fig. 8 (Appendix B): maximum capacity between SCIONLab core AS pairs in
+// multiples of inter-AS links (CDF), same series as Fig. 7.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/scionlab_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<ScionLabResult> g_result;
+
+void BM_Fig8ScionLabCapacity(benchmark::State& state) {
+  const Scale scale = bench_scale();
+  for (auto _ : state) {
+    g_result = run_scionlab_experiment(scale);
+  }
+  if (g_result) {
+    for (const QualitySeries& s : g_result->quality.series) {
+      state.counters["opt_frac:" + s.name] =
+          g_result->quality.fraction_of_optimal(s);
+    }
+  }
+}
+BENCHMARK(BM_Fig8ScionLabCapacity)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      std::printf("\nFig. 8 — maximum capacity (SCIONLab testbed)\n");
+      scion::exp::print_capacity(scion::exp::g_result->quality);
+    }
+  });
+}

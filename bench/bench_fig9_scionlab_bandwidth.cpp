@@ -1,0 +1,37 @@
+// Fig. 9 (Appendix B): CDF of core-beaconing bandwidth per interface on the
+// SCIONLab testbed topology (baseline algorithm, full-size signed PCBs).
+// Expected shape: the large majority of interfaces stay below 4 KB/s.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/scionlab_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<ScionLabResult> g_result;
+
+void BM_Fig9ScionLabBandwidth(benchmark::State& state) {
+  Scale scale = bench_scale();
+  // Fig. 9 only needs the bandwidth run; shrink the quality part.
+  scale.sampled_pairs = std::min<std::size_t>(scale.sampled_pairs, 40);
+  for (auto _ : state) {
+    g_result = run_scionlab_experiment(scale);
+  }
+  if (g_result) {
+    state.counters["below_4KBps"] = g_result->fraction_below_4kbps;
+    state.counters["median_Bps"] = g_result->bandwidth.median();
+  }
+}
+BENCHMARK(BM_Fig9ScionLabBandwidth)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) {
+      scion::exp::print_scionlab_bandwidth(*scion::exp::g_result);
+    }
+  });
+}

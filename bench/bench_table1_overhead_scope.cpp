@@ -1,0 +1,53 @@
+// Table 1: path management overhead comparison. Runs the full SCION
+// control plane (both beaconing levels, path servers, lookups,
+// registrations, revocations) on a multi-ISD topology and prints the
+// measured scope x frequency table.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "experiments/table1_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+std::optional<Table1Result> g_result;
+
+Table1Config config_from_flags() {
+  const util::Flags& flags = bench_flags();
+  Table1Config config;
+  config.topology.n_isds =
+      static_cast<std::size_t>(flags.get_int("isds", 4));
+  config.topology.cores_per_isd =
+      static_cast<std::size_t>(flags.get_int("cores-per-isd", 3));
+  config.topology.ases_per_isd =
+      static_cast<std::size_t>(flags.get_int("isd-size", 16));
+  config.sim_duration =
+      util::Duration::minutes(flags.get_int("minutes", 60));
+  config.lookups_per_second = flags.get_double("lookups-per-second", 2.0);
+  config.link_failures_per_hour = flags.get_double("failures-per-hour", 4.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  return config;
+}
+
+void BM_Table1ControlPlane(benchmark::State& state) {
+  for (auto _ : state) {
+    g_result = run_table1_experiment(config_from_flags());
+  }
+  if (g_result) {
+    state.counters["components"] =
+        static_cast<double>(g_result->ledger.rows().size());
+    state.counters["lookups"] = static_cast<double>(g_result->lookups);
+    state.counters["total_bytes"] =
+        static_cast<double>(g_result->ledger.total_bytes());
+  }
+}
+BENCHMARK(BM_Table1ControlPlane)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace scion::exp
+
+int main(int argc, char** argv) {
+  return scion::exp::bench_main(argc, argv, [] {
+    if (scion::exp::g_result) scion::exp::print_table1(*scion::exp::g_result);
+  });
+}

@@ -1,0 +1,103 @@
+#include "analysis/overhead.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace scion::analysis {
+
+const char* to_string(Scope s) {
+  switch (s) {
+    case Scope::kIntraAs:
+      return "AS";
+    case Scope::kIntraIsd:
+      return "ISD";
+    case Scope::kGlobal:
+      return "Global";
+  }
+  return "?";
+}
+
+const char* to_string(Frequency f) {
+  switch (f) {
+    case Frequency::kSeconds:
+      return "Seconds";
+    case Frequency::kMinutes:
+      return "Minutes";
+    case Frequency::kHours:
+      return "Hours";
+  }
+  return "?";
+}
+
+void OverheadLedger::record(const std::string& component, Scope scope,
+                            std::uint64_t bytes, bool counts_as_operation) {
+  Row& row = rows_[component];
+  row.component = component;
+  ++row.messages;
+  if (counts_as_operation) ++row.operations;
+  row.bytes += bytes;
+  ++row.messages_by_scope[static_cast<std::size_t>(scope)];
+}
+
+void OverheadLedger::record_operation(const std::string& component) {
+  Row& row = rows_[component];
+  row.component = component;
+  ++row.operations;
+}
+
+Scope OverheadLedger::Row::scope() const {
+  if (messages_by_scope[static_cast<std::size_t>(Scope::kGlobal)] > 0)
+    return Scope::kGlobal;
+  if (messages_by_scope[static_cast<std::size_t>(Scope::kIntraIsd)] > 0)
+    return Scope::kIntraIsd;
+  return Scope::kIntraAs;
+}
+
+Frequency OverheadLedger::Row::frequency(util::Duration window,
+                                         std::uint64_t participants) const {
+  assert(window > util::Duration::zero());
+  if (participants == 0) participants = 1;
+  const double per_participant_per_hour =
+      static_cast<double>(operations) / static_cast<double>(participants) /
+      window.as_hours();
+  if (per_participant_per_hour > 60.0) return Frequency::kSeconds;
+  if (per_participant_per_hour > 1.0) return Frequency::kMinutes;
+  return Frequency::kHours;
+}
+
+std::vector<OverheadLedger::Row> OverheadLedger::rows() const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [name, row] : rows_) out.push_back(row);
+  return out;
+}
+
+std::uint64_t OverheadLedger::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, row] : rows_) total += row.bytes;
+  return total;
+}
+
+void OverheadLedger::print(const std::string& title, util::Duration window,
+                           std::uint64_t participants) const {
+  std::printf("%s (window %s, %llu participants)\n", title.c_str(),
+              window.to_string().c_str(),
+              static_cast<unsigned long long>(participants));
+  std::printf("  %-28s %-7s %-8s %12s %14s\n", "Component", "Scope",
+              "Freq", "Messages", "Bytes");
+  for (const Row& row : rows()) {
+    std::printf("  %-28s %-7s %-8s %12llu %14llu\n", row.component.c_str(),
+                to_string(row.scope()),
+                to_string(row.frequency(window, participants)),
+                static_cast<unsigned long long>(row.messages),
+                static_cast<unsigned long long>(row.bytes));
+  }
+}
+
+double extrapolate_to_month(std::uint64_t bytes, util::Duration window) {
+  assert(window > util::Duration::zero());
+  const double month_hours = 30.0 * 24.0;
+  return static_cast<double>(bytes) * (month_hours / window.as_hours());
+}
+
+}  // namespace scion::analysis

@@ -1,0 +1,71 @@
+// Control-plane overhead accounting.
+//
+// The ledger records every control-plane message with its component label,
+// scope (how far it travelled in the routing hierarchy) and wire size, and
+// renders the scope x frequency table of the paper's Table 1 alongside
+// absolute byte counts. The month-extrapolation helper implements the
+// Fig. 5 methodology: beaconing is periodic, so a simulated window scales
+// linearly to a month.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace scion::analysis {
+
+/// How far a control-plane message travels (Table 1 "Scope").
+enum class Scope : std::uint8_t { kIntraAs, kIntraIsd, kGlobal };
+
+const char* to_string(Scope s);
+
+/// Order-of-magnitude message frequency (Table 1 "Frequency").
+enum class Frequency : std::uint8_t { kSeconds, kMinutes, kHours };
+
+const char* to_string(Frequency f);
+
+class OverheadLedger {
+ public:
+  /// Records one message. By default the message also counts as one
+  /// operation of the component; pass `counts_as_operation = false` for
+  /// components whose operation granularity is coarser than its messages
+  /// (one beaconing interval emits many PCBs) and use record_operation().
+  void record(const std::string& component, Scope scope, std::uint64_t bytes,
+              bool counts_as_operation = true);
+
+  /// Records one operation occurrence without bytes (e.g. one beaconing
+  /// interval at one AS).
+  void record_operation(const std::string& component);
+
+  struct Row {
+    std::string component;
+    std::uint64_t messages{0};
+    std::uint64_t operations{0};
+    std::uint64_t bytes{0};
+    std::uint64_t messages_by_scope[3]{0, 0, 0};
+    /// Widest scope observed for this component.
+    Scope scope() const;
+    /// Frequency class (per participant) given the observation window,
+    /// derived from operation occurrences.
+    Frequency frequency(util::Duration window, std::uint64_t participants) const;
+  };
+
+  std::vector<Row> rows() const;
+  std::uint64_t total_bytes() const;
+
+  /// Prints the measured scope/frequency table.
+  void print(const std::string& title, util::Duration window,
+             std::uint64_t participants) const;
+
+ private:
+  std::map<std::string, Row> rows_;
+};
+
+/// Scales a byte count measured over `window` to a 30-day month (Fig. 5
+/// leverages the periodicity of announcements the same way).
+double extrapolate_to_month(std::uint64_t bytes, util::Duration window);
+
+}  // namespace scion::analysis

@@ -1,0 +1,259 @@
+#include "bgp/bgp_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scion::bgp {
+
+namespace {
+
+std::uint64_t pair_key(topo::AsIndex a, topo::AsIndex b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
+    : topology_{topology}, config_{config}, net_{sim_}, rng_{config.seed} {
+  // Nodes.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.add_node(topology_.as_id(i).to_string());
+  }
+  busy_until_.assign(topology_.as_count(), util::TimePoint::origin());
+
+  // One channel per distinct adjacency (a BGP session rides one session
+  // regardless of how many parallel physical links the pair shares).
+  for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
+    const topo::Link& link = topology_.link(l);
+    const std::uint64_t key = pair_key(link.a, link.b);
+    if (channel_by_pair_.contains(key)) continue;
+    const auto latency = util::Duration::nanoseconds(rng_.uniform_int(
+        config_.min_latency.ns(), config_.max_latency.ns()));
+    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
+    channel_by_pair_.emplace(key, ch);
+    adjacencies_.push_back(Adjacency{std::min(link.a, link.b),
+                                     std::max(link.a, link.b), ch});
+  }
+
+  // Speakers with their neighbor relationship tables.
+  speakers_.reserve(topology_.as_count());
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    std::vector<Speaker::NeighborInfo> neighbors;
+    std::vector<bool> seen(topology_.as_count(), false);
+    for (topo::LinkIndex l : topology_.links_of(i)) {
+      const topo::AsIndex n = topology_.neighbor(l, i);
+      if (seen[n]) continue;
+      seen[n] = true;
+      neighbors.push_back(Speaker::NeighborInfo{n, classify(topology_, l, i)});
+    }
+    auto send = [this, i](topo::AsIndex neighbor, const BgpUpdateMsg& msg) {
+      const auto it = channel_by_pair_.find(pair_key(i, neighbor));
+      assert(it != channel_by_pair_.end());
+      net_.send(it->second, i, update_wire_size(msg), msg);
+    };
+    auto schedule = [this](util::Duration delay, std::function<void()> fn) {
+      sim_.schedule_after(delay, std::move(fn));
+    };
+    speakers_.push_back(std::make_unique<Speaker>(
+        i, std::move(neighbors), config_.mrai, std::move(send),
+        std::move(schedule), rng_()));
+  }
+
+  // Delivery with per-speaker serial processing delay.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.set_handler(i, [this, i](const sim::Message& msg) { deliver(i, msg); });
+  }
+
+  // Origins: all ASes, or a uniform sample for memory-bounded runs.
+  origins_.reserve(topology_.as_count());
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) origins_.push_back(i);
+  if (config_.sampled_origins > 0 &&
+      config_.sampled_origins < origins_.size()) {
+    rng_.shuffle(origins_);
+    origins_.resize(config_.sampled_origins);
+    std::sort(origins_.begin(), origins_.end());
+  }
+}
+
+void BgpSim::add_monitor(topo::AsIndex as) {
+  assert(!ran_);
+  monitors_.try_emplace(as);
+}
+
+void BgpSim::deliver(topo::AsIndex to, const sim::Message& msg) {
+  // Serial processing: each update occupies the speaker for the configured
+  // processing delay (5 ms in the evaluation).
+  const util::TimePoint start =
+      std::max(sim_.now(), busy_until_[to]) + config_.processing_delay;
+  busy_until_[to] = start;
+  const auto update = std::any_cast<BgpUpdateMsg>(msg.payload);
+  const topo::AsIndex from = msg.from;
+  sim_.schedule_at(start, [this, to, from, update] {
+    if (measuring_) {
+      const auto it = monitors_.find(to);
+      if (it != monitors_.end()) {
+        ++it->second.raw_messages;
+        it->second.raw_bytes += update_wire_size(update);
+        account(to, update);
+      }
+    }
+    speakers_[to]->handle_update(from, update);
+  });
+}
+
+void BgpSim::account(topo::AsIndex monitor, const BgpUpdateMsg& msg) {
+  MonitorAccount& acc = monitors_.at(monitor);
+  const std::size_t events = msg.announced.size() + msg.withdrawn.size();
+  if (events == 0) return;
+  const std::size_t size = update_wire_size(msg);
+  const double fixed_share =
+      (static_cast<double>(size) -
+       static_cast<double>(events) * kBgpPrefixBytes) /
+      static_cast<double>(events);
+  const std::size_t path_len = msg.path ? msg.path->size() : 0;
+  for (Prefix p : msg.announced) {
+    MonitorAccount::PerOrigin& o = acc.per_origin[p];
+    ++o.announce_events;
+    o.path_len_sum += path_len;
+    o.fixed_share_sum += fixed_share;
+  }
+  for (Prefix p : msg.withdrawn) {
+    MonitorAccount::PerOrigin& o = acc.per_origin[p];
+    ++o.withdraw_events;
+    o.fixed_share_sum += fixed_share;
+  }
+}
+
+void BgpSim::schedule_next_flap() {
+  const double rate_per_day =
+      config_.flaps_per_adjacency_per_day *
+      static_cast<double>(adjacencies_.size());
+  if (rate_per_day <= 0.0) return;
+  const double mean_gap_seconds = 86400.0 / rate_per_day;
+  const auto gap = util::Duration::nanoseconds(
+      static_cast<std::int64_t>(rng_.exponential(mean_gap_seconds) * 1e9));
+  sim_.schedule_after(gap, [this] {
+    const Adjacency& adj = adjacencies_[rng_.index(adjacencies_.size())];
+    if (speakers_[adj.a]->session_is_up(adj.b)) {
+      speakers_[adj.a]->session_down(adj.b);
+      speakers_[adj.b]->session_down(adj.a);
+      net_.set_channel_up(adj.channel, false);
+      const auto downtime = util::Duration::nanoseconds(rng_.uniform_int(
+          config_.flap_downtime_min.ns(), config_.flap_downtime_max.ns()));
+      sim_.schedule_after(downtime, [this, adj] {
+        net_.set_channel_up(adj.channel, true);
+        speakers_[adj.a]->session_up(adj.b);
+        speakers_[adj.b]->session_up(adj.a);
+      });
+    }
+    schedule_next_flap();
+  });
+}
+
+void BgpSim::run() {
+  assert(!ran_);
+  ran_ = true;
+
+  // Cold start: every origin announces its prefix, staggered over a few
+  // seconds the way real sessions come up.
+  for (Prefix p : origins_) {
+    const auto offset =
+        util::Duration::milliseconds(rng_.uniform_int(0, 5000));
+    sim_.schedule_after(offset, [this, p] { speakers_[p]->originate(p); });
+  }
+  sim_.run_until(util::TimePoint::origin() + config_.convergence_window);
+
+  // Measurement window with churn.
+  measuring_ = true;
+  measure_start_ = sim_.now();
+  net_.reset_stats();
+  schedule_next_flap();
+  sim_.run_until(measure_start_ + config_.churn_window);
+  measuring_ = false;
+}
+
+const MonitorAccount& BgpSim::monitor(topo::AsIndex as) const {
+  return monitors_.at(as);
+}
+
+double BgpSim::accounting_scale() const {
+  // Extrapolate the churn window to 30 days and the sampled origins to the
+  // full origin population.
+  const double to_month = (30.0 * 24.0) / config_.churn_window.as_hours();
+  const double sample_scale =
+      static_cast<double>(topology_.as_count()) /
+      static_cast<double>(origins_.size());
+  return to_month * sample_scale;
+}
+
+double BgpSim::monthly_bgp_bytes(
+    topo::AsIndex monitor, const std::vector<std::uint32_t>& prefix_counts) const {
+  const MonitorAccount& acc = monitors_.at(monitor);
+  // Real-world model: an event touching an origin's pc prefixes costs
+  // pc / kPrefixesPerRealUpdate updates, each carrying the fixed parts
+  // (header + attributes, path-length dependent) plus its share of NLRI.
+  const double fixed_base =
+      static_cast<double>(bgp_update_size(0, 1, 0) - kBgpPrefixBytes);
+  const double withdrawal_fixed =
+      static_cast<double>(bgp_update_size(0, 0, 1) - kBgpPrefixBytes);
+  double bytes = 0.0;
+  for (const auto& [origin, o] : acc.per_origin) {
+    const double pc = static_cast<double>(prefix_counts[origin]);
+    const double announce_fixed =
+        static_cast<double>(o.announce_events) * fixed_base +
+        static_cast<double>(o.path_len_sum) * kBgpAsnBytes;
+    const double withdraw_fixed =
+        static_cast<double>(o.withdraw_events) * withdrawal_fixed;
+    bytes += pc * ((announce_fixed + withdraw_fixed) / kPrefixesPerRealUpdate +
+                   static_cast<double>(o.announce_events + o.withdraw_events) *
+                       kBgpPrefixBytes);
+  }
+  return bytes * accounting_scale();
+}
+
+double BgpSim::monthly_bgpsec_bytes(
+    topo::AsIndex monitor, const std::vector<std::uint32_t>& prefix_counts) const {
+  const MonitorAccount& acc = monitors_.at(monitor);
+  double bytes = 0.0;
+  const double fixed =
+      static_cast<double>(bgpsec_update_size(0));
+  const double per_hop = static_cast<double>(
+      kBgpsecSecurePathSegmentBytes + kBgpsecSignatureSegmentBytes);
+  for (const auto& [origin, o] : acc.per_origin) {
+    const double pc = static_cast<double>(prefix_counts[origin]);
+    // BGPsec cannot aggregate: every prefix is its own signed update.
+    bytes += pc * (static_cast<double>(o.announce_events) * fixed +
+                   static_cast<double>(o.path_len_sum) * per_hop +
+                   static_cast<double>(o.withdraw_events) *
+                       static_cast<double>(bgpsec_withdrawal_size()));
+  }
+  return bytes * accounting_scale();
+}
+
+std::vector<std::vector<topo::LinkIndex>> BgpSim::bgp_link_paths(
+    topo::AsIndex src, Prefix t) const {
+  std::vector<std::vector<topo::LinkIndex>> out;
+  for (const Speaker::Route& route : speakers_[src]->multipath(t)) {
+    std::vector<topo::LinkIndex> links;
+    topo::AsIndex prev = src;
+    if (!route.path) continue;  // own prefix
+    for (topo::AsIndex hop : *route.path) {
+      // Multipath BGP may balance over all parallel links of each hop.
+      for (topo::LinkIndex l : topology_.links_between(prev, hop)) {
+        links.push_back(l);
+      }
+      prev = hop;
+    }
+    out.push_back(std::move(links));
+  }
+  return out;
+}
+
+std::uint64_t BgpSim::total_updates_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& s : speakers_) n += s->updates_sent();
+  return n;
+}
+
+}  // namespace scion::bgp

@@ -1,0 +1,120 @@
+// Event-driven BGP / BGPsec network simulation (the SimBGP substitute).
+//
+// Configuration mirrors Section 5.1: each AS is one speaker, MRAI 15 s per
+// neighbor, 5 ms processing delay per incoming update. The run has two
+// phases: cold-start convergence (warm-up, excluded from accounting) and a
+// measurement window driven by a Poisson session-flap churn process. The
+// monitors record per-origin update statistics from which monthly BGP and
+// BGPsec byte counts are derived, applying per-AS prefix counts exactly as
+// the paper extrapolates SimBGP results with RouteViews prefix counts.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/speaker.hpp"
+#include "simnet/network.hpp"
+#include "util/rng.hpp"
+
+namespace scion::bgp {
+
+struct BgpSimConfig {
+  util::Duration mrai{util::Duration::seconds(15)};
+  util::Duration processing_delay{util::Duration::milliseconds(5)};
+  /// Warm-up: cold-start convergence, excluded from the measurement.
+  util::Duration convergence_window{util::Duration::minutes(30)};
+  /// Measurement window with churn; extrapolated to a month.
+  util::Duration churn_window{util::Duration::hours(2)};
+  /// Expected session flaps per adjacency per day (drives steady-state
+  /// update volume; see DESIGN.md substitutions).
+  double flaps_per_adjacency_per_day{0.2};
+  util::Duration flap_downtime_min{util::Duration::seconds(30)};
+  util::Duration flap_downtime_max{util::Duration::seconds(120)};
+  /// Number of ASes that originate a prefix in the simulation; 0 = all.
+  /// Sampling keeps memory bounded; accounting scales by total/sampled.
+  std::size_t sampled_origins{0};
+  util::Duration min_latency{util::Duration::milliseconds(2)};
+  util::Duration max_latency{util::Duration::milliseconds(40)};
+  std::uint64_t seed{1};
+};
+
+/// Per-monitor, per-origin aggregates sufficient to reconstruct monthly BGP
+/// and BGPsec byte counts (both size models are affine in path length).
+struct MonitorAccount {
+  struct PerOrigin {
+    std::uint64_t announce_events{0};
+    std::uint64_t withdraw_events{0};
+    std::uint64_t path_len_sum{0};
+    double fixed_share_sum{0.0};
+  };
+  std::unordered_map<Prefix, PerOrigin> per_origin;
+  std::uint64_t raw_messages{0};
+  std::uint64_t raw_bytes{0};
+};
+
+class BgpSim {
+ public:
+  BgpSim(const topo::Topology& topology, BgpSimConfig config);
+
+  /// Registers a monitor AS (call before run()).
+  void add_monitor(topo::AsIndex as);
+
+  /// Runs convergence + churn (single-shot).
+  void run();
+
+  const topo::Topology& topology() const { return topology_; }
+  const Speaker& speaker(topo::AsIndex as) const { return *speakers_[as]; }
+
+  /// The ASes that originate a prefix in this run.
+  const std::vector<Prefix>& origins() const { return origins_; }
+
+  const MonitorAccount& monitor(topo::AsIndex as) const;
+
+  /// Monthly BGP bytes at a monitor given per-AS prefix counts.
+  double monthly_bgp_bytes(topo::AsIndex monitor,
+                           const std::vector<std::uint32_t>& prefix_counts) const;
+
+  /// Monthly BGPsec bytes at a monitor given per-AS prefix counts.
+  double monthly_bgpsec_bytes(
+      topo::AsIndex monitor,
+      const std::vector<std::uint32_t>& prefix_counts) const;
+
+  /// Equal-best multipath routes from `src` towards origin `t`, expanded to
+  /// inter-AS links (all parallel links of each hop included) — the path
+  /// sets for the Fig. 6 BGP series.
+  std::vector<std::vector<topo::LinkIndex>> bgp_link_paths(topo::AsIndex src,
+                                                           Prefix t) const;
+
+  std::uint64_t total_updates_sent() const;
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  void deliver(topo::AsIndex to, const sim::Message& msg);
+  void account(topo::AsIndex monitor, const BgpUpdateMsg& msg);
+  void schedule_next_flap();
+  double accounting_scale() const;
+
+  const topo::Topology& topology_;
+  BgpSimConfig config_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Speaker>> speakers_;
+  /// adjacency list: distinct neighbor pairs (a < b) and their channel.
+  struct Adjacency {
+    topo::AsIndex a;
+    topo::AsIndex b;
+    sim::ChannelId channel;
+  };
+  std::vector<Adjacency> adjacencies_;
+  std::unordered_map<std::uint64_t, sim::ChannelId> channel_by_pair_;
+  std::vector<Prefix> origins_;
+  std::unordered_map<topo::AsIndex, MonitorAccount> monitors_;
+  std::vector<util::TimePoint> busy_until_;
+  util::TimePoint measure_start_;
+  bool measuring_{false};
+  bool ran_{false};
+};
+
+}  // namespace scion::bgp

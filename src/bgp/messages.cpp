@@ -1,0 +1,36 @@
+#include "bgp/messages.hpp"
+
+namespace scion::bgp {
+
+std::size_t bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
+                            std::size_t n_withdrawn) {
+  std::size_t size = kBgpHeaderBytes + kBgpLengthFieldsBytes;
+  if (n_prefixes > 0) {
+    size += kBgpOriginAttrBytes + kBgpNextHopAttrBytes + kBgpExtraAttrBytes +
+            kBgpAsPathAttrHeaderBytes + as_path_len * kBgpAsnBytes +
+            n_prefixes * kBgpPrefixBytes;
+  }
+  size += n_withdrawn * kBgpPrefixBytes;
+  return size;
+}
+
+std::size_t bgpsec_update_size(std::size_t as_path_len) {
+  return kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpOriginAttrBytes +
+         kBgpNextHopAttrBytes + kBgpExtraAttrBytes +
+         kBgpsecSecurePathHeaderBytes +
+         kBgpsecSignatureBlockHeaderBytes +
+         as_path_len *
+             (kBgpsecSecurePathSegmentBytes + kBgpsecSignatureSegmentBytes) +
+         kBgpPrefixBytes;
+}
+
+std::size_t bgpsec_withdrawal_size() {
+  return kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpPrefixBytes;
+}
+
+std::size_t update_wire_size(const BgpUpdateMsg& msg) {
+  const std::size_t path_len = msg.path ? msg.path->size() : 0;
+  return bgp_update_size(path_len, msg.announced.size(), msg.withdrawn.size());
+}
+
+}  // namespace scion::bgp

@@ -1,0 +1,84 @@
+// BGP / BGPsec update message structures and wire-size models.
+//
+// BGP sizes follow the field layout of RFC 4271: one UPDATE carries one set
+// of path attributes plus any number of NLRI prefixes, so announcements
+// sharing a path aggregate. BGPsec (RFC 8205) signs the path per prefix:
+// no aggregation, and every AS hop adds a Secure_Path segment plus a
+// signature segment (20-byte SKI + 2-byte length + ECDSA-P384 signature).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace scion::bgp {
+
+/// A prefix in the simulation: the AS that originates it (one simulated
+/// prefix per AS; real per-AS prefix counts are applied at accounting time,
+/// mirroring the paper's extrapolation).
+using Prefix = topo::AsIndex;
+
+/// Shared AS path (first element = the speaker that sent the update; last =
+/// the origin).
+using AsPath = std::shared_ptr<const std::vector<topo::AsIndex>>;
+
+/// One UPDATE message: announcements share a single AS path; withdrawals
+/// carry none.
+struct BgpUpdateMsg {
+  std::vector<Prefix> announced;
+  AsPath path;  // null iff announced is empty
+  std::vector<Prefix> withdrawn;
+};
+
+// --- RFC 4271 field sizes -------------------------------------------------
+/// Fixed header: marker (16) + length (2) + type (1).
+inline constexpr std::size_t kBgpHeaderBytes = 19;
+/// Withdrawn-routes length + total-path-attribute length fields.
+inline constexpr std::size_t kBgpLengthFieldsBytes = 4;
+/// ORIGIN attribute: flags+type+len+value.
+inline constexpr std::size_t kBgpOriginAttrBytes = 4;
+/// AS_PATH attribute header: flags+type+len + segment type + count.
+inline constexpr std::size_t kBgpAsPathAttrHeaderBytes = 5;
+/// 4-byte ASN per path hop.
+inline constexpr std::size_t kBgpAsnBytes = 4;
+/// NEXT_HOP attribute: flags+type+len + IPv4 address.
+inline constexpr std::size_t kBgpNextHopAttrBytes = 7;
+/// Typical further attributes observed on real announcements (MED,
+/// a couple of communities): without them BGP updates come out smaller
+/// than RouteViews measurements.
+inline constexpr std::size_t kBgpExtraAttrBytes = 24;
+/// One NLRI / withdrawn prefix: length octet + up to /32 prefix.
+inline constexpr std::size_t kBgpPrefixBytes = 5;
+
+/// Average NLRI per real-world UPDATE: prefixes of one origin do not all
+/// share fate, so an event that re-announces an origin's pc prefixes costs
+/// about pc / kPrefixesPerRealUpdate updates, not one. Used only by the
+/// monthly accounting (BGPsec signs per prefix and is unaffected).
+inline constexpr double kPrefixesPerRealUpdate = 2.0;
+
+// --- RFC 8205 field sizes -------------------------------------------------
+/// Secure_Path segment per AS: pCount (1) + flags (1) + ASN (4).
+inline constexpr std::size_t kBgpsecSecurePathSegmentBytes = 6;
+/// Secure_Path length field.
+inline constexpr std::size_t kBgpsecSecurePathHeaderBytes = 2;
+/// Signature_Block: length (2) + algorithm id (1).
+inline constexpr std::size_t kBgpsecSignatureBlockHeaderBytes = 3;
+/// Signature segment per AS: SKI (20) + sig length (2) + ECDSA-P384 (96).
+inline constexpr std::size_t kBgpsecSignatureSegmentBytes = 20 + 2 + 96;
+
+/// Size of a BGP UPDATE announcing `n_prefixes` over a path of
+/// `as_path_len` hops and withdrawing `n_withdrawn`.
+std::size_t bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
+                            std::size_t n_withdrawn);
+
+/// Size of a BGPsec UPDATE for a single prefix over `as_path_len` hops.
+std::size_t bgpsec_update_size(std::size_t as_path_len);
+
+/// Size of a BGPsec withdrawal (unsigned, like plain BGP).
+std::size_t bgpsec_withdrawal_size();
+
+std::size_t update_wire_size(const BgpUpdateMsg& msg);
+
+}  // namespace scion::bgp

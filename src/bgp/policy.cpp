@@ -1,0 +1,33 @@
+#include "bgp/policy.hpp"
+
+#include <cassert>
+
+namespace scion::bgp {
+
+const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+Relationship classify(const topo::Topology& topo, topo::LinkIndex link,
+                      topo::AsIndex self) {
+  const topo::Link& l = topo.link(link);
+  assert(l.a == self || l.b == self);
+  switch (l.type) {
+    case topo::LinkType::kProviderCustomer:
+      return l.a == self ? Relationship::kCustomer : Relationship::kProvider;
+    case topo::LinkType::kCore:
+    case topo::LinkType::kPeer:
+      return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+}  // namespace scion::bgp

@@ -1,0 +1,44 @@
+// Gao-Rexford routing policy.
+//
+// Local preference ranks routes by the business relationship they were
+// learned over (customer > peer > provider), and the export rule enforces
+// valley-freeness: routes learned from peers or providers are only exported
+// to customers. Tier-1 core links behave like peering for policy purposes.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace scion::bgp {
+
+/// The relationship of a neighbor from the local AS's point of view.
+enum class Relationship : std::uint8_t { kCustomer, kPeer, kProvider };
+
+const char* to_string(Relationship r);
+
+/// Classifies the far side of `link` as seen from `self`.
+Relationship classify(const topo::Topology& topo, topo::LinkIndex link,
+                      topo::AsIndex self);
+
+/// Higher is preferred.
+constexpr int local_pref(Relationship learned_from) {
+  switch (learned_from) {
+    case Relationship::kCustomer:
+      return 2;
+    case Relationship::kPeer:
+      return 1;
+    case Relationship::kProvider:
+      return 0;
+  }
+  return 0;
+}
+
+/// Whether a route learned over `learned_from` may be exported to a
+/// neighbor with relationship `to`. Own prefixes are exported everywhere
+/// (callers treat self-originated routes as customer routes).
+constexpr bool may_export(Relationship learned_from, Relationship to) {
+  return learned_from == Relationship::kCustomer || to == Relationship::kCustomer;
+}
+
+}  // namespace scion::bgp

@@ -1,0 +1,274 @@
+#include "bgp/speaker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace scion::bgp {
+
+namespace {
+
+bool contains(const AsPath& path, topo::AsIndex as) {
+  return path && std::find(path->begin(), path->end(), as) != path->end();
+}
+
+/// Decision-process ordering: higher local-pref, then shorter path, then
+/// lowest neighbor id (deterministic tie-break).
+bool better(const Speaker::Route& x, const Speaker::Route& y) {
+  const int px = local_pref(x.learned_from);
+  const int py = local_pref(y.learned_from);
+  if (px != py) return px > py;
+  if (x.length() != y.length()) return x.length() < y.length();
+  return x.neighbor < y.neighbor;
+}
+
+bool same_path(const AsPath& a, const AsPath& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return *a == *b;
+}
+
+}  // namespace
+
+Speaker::Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
+                 util::Duration mrai, SendFn send, ScheduleFn schedule,
+                 std::uint64_t seed)
+    : self_{self},
+      mrai_{mrai},
+      send_{std::move(send)},
+      schedule_{std::move(schedule)},
+      rng_{seed} {
+  assert(send_ && schedule_);
+  neighbors_.reserve(neighbors.size());
+  for (const NeighborInfo& info : neighbors) {
+    neighbor_index_.emplace(info.as, neighbors_.size());
+    neighbors_.push_back(NeighborState{info, true, false, {}, {}});
+  }
+}
+
+std::size_t Speaker::index_of(topo::AsIndex neighbor) const {
+  const auto it = neighbor_index_.find(neighbor);
+  assert(it != neighbor_index_.end() && "unknown neighbor");
+  return it->second;
+}
+
+void Speaker::originate(Prefix p) {
+  own_prefixes_.push_back(p);
+  reevaluate(p);
+}
+
+std::optional<Speaker::Route> Speaker::compute_best(Prefix p) const {
+  std::optional<Route> best;
+  if (std::find(own_prefixes_.begin(), own_prefixes_.end(), p) !=
+      own_prefixes_.end()) {
+    // Self-originated: empty path, treated as a customer route for export.
+    best = Route{nullptr, Relationship::kCustomer, self_};
+  }
+  const auto it = rib_in_.find(p);
+  if (it != rib_in_.end()) {
+    for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
+      const Route& r = it->second[idx];
+      if (!r.path) continue;
+      if (!best || better(r, *best)) best = r;
+    }
+  }
+  return best;
+}
+
+AsPath Speaker::make_export_path(const Route& best) const {
+  auto path = std::make_shared<std::vector<topo::AsIndex>>();
+  path->reserve(1 + best.length());
+  path->push_back(self_);
+  if (best.path) path->insert(path->end(), best.path->begin(), best.path->end());
+  return path;
+}
+
+void Speaker::sync_neighbor(std::size_t idx, Prefix p,
+                            const std::optional<Route>& best,
+                            const AsPath& export_path) {
+  NeighborState& n = neighbors_[idx];
+  if (!n.up) return;
+  const bool should = best.has_value() &&
+                      may_export(best->learned_from, n.info.rel) &&
+                      n.info.as != best->neighbor;
+  const auto out_it = n.rib_out.find(p);
+  if (should) {
+    if (out_it != n.rib_out.end() && same_path(out_it->second, export_path)) {
+      return;  // neighbor already has this exact route
+    }
+    n.rib_out[p] = export_path;
+    n.pending[p] = export_path;
+    arm_mrai(idx);
+  } else if (out_it != n.rib_out.end()) {
+    n.rib_out.erase(out_it);
+    n.pending[p] = nullptr;  // withdraw
+    arm_mrai(idx);
+  } else {
+    // Neither advertised nor to be advertised; drop any stale pending entry.
+    n.pending.erase(p);
+  }
+}
+
+void Speaker::reevaluate(Prefix p) {
+  std::optional<Route> best = compute_best(p);
+  const auto loc_it = loc_rib_.find(p);
+  const bool had = loc_it != loc_rib_.end();
+  const bool changed =
+      best.has_value() != had ||
+      (best.has_value() && had &&
+       (!same_path(best->path, loc_it->second.path) ||
+        best->neighbor != loc_it->second.neighbor));
+  if (!changed) return;
+
+  ++best_changes_;
+  if (best) {
+    loc_rib_[p] = *best;
+  } else {
+    loc_rib_.erase(p);
+  }
+
+  const AsPath export_path = best ? make_export_path(*best) : nullptr;
+  for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
+    sync_neighbor(idx, p, best, export_path);
+  }
+}
+
+void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
+  const std::size_t idx = index_of(from);
+  NeighborState& n = neighbors_[idx];
+  if (!n.up) return;
+  ++updates_received_;
+
+  for (Prefix p : msg.withdrawn) {
+    const auto it = rib_in_.find(p);
+    if (it == rib_in_.end() || !it->second[idx].path) continue;
+    it->second[idx] = Route{};
+    reevaluate(p);
+  }
+
+  if (!msg.announced.empty()) {
+    assert(msg.path);
+    if (contains(msg.path, self_)) return;  // AS-path loop, discard
+    for (Prefix p : msg.announced) {
+      auto [it, inserted] = rib_in_.try_emplace(p);
+      if (inserted) it->second.resize(neighbors_.size());
+      it->second[idx] = Route{msg.path, n.info.rel, from};
+      reevaluate(p);
+    }
+  }
+}
+
+void Speaker::session_down(topo::AsIndex neighbor) {
+  const std::size_t idx = index_of(neighbor);
+  NeighborState& n = neighbors_[idx];
+  if (!n.up) return;
+  n.up = false;
+  n.pending.clear();
+  n.rib_out.clear();
+  // Drop everything learned from this neighbor and re-decide.
+  for (auto& [p, slots] : rib_in_) {
+    if (slots[idx].path) {
+      slots[idx] = Route{};
+      reevaluate(p);
+    }
+  }
+}
+
+void Speaker::session_up(topo::AsIndex neighbor) {
+  const std::size_t idx = index_of(neighbor);
+  NeighborState& n = neighbors_[idx];
+  if (n.up) return;
+  n.up = true;
+  // Full table export towards the restored session.
+  for (const auto& [p, best] : loc_rib_) {
+    sync_neighbor(idx, p, best, make_export_path(best));
+  }
+}
+
+bool Speaker::session_is_up(topo::AsIndex neighbor) const {
+  return neighbors_[index_of(neighbor)].up;
+}
+
+std::optional<Speaker::Route> Speaker::best(Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  if (it == loc_rib_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Speaker::Route> Speaker::multipath(Prefix p) const {
+  std::vector<Route> out;
+  const auto best_it = loc_rib_.find(p);
+  if (best_it == loc_rib_.end()) return out;
+  const Route& best = best_it->second;
+  if (best.neighbor == self_) {
+    out.push_back(best);  // own prefix
+    return out;
+  }
+  const auto it = rib_in_.find(p);
+  if (it == rib_in_.end()) return out;
+  for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
+    const Route& r = it->second[idx];
+    if (!r.path) continue;
+    if (local_pref(r.learned_from) == local_pref(best.learned_from) &&
+        r.length() == best.length()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void Speaker::arm_mrai(std::size_t idx) {
+  NeighborState& n = neighbors_[idx];
+  if (n.mrai_armed) return;
+  n.mrai_armed = true;
+  // +/-20% jitter desynchronizes neighbors, as deployed MRAI timers do.
+  const auto delay = util::Duration::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(mrai_.ns()) * rng_.uniform(0.8, 1.2)));
+  schedule_(delay, [this, idx] {
+    neighbors_[idx].mrai_armed = false;
+    flush(idx);
+  });
+}
+
+void Speaker::flush(std::size_t idx) {
+  NeighborState& n = neighbors_[idx];
+  if (!n.up || n.pending.empty()) {
+    n.pending.clear();
+    return;
+  }
+
+  // Aggregate: announcements sharing an AS path go into one UPDATE;
+  // withdrawals ride along with the first message (RFC 4271 allows both in
+  // one UPDATE) or form their own if there is nothing to announce.
+  std::map<const std::vector<topo::AsIndex>*, BgpUpdateMsg> grouped;
+  std::vector<Prefix> withdrawals;
+  for (const auto& [p, path] : n.pending) {
+    if (path) {
+      BgpUpdateMsg& msg = grouped[path.get()];
+      msg.path = path;
+      msg.announced.push_back(p);
+    } else {
+      withdrawals.push_back(p);
+    }
+  }
+  n.pending.clear();
+
+  if (!withdrawals.empty()) {
+    std::sort(withdrawals.begin(), withdrawals.end());
+    if (!grouped.empty()) {
+      grouped.begin()->second.withdrawn = std::move(withdrawals);
+    } else {
+      BgpUpdateMsg msg;
+      msg.withdrawn = std::move(withdrawals);
+      ++updates_sent_;
+      send_(n.info.as, msg);
+    }
+  }
+  for (auto& [key, msg] : grouped) {
+    std::sort(msg.announced.begin(), msg.announced.end());
+    ++updates_sent_;
+    send_(n.info.as, msg);
+  }
+}
+
+}  // namespace scion::bgp

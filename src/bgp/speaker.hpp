@@ -1,0 +1,122 @@
+// A BGP/BGPsec speaker: one per AS (the paper's SimBGP configuration models
+// each AS as border routers in a star around one internal speaker holding
+// the LOC_RIB; only the central speaker runs the decision process, so we
+// model it directly).
+//
+// Implements Adj-RIB-In / Loc-RIB / Adj-RIB-Out, the Gao-Rexford decision
+// process (local-pref by relationship, then shortest AS path, then lowest
+// neighbor id), per-neighbor MRAI batching (15 s in the evaluation), route
+// aggregation (announcements sharing a path go into one UPDATE), session
+// up/down handling for link-flap churn, and a multipath accessor returning
+// the equal-best route set used by the Fig. 6 BGP series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/messages.hpp"
+#include "bgp/policy.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace scion::bgp {
+
+class Speaker {
+ public:
+  struct NeighborInfo {
+    topo::AsIndex as{topo::kInvalidAsIndex};
+    Relationship rel{Relationship::kPeer};
+  };
+
+  /// A route in Adj-RIB-In (or the Loc-RIB best). `path` starts at the
+  /// sending neighbor and ends at the origin; self-originated routes have
+  /// an empty path.
+  struct Route {
+    AsPath path;
+    Relationship learned_from{Relationship::kCustomer};
+    topo::AsIndex neighbor{topo::kInvalidAsIndex};
+
+    std::size_t length() const { return path ? path->size() : 0; }
+  };
+
+  using SendFn =
+      std::function<void(topo::AsIndex neighbor, const BgpUpdateMsg&)>;
+  using ScheduleFn =
+      std::function<void(util::Duration delay, std::function<void()>)>;
+
+  Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
+          util::Duration mrai, SendFn send, ScheduleFn schedule,
+          std::uint64_t seed);
+
+  topo::AsIndex self() const { return self_; }
+
+  /// Originates this AS's own prefix.
+  void originate(Prefix p);
+
+  /// Processes an UPDATE received from `from`.
+  void handle_update(topo::AsIndex from, const BgpUpdateMsg& msg);
+
+  /// eBGP session to `neighbor` went down: flush its routes and re-decide.
+  void session_down(topo::AsIndex neighbor);
+
+  /// Session restored: full table export per policy (a session reset
+  /// triggers a full RIB exchange, the dominant churn cost in practice).
+  void session_up(topo::AsIndex neighbor);
+
+  bool session_is_up(topo::AsIndex neighbor) const;
+
+  /// Current best route for a prefix (nullopt if unreachable).
+  std::optional<Route> best(Prefix p) const;
+
+  /// Equal-best multipath set: every Adj-RIB-In route tying the best on
+  /// (local-pref, AS-path length).
+  std::vector<Route> multipath(Prefix p) const;
+
+  std::uint64_t updates_sent() const { return updates_sent_; }
+  std::uint64_t updates_received() const { return updates_received_; }
+  std::uint64_t best_changes() const { return best_changes_; }
+
+ private:
+  struct NeighborState {
+    NeighborInfo info;
+    bool up{true};
+    bool mrai_armed{false};
+    /// prefix -> advertised path (what the neighbor believes).
+    std::unordered_map<Prefix, AsPath> rib_out;
+    /// prefix -> path to announce (null = withdraw), flushed on MRAI fire.
+    std::unordered_map<Prefix, AsPath> pending;
+  };
+
+  std::size_t index_of(topo::AsIndex neighbor) const;
+  void reevaluate(Prefix p);
+  /// Brings one neighbor's Adj-RIB-Out in line with the current best.
+  void sync_neighbor(std::size_t idx, Prefix p,
+                     const std::optional<Route>& best, const AsPath& export_path);
+  void arm_mrai(std::size_t idx);
+  void flush(std::size_t idx);
+  std::optional<Route> compute_best(Prefix p) const;
+  /// Builds [self] + best.path once per re-decision.
+  AsPath make_export_path(const Route& best) const;
+
+  topo::AsIndex self_;
+  util::Duration mrai_;
+  SendFn send_;
+  ScheduleFn schedule_;
+  util::Rng rng_;
+
+  std::vector<NeighborState> neighbors_;
+  std::unordered_map<topo::AsIndex, std::size_t> neighbor_index_;
+  /// prefix -> per-neighbor-slot route (empty path = no route).
+  std::unordered_map<Prefix, std::vector<Route>> rib_in_;
+  std::unordered_map<Prefix, Route> loc_rib_;
+  std::vector<Prefix> own_prefixes_;
+
+  std::uint64_t updates_sent_{0};
+  std::uint64_t updates_received_{0};
+  std::uint64_t best_changes_{0};
+};
+
+}  // namespace scion::bgp

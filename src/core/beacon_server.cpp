@@ -1,0 +1,275 @@
+#include "core/beacon_server.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+
+namespace scion::ctrl {
+
+namespace {
+
+/// Stable identity for a would-be origin PCB leaving on a given interface:
+/// lets the origin's own sends participate in the sent-PCBs suppression.
+std::uint64_t origin_path_key(topo::IsdAsId origin, topo::IfId out_if) {
+  crypto::Sha256 h;
+  h.update("scion-mpr/origin-path-key/v1");
+  h.update_u64(origin.value());
+  h.update_u16(out_if);
+  return h.finalize().prefix64();
+}
+
+}  // namespace
+
+BeaconServer::BeaconServer(const topo::Topology& topology, topo::AsIndex self,
+                           BeaconServerConfig config, crypto::KeyStore& keys,
+                           std::uint64_t key_domain_seed, SendFn send)
+    : topology_{topology},
+      self_{self},
+      self_id_{topology.as_id(self)},
+      config_{config},
+      keys_{keys},
+      signing_key_{keys.key_for(self_id_.value())},
+      forwarding_key_{
+          crypto::ForwardingKey::derive(self_id_.value(), key_domain_seed)},
+      send_{std::move(send)},
+      store_{config.storage_limit, config.store_policy} {
+  assert(send_);
+  if (config_.algorithm == AlgorithmKind::kDiversity) {
+    diversity_ = std::make_unique<DiversityState>(
+        config_.diversity, config_.diversity_link_canonicalizer);
+  }
+
+  // Precompute propagation groups and origination links.
+  const bool core_mode = config_.mode == BeaconingMode::kCore;
+  std::map<topo::AsIndex, std::vector<topo::LinkIndex>> grouped;
+  if (core_mode) {
+    if (topology_.is_core(self_)) {
+      for (topo::LinkIndex l :
+           topology_.links_of_type(self_, topo::LinkType::kCore)) {
+        grouped[topology_.neighbor(l, self_)].push_back(l);
+      }
+    }
+  } else {
+    // Intra-ISD: PCBs flow uni-directionally towards customers.
+    for (topo::LinkIndex l : topology_.customer_links(self_)) {
+      grouped[topology_.neighbor(l, self_)].push_back(l);
+    }
+  }
+  for (auto& [neighbor, links] : grouped) {
+    propagation_groups_.push_back(
+        NeighborGroup{neighbor, topology_.as_id(neighbor), std::move(links)});
+  }
+  if (topology_.is_core(self_)) {
+    for (const NeighborGroup& g : propagation_groups_) {
+      origination_links_.insert(origination_links_.end(), g.links.begin(),
+                                g.links.end());
+    }
+    std::sort(origination_links_.begin(), origination_links_.end());
+  }
+}
+
+std::vector<topo::LinkIndex> BeaconServer::resolve_links(
+    const Pcb& pcb, topo::LinkIndex ingress) const {
+  std::vector<topo::LinkIndex> links;
+  links.reserve(pcb.entries().size());
+  const auto& entries = pcb.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto as = topology_.find(entries[i].isd_as);
+    if (!as) return {};
+    const auto link = topology_.link_by_interface(*as, entries[i].out_if);
+    if (!link) return {};
+    // The link must lead to the next AS on the path (or to us for the last
+    // entry), entering on the interface recorded there.
+    const topo::AsIndex next_as = topology_.neighbor(*link, *as);
+    const topo::IfId next_in = topology_.interface_of(*link, next_as);
+    if (i + 1 < entries.size()) {
+      const auto expected = topology_.find(entries[i + 1].isd_as);
+      if (!expected || next_as != *expected) return {};
+      if (next_in != entries[i + 1].in_if) return {};
+    } else {
+      if (next_as != self_ || *link != ingress) return {};
+    }
+    links.push_back(*link);
+  }
+  return links;
+}
+
+void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
+                              TimePoint now) {
+  assert(pcb && !pcb->entries().empty());
+  ++stats_.pcbs_received;
+  stats_.bytes_received += pcb->wire_size();
+
+  if (pcb->expired(now)) return;
+  if (pcb->contains_as(self_id_)) {
+    ++stats_.loops_dropped;
+    return;
+  }
+  if (config_.compute_crypto && config_.verify_signatures &&
+      !pcb->verify(keys_)) {
+    ++stats_.verify_failures;
+    return;
+  }
+  std::vector<topo::LinkIndex> links = resolve_links(*pcb, ingress);
+  if (links.empty()) {
+    ++stats_.resolve_failures;
+    return;
+  }
+
+  StoredPcb stored;
+  stored.pcb = pcb;
+  stored.links = std::move(links);
+  stored.received_at = now;
+  stored.path_key = pcb->path_key();
+  const auto outcome = store_.insert(std::move(stored));
+  if (outcome == BeaconStore::InsertOutcome::kRejected ||
+      outcome == BeaconStore::InsertOutcome::kStale) {
+    ++stats_.store_rejected;
+  }
+}
+
+void BeaconServer::on_interval(TimePoint now) {
+  store_.expire(now);
+  if (diversity_) diversity_->expire(now);
+  originate(now);
+  propagate(now);
+}
+
+std::vector<PeerEntry> BeaconServer::peer_entries() const {
+  std::vector<PeerEntry> peers;
+  if (!config_.include_peer_entries) return peers;
+  for (topo::LinkIndex l :
+       topology_.links_of_type(self_, topo::LinkType::kPeer)) {
+    PeerEntry p;
+    p.peer_as = topology_.as_id(topology_.neighbor(l, self_));
+    p.peer_if = topology_.interface_of(l, self_);
+    // The peer hop MAC authorizes entering via the peer interface; chained
+    // later when the entry MAC is computed.
+    p.hop_mac = crypto::HopMac{};
+    peers.push_back(p);
+  }
+  return peers;
+}
+
+void BeaconServer::send_origin_pcb(topo::LinkIndex egress, TimePoint now) {
+  const topo::IfId out_if = topology_.interface_of(egress, self_);
+  Pcb origin_pcb =
+      config_.compute_crypto
+          ? Pcb::originate(self_id_, out_if, now, config_.pcb_lifetime,
+                           signing_key_, forwarding_key_)
+          : Pcb::originate_unsigned(self_id_, out_if, now,
+                                    config_.pcb_lifetime);
+  if (config_.include_latency_metadata) origin_pcb.enable_latency_extension();
+  auto pcb = std::make_shared<const Pcb>(std::move(origin_pcb));
+  ++stats_.pcbs_originated;
+  ++stats_.pcbs_sent;
+  stats_.bytes_sent += pcb->wire_size();
+  send_(egress, pcb);
+}
+
+void BeaconServer::originate(TimePoint now) {
+  if (!topology_.is_core(self_)) return;
+  if (diversity_) {
+    originate_diversity(now);
+    return;
+  }
+  // Baseline: one fresh PCB per egress interface per interval.
+  for (topo::LinkIndex l : origination_links_) send_origin_pcb(l, now);
+}
+
+void BeaconServer::originate_diversity(TimePoint now) {
+  // Origination participates in the same scoring as propagation: a fresh
+  // origin PCB on a link is a one-link path from self to the neighbor, and
+  // its sent record suppresses redundant re-origination while the neighbor
+  // still holds a valid instance.
+  DiversityState& div = *diversity_;
+  const DiversityParams& params = div.params();
+  for (const NeighborGroup& group : propagation_groups_) {
+    LinkHistoryTable& table = div.history(self_id_, group.neighbor_id);
+    std::size_t sent_count = 0;
+    std::vector<topo::LinkIndex> chosen;
+    while (sent_count < config_.dissemination_limit) {
+      topo::LinkIndex best = topo::kInvalidLinkIndex;
+      double best_score = 0.0;
+      for (topo::LinkIndex l : group.links) {
+        if (std::find(chosen.begin(), chosen.end(), l) != chosen.end()) continue;
+        const SentKey key{origin_path_key(self_id_, topology_.interface_of(l, self_)), l};
+        double score = 0.0;
+        // Peek at the sent list through select-independent bookkeeping: we
+        // duplicate minimal logic here because origin PCBs are not stored.
+        const auto& sent = div.sent();
+        const auto it = sent.find(key);
+        const std::array<topo::LinkIndex, 1> link_path{l};
+        if (it != sent.end() && it->second.instance_expiry > now) {
+          score = score_previously_sent(it->second.diversity,
+                                        it->second.instance_expiry - now,
+                                        config_.pcb_lifetime, params);
+        } else {
+          const double d = diversity_score(table, link_path, params);
+          score = score_fresh(d, Duration::zero(), config_.pcb_lifetime, params);
+        }
+        if (score > params.score_threshold && score > best_score) {
+          best = l;
+          best_score = score;
+        }
+      }
+      if (best == topo::kInvalidLinkIndex) break;
+      chosen.push_back(best);
+      const std::array<topo::LinkIndex, 1> link_path{best};
+      div.commit_send(
+          SentKey{origin_path_key(self_id_, topology_.interface_of(best, self_)),
+                  best},
+          self_id_, group.neighbor_id, link_path, now,
+          now + config_.pcb_lifetime, now);
+      send_origin_pcb(best, now);
+      ++sent_count;
+    }
+  }
+}
+
+void BeaconServer::send_extended(const StoredPcb& stored,
+                                 topo::LinkIndex egress) {
+  const topo::IfId in_if = topology_.interface_of(stored.links.back(), self_);
+  const topo::IfId out_if = topology_.interface_of(egress, self_);
+  std::uint32_t ingress_latency_us = 0;
+  if (config_.include_latency_metadata && config_.link_latency_us) {
+    ingress_latency_us = config_.link_latency_us(stored.links.back());
+  }
+  auto pcb = std::make_shared<const Pcb>(
+      config_.compute_crypto
+          ? stored.pcb->extend_signed(self_id_, in_if, out_if, peer_entries(),
+                                      signing_key_, forwarding_key_,
+                                      ingress_latency_us)
+          : stored.pcb->extend_unsigned(self_id_, in_if, out_if,
+                                        peer_entries(), ingress_latency_us));
+  ++stats_.pcbs_sent;
+  stats_.bytes_sent += pcb->wire_size();
+  send_(egress, pcb);
+}
+
+void BeaconServer::propagate(TimePoint now) {
+  const TimePoint t = now;
+  const std::vector<topo::IsdAsId> origins = store_.origins();
+  for (const NeighborGroup& group : propagation_groups_) {
+    for (const topo::IsdAsId origin : origins) {
+      if (origin == group.neighbor_id) continue;  // one-link loop
+      const std::vector<StoredPcb>& bucket = store_.for_origin(origin);
+      if (bucket.empty()) continue;
+      if (diversity_) {
+        const std::vector<Candidate> selected = diversity_->select_and_commit(
+            bucket, origin, group.neighbor_id, group.links,
+            config_.dissemination_limit, t);
+        for (const Candidate& c : selected) send_extended(*c.stored, c.egress);
+      } else {
+        for (topo::LinkIndex l : group.links) {
+          const std::vector<Candidate> selected = baseline_select(
+              bucket, group.neighbor_id, l, config_.dissemination_limit, t);
+          for (const Candidate& c : selected) send_extended(*c.stored, c.egress);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace scion::ctrl

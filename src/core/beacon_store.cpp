@@ -1,0 +1,143 @@
+#include "core/beacon_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace scion::ctrl {
+
+namespace {
+
+/// Baseline ordering used to pick eviction victims: longer paths are worse,
+/// ties broken towards earlier expiry.
+bool shortest_fresh_better(const StoredPcb& x, const StoredPcb& y) {
+  if (x.pcb->hops() != y.pcb->hops()) return x.pcb->hops() < y.pcb->hops();
+  return x.pcb->expiry() > y.pcb->expiry();
+}
+
+/// Redundancy of a candidate path against the bucket coverage counts.
+double redundancy(const StoredPcb& entry,
+                  const std::unordered_map<topo::LinkIndex, int>& coverage) {
+  if (entry.links.empty()) return 0.0;
+  double sum = 0.0;
+  for (topo::LinkIndex l : entry.links) {
+    const auto it = coverage.find(l);
+    sum += it == coverage.end() ? 0.0 : static_cast<double>(it->second);
+  }
+  return sum / static_cast<double>(entry.links.size());
+}
+
+}  // namespace
+
+BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
+  assert(entry.pcb && !entry.pcb->entries().empty());
+  assert(entry.links.size() == entry.pcb->hops());
+  auto& bucket = buckets_[entry.pcb->origin()];
+
+  // Same path already stored? Keep the newest instance only.
+  for (StoredPcb& existing : bucket) {
+    if (existing.path_key == entry.path_key) {
+      if (entry.pcb->timestamp() > existing.pcb->timestamp()) {
+        existing = std::move(entry);
+        return InsertOutcome::kRefreshed;
+      }
+      return InsertOutcome::kStale;
+    }
+  }
+
+  if (limit_ == 0 || bucket.size() < limit_) {
+    bucket.push_back(std::move(entry));
+    return InsertOutcome::kInserted;
+  }
+
+  bool candidate_wins = false;
+  const std::size_t victim = pick_victim(bucket, entry, candidate_wins);
+  if (!candidate_wins) return InsertOutcome::kRejected;
+  bucket[victim] = std::move(entry);
+  return InsertOutcome::kReplaced;
+}
+
+std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
+                                     const StoredPcb& candidate,
+                                     bool& candidate_wins) const {
+  assert(!bucket.empty());
+  // Replacement requires a *strictly better path*. Freshness must not break
+  // ties between different paths: fresh instances arrive every beaconing
+  // interval, and letting them rotate equal-quality paths through a full
+  // bucket manufactures endless "never sent before" paths downstream,
+  // defeating the diversity algorithm's retransmission suppression (fresh
+  // instances of an already-stored path are handled by kRefreshed above).
+  if (policy_ == StorePolicy::kShortestFresh) {
+    // Victim = the longest stored path.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      if (shortest_fresh_better(bucket[worst], bucket[i])) worst = i;
+    }
+    candidate_wins = candidate.pcb->hops() < bucket[worst].pcb->hops();
+    return worst;
+  }
+
+  // kDiversityAware: coverage of each link across the bucket.
+  std::unordered_map<topo::LinkIndex, int> coverage;
+  for (const StoredPcb& e : bucket) {
+    for (topo::LinkIndex l : e.links) ++coverage[l];
+  }
+  std::size_t worst = 0;
+  double worst_red = -1.0;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    // Exclude the entry's own contribution arithmetically: it adds exactly
+    // one to each of its links' coverage counts.
+    double sum = 0.0;
+    for (topo::LinkIndex l : bucket[i].links) {
+      sum += static_cast<double>(coverage.at(l) - 1);
+    }
+    const double red =
+        bucket[i].links.empty()
+            ? 0.0
+            : sum / static_cast<double>(bucket[i].links.size());
+    if (red > worst_red ||
+        (red == worst_red && shortest_fresh_better(bucket[worst], bucket[i]))) {
+      worst_red = red;
+      worst = i;
+    }
+  }
+  const double cand_red = redundancy(candidate, coverage);
+  candidate_wins = cand_red < worst_red;  // strictly more diverse only
+  return worst;
+}
+
+void BeaconStore::expire(TimePoint now) {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    auto& bucket = it->second;
+    std::erase_if(bucket, [now](const StoredPcb& e) { return e.pcb->expired(now); });
+    if (bucket.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const std::vector<StoredPcb>& BeaconStore::for_origin(IsdAsId origin) const {
+  static const std::vector<StoredPcb> kEmpty;
+  const auto it = buckets_.find(origin);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+std::vector<IsdAsId> BeaconStore::origins() const {
+  std::vector<IsdAsId> out;
+  out.reserve(buckets_.size());
+  for (const auto& [origin, bucket] : buckets_) {
+    if (!bucket.empty()) out.push_back(origin);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t BeaconStore::total_stored() const {
+  std::size_t n = 0;
+  for (const auto& [origin, bucket] : buckets_) n += bucket.size();
+  return n;
+}
+
+}  // namespace scion::ctrl

@@ -1,0 +1,73 @@
+// Per-AS beacon database.
+//
+// The store keeps, for every origin AS, up to `per_origin_limit` valid PCBs
+// (the paper's "PCB storage limit", varied between 15/30/60/unlimited in the
+// evaluation). Two replacement policies are provided:
+//  - kShortestFresh: keep the shortest paths, break ties by freshness. This
+//    matches the baseline path construction algorithm's preference.
+//  - kDiversityAware: evict the entry whose links are most redundant with
+//    the rest of the bucket, so storage pressure does not destroy the very
+//    diversity the propagation algorithm tries to build (ablation axis).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pcb.hpp"
+#include "topology/ids.hpp"
+
+namespace scion::ctrl {
+
+/// A PCB at rest, with its inter-AS link sequence resolved against the
+/// topology (one LinkIndex per AS entry: the link that entry's out_if sent
+/// the PCB over; the last one is the link it reached us on).
+struct StoredPcb {
+  PcbRef pcb;
+  std::vector<topo::LinkIndex> links;
+  TimePoint received_at;
+  std::uint64_t path_key{0};
+};
+
+enum class StorePolicy : std::uint8_t { kShortestFresh, kDiversityAware };
+
+class BeaconStore {
+ public:
+  enum class InsertOutcome : std::uint8_t {
+    kInserted,    // stored as a new path
+    kRefreshed,   // replaced an older instance of the same path
+    kReplaced,    // evicted a worse path to make room
+    kRejected,    // bucket full and the candidate is not better
+    kStale,       // older instance of an already-stored path
+  };
+
+  /// `per_origin_limit` of 0 means unlimited.
+  explicit BeaconStore(std::size_t per_origin_limit,
+                       StorePolicy policy = StorePolicy::kShortestFresh)
+      : limit_{per_origin_limit}, policy_{policy} {}
+
+  InsertOutcome insert(StoredPcb entry);
+
+  /// Drops expired PCBs everywhere.
+  void expire(TimePoint now);
+
+  /// Stored PCBs for one origin (possibly empty). Pointers/references are
+  /// invalidated by insert/expire.
+  const std::vector<StoredPcb>& for_origin(IsdAsId origin) const;
+
+  /// All origins that currently have at least one stored PCB.
+  std::vector<IsdAsId> origins() const;
+
+  std::size_t total_stored() const;
+  std::size_t per_origin_limit() const { return limit_; }
+
+ private:
+  std::size_t pick_victim(const std::vector<StoredPcb>& bucket,
+                          const StoredPcb& candidate, bool& candidate_wins) const;
+
+  std::size_t limit_;
+  StorePolicy policy_;
+  std::unordered_map<IsdAsId, std::vector<StoredPcb>> buckets_;
+};
+
+}  // namespace scion::ctrl

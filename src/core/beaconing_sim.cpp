@@ -1,0 +1,134 @@
+#include "core/beaconing_sim.hpp"
+
+#include <cassert>
+
+#include "crypto/signature.hpp"
+
+namespace scion::ctrl {
+
+namespace {
+
+/// One key store shared by all servers of a simulation (stands in for the
+/// ISD trust infrastructure).
+constexpr std::uint64_t kKeyDomainSeed = crypto::kDefaultKeyDomainSeed;
+
+}  // namespace
+
+BeaconingSim::BeaconingSim(const topo::Topology& topology,
+                           BeaconingSimConfig config)
+    : topology_{topology}, config_{config}, net_{sim_} {
+  util::Rng rng{config_.seed};
+
+  // Nodes and channels. Channels are created in link order, so ChannelId
+  // and LinkIndex coincide; the assert below pins that invariant.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.add_node(topology_.as_id(i).to_string());
+  }
+  for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
+    const topo::Link& link = topology_.link(l);
+    const auto latency = util::Duration::nanoseconds(rng.uniform_int(
+        config_.min_latency.ns(), config_.max_latency.ns()));
+    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
+    assert(ch == l);
+    (void)ch;
+  }
+
+  // Servers. The key store must outlive the servers; keep it static per
+  // simulation via a shared_ptr captured by the send lambdas' owner.
+  keys_ = std::make_unique<crypto::KeyStore>(kKeyDomainSeed);
+  BeaconServerConfig server_config = config_.server;
+  if (server_config.include_latency_metadata && !server_config.link_latency_us) {
+    // Each AS "measures" its links: expose the simulated channel latency.
+    server_config.link_latency_us = [this](topo::LinkIndex l) {
+      return static_cast<std::uint32_t>(
+          net_.latency(static_cast<sim::ChannelId>(l)).ns() / 1000);
+    };
+  }
+  servers_.reserve(topology_.as_count());
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    auto send = [this, i](topo::LinkIndex egress, const PcbRef& pcb) {
+      net_.send(static_cast<sim::ChannelId>(egress), i, pcb->wire_size(), pcb);
+    };
+    servers_.push_back(std::make_unique<BeaconServer>(
+        topology_, i, server_config, *keys_, kKeyDomainSeed, std::move(send)));
+  }
+
+  // Delivery: the channel id is the ingress link.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.set_handler(i, [this, i](const sim::Message& msg) {
+      const auto& pcb = std::any_cast<const PcbRef&>(msg.payload);
+      servers_[i]->handle_pcb(pcb, static_cast<topo::LinkIndex>(msg.channel),
+                              sim_.now());
+    });
+  }
+
+  // Periodic intervals with deterministic per-AS phase offsets, so the
+  // network does not beacon in lock-step.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    const auto offset = util::Duration::nanoseconds(
+        rng.uniform_int(0, config_.server.interval.ns() - 1));
+    sim_.schedule_periodic(
+        util::TimePoint::origin() + offset, config_.server.interval,
+        [this, i] { servers_[i]->on_interval(sim_.now()); });
+  }
+}
+
+void BeaconingSim::run() {
+  assert(!ran_ && "run() is single-shot");
+  ran_ = true;
+  if (config_.warmup > util::Duration::zero()) {
+    sim_.run_until(util::TimePoint::origin() + config_.warmup);
+    net_.reset_stats();
+    for (const auto& server : servers_) server->reset_stats();
+  }
+  sim_.run_until(util::TimePoint::origin() + config_.warmup +
+                 config_.sim_duration);
+}
+
+std::vector<InterfaceUsage> BeaconingSim::interface_usage() const {
+  std::vector<InterfaceUsage> out;
+  out.reserve(2 * topology_.link_count());
+  for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
+    const topo::Link& link = topology_.link(l);
+    for (const topo::AsIndex from : {link.a, link.b}) {
+      const sim::DirectionStats& s =
+          net_.stats_from(static_cast<sim::ChannelId>(l), from);
+      out.push_back(InterfaceUsage{l, from, s.messages, s.bytes});
+    }
+  }
+  return out;
+}
+
+std::uint64_t BeaconingSim::total_pcbs_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& s : servers_) n += s->stats().pcbs_sent;
+  return n;
+}
+
+BeaconServerStats BeaconingSim::aggregate_stats() const {
+  BeaconServerStats agg;
+  for (const auto& s : servers_) {
+    const BeaconServerStats& st = s->stats();
+    agg.pcbs_received += st.pcbs_received;
+    agg.bytes_received += st.bytes_received;
+    agg.pcbs_sent += st.pcbs_sent;
+    agg.bytes_sent += st.bytes_sent;
+    agg.pcbs_originated += st.pcbs_originated;
+    agg.loops_dropped += st.loops_dropped;
+    agg.verify_failures += st.verify_failures;
+    agg.resolve_failures += st.resolve_failures;
+    agg.store_rejected += st.store_rejected;
+  }
+  return agg;
+}
+
+std::vector<std::vector<topo::LinkIndex>> BeaconingSim::paths_at(
+    topo::AsIndex at, topo::IsdAsId origin) const {
+  std::vector<std::vector<topo::LinkIndex>> out;
+  for (const StoredPcb& s : servers_[at]->store().for_origin(origin)) {
+    out.push_back(s.links);
+  }
+  return out;
+}
+
+}  // namespace scion::ctrl

@@ -1,0 +1,114 @@
+#include "core/grid_search.hpp"
+
+#include <algorithm>
+
+#include "analysis/path_quality.hpp"
+
+namespace scion::ctrl {
+
+namespace {
+
+std::uint64_t run_bytes(const topo::Topology& scion_view,
+                        const BeaconingSimConfig& config) {
+  BeaconingSim sim{scion_view, config};
+  sim.run();
+  return sim.total_bytes();
+}
+
+BeaconingSimConfig base_config(const GridSearchConfig& config) {
+  BeaconingSimConfig c;
+  c.server.compute_crypto = false;
+  c.sim_duration = config.sim_duration;
+  c.seed = config.seed;
+  return c;
+}
+
+}  // namespace
+
+EvaluatedPoint evaluate_diversity_params(const topo::Topology& scion_view,
+                                         const DiversityParams& params,
+                                         const GridSearchConfig& config,
+                                         std::uint64_t baseline_bytes) {
+  BeaconingSimConfig c = base_config(config);
+  c.server.algorithm = AlgorithmKind::kDiversity;
+  c.server.store_policy = StorePolicy::kDiversityAware;
+  c.server.diversity = params;
+  BeaconingSim sim{scion_view, c};
+  sim.run();
+
+  analysis::QualityEvaluator evaluator{scion_view};
+  util::Rng rng{config.seed ^ 0x6412D};
+  double achieved = 0.0, optimal = 0.0;
+  for (std::size_t i = 0; i < config.sampled_pairs; ++i) {
+    const auto a = static_cast<topo::AsIndex>(rng.index(scion_view.as_count()));
+    const auto b = static_cast<topo::AsIndex>(rng.index(scion_view.as_count()));
+    if (a == b) continue;
+    auto paths = sim.paths_at(a, scion_view.as_id(b));
+    auto reverse = sim.paths_at(b, scion_view.as_id(a));
+    paths.insert(paths.end(), reverse.begin(), reverse.end());
+    achieved += evaluator.of_paths(paths, a, b);
+    optimal += evaluator.optimal(a, b);
+  }
+
+  EvaluatedPoint point;
+  point.params = params;
+  point.quality = optimal > 0 ? achieved / optimal : 0.0;
+  point.overhead = baseline_bytes > 0 ? static_cast<double>(sim.total_bytes()) /
+                                            static_cast<double>(baseline_bytes)
+                                      : 0.0;
+  point.objective = point.quality - config.overhead_weight * point.overhead;
+  return point;
+}
+
+GridSearchResult grid_search_diversity_params(const topo::Topology& scion_view,
+                                              const GridSearchConfig& config) {
+  GridSearchResult result;
+
+  // Baseline reference for the overhead normalization.
+  BeaconingSimConfig baseline = base_config(config);
+  baseline.server.algorithm = AlgorithmKind::kBaseline;
+  result.baseline_bytes = run_bytes(scion_view, baseline);
+
+  auto evaluate = [&](const DiversityParams& params) {
+    EvaluatedPoint point = evaluate_diversity_params(
+        scion_view, params, config, result.baseline_bytes);
+    result.evaluated.push_back(point);
+    if (result.evaluated.size() == 1 ||
+        point.objective > result.best.objective) {
+      result.best = point;
+    }
+  };
+
+  // Coarse pass: exponentially spaced values.
+  for (const double alpha : config.coarse_alpha) {
+    for (const double beta : config.coarse_beta) {
+      for (const double gamma : config.coarse_gamma) {
+        DiversityParams params;
+        params.alpha = alpha;
+        params.beta = beta;
+        params.gamma = gamma;
+        evaluate(params);
+      }
+    }
+  }
+
+  // Fine pass: linear steps around the coarse winner, one axis at a time.
+  const DiversityParams center = result.best.params;
+  for (int step = 1; step <= config.refine_steps; ++step) {
+    const double f = config.refine_fraction * step;
+    for (const double direction : {-1.0, 1.0}) {
+      DiversityParams p = center;
+      p.alpha = std::max(0.0, center.alpha * (1.0 + direction * f));
+      evaluate(p);
+      p = center;
+      p.beta = std::max(0.0, center.beta * (1.0 + direction * f));
+      evaluate(p);
+      p = center;
+      p.gamma = std::max(0.0, center.gamma * (1.0 + direction * f));
+      evaluate(p);
+    }
+  }
+  return result;
+}
+
+}  // namespace scion::ctrl

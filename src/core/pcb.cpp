@@ -1,0 +1,164 @@
+#include "core/pcb.hpp"
+
+#include <cassert>
+
+namespace scion::ctrl {
+
+namespace {
+
+/// Serializes the signed fields of an entry into a hasher.
+void hash_entry_fields(crypto::Sha256& h, const AsEntry& e) {
+  h.update_u64(e.isd_as.value());
+  h.update_u16(e.in_if);
+  h.update_u16(e.out_if);
+  h.update_u32(e.ingress_latency_us);
+  h.update(std::span<const std::uint8_t>{e.hop_mac.data(), e.hop_mac.size()});
+  h.update_u16(static_cast<std::uint16_t>(e.peers.size()));
+  for (const PeerEntry& p : e.peers) {
+    h.update_u64(p.peer_as.value());
+    h.update_u16(p.peer_if);
+    h.update(std::span<const std::uint8_t>{p.hop_mac.data(), p.hop_mac.size()});
+  }
+}
+
+std::uint32_t expiry_unix(TimePoint expiry) {
+  return static_cast<std::uint32_t>(expiry.ns() / 1'000'000'000);
+}
+
+}  // namespace
+
+Pcb Pcb::originate(IsdAsId origin, IfId out_if, TimePoint timestamp,
+                   Duration lifetime, const crypto::SigningKey& signing_key,
+                   const crypto::ForwardingKey& forwarding_key) {
+  assert(lifetime > Duration::zero());
+  Pcb pcb{timestamp, timestamp + lifetime};
+  AsEntry entry;
+  entry.isd_as = origin;
+  entry.in_if = topo::kNoInterface;
+  entry.out_if = out_if;
+  entry.hop_mac = crypto::hop_mac(forwarding_key, entry.in_if, entry.out_if,
+                                  expiry_unix(pcb.expiry_), crypto::HopMac{});
+  entry.signature = crypto::sign(signing_key, pcb.signing_digest(entry));
+  pcb.entries_.push_back(std::move(entry));
+  return pcb;
+}
+
+Pcb Pcb::originate_unsigned(IsdAsId origin, IfId out_if, TimePoint timestamp,
+                            Duration lifetime) {
+  assert(lifetime > Duration::zero());
+  Pcb pcb{timestamp, timestamp + lifetime};
+  AsEntry entry;
+  entry.isd_as = origin;
+  entry.in_if = topo::kNoInterface;
+  entry.out_if = out_if;
+  pcb.entries_.push_back(std::move(entry));
+  return pcb;
+}
+
+Pcb Pcb::extend_unsigned(IsdAsId as, IfId in_if, IfId out_if,
+                         std::vector<PeerEntry> peers,
+                         std::uint32_t ingress_latency_us) const {
+  assert(!entries_.empty());
+  AsEntry entry;
+  entry.isd_as = as;
+  entry.in_if = in_if;
+  entry.out_if = out_if;
+  entry.ingress_latency_us = ingress_latency_us;
+  entry.peers = std::move(peers);
+  return extend(std::move(entry));
+}
+
+bool Pcb::contains_as(IsdAsId as) const {
+  for (const AsEntry& e : entries_) {
+    if (e.isd_as == as) return true;
+  }
+  return false;
+}
+
+std::size_t Pcb::wire_size() const {
+  std::size_t size = kPcbHeaderBytes;
+  for (const AsEntry& e : entries_) {
+    size += kAsEntryFixedBytes + crypto::kSignatureBytes +
+            e.peers.size() * kPeerEntryBytes;
+    if (carries_latency_) size += kLatencyMetadataBytes;
+  }
+  return size;
+}
+
+std::uint64_t Pcb::total_latency_us() const {
+  std::uint64_t total = 0;
+  for (const AsEntry& e : entries_) total += e.ingress_latency_us;
+  return total;
+}
+
+Pcb Pcb::extend(AsEntry next) const {
+  assert(!entries_.empty());
+  Pcb out{timestamp_, expiry_};
+  out.carries_latency_ = carries_latency_;
+  out.entries_ = entries_;
+  out.entries_.push_back(std::move(next));
+  return out;
+}
+
+crypto::Sha256Digest Pcb::signing_digest(const AsEntry& candidate) const {
+  crypto::Sha256 h;
+  h.update("scion-mpr/pcb/v1");
+  // Segment info. The origin id lives in entries_[0] once present; hashing
+  // the timestamps here binds every signature to the instance.
+  h.update_u64(timestamp_.ns() < 0 ? 0 : static_cast<std::uint64_t>(timestamp_.ns()));
+  h.update_u64(expiry_.ns() < 0 ? 0 : static_cast<std::uint64_t>(expiry_.ns()));
+  for (const AsEntry& e : entries_) {
+    hash_entry_fields(h, e);
+    h.update(std::span<const std::uint8_t>{e.signature.bytes});
+  }
+  hash_entry_fields(h, candidate);
+  return h.finalize();
+}
+
+Pcb Pcb::extend_signed(IsdAsId as, IfId in_if, IfId out_if,
+                       std::vector<PeerEntry> peers,
+                       const crypto::SigningKey& signing_key,
+                       const crypto::ForwardingKey& forwarding_key,
+                       std::uint32_t ingress_latency_us) const {
+  assert(!entries_.empty());
+  AsEntry entry;
+  entry.isd_as = as;
+  entry.in_if = in_if;
+  entry.out_if = out_if;
+  entry.ingress_latency_us = ingress_latency_us;
+  entry.peers = std::move(peers);
+  entry.hop_mac = crypto::hop_mac(forwarding_key, in_if, out_if,
+                                  expiry_unix(expiry_), entries_.back().hop_mac);
+  // Peer hop fields authorize entering this AS over the peering interface
+  // instead of in_if; their MACs chain off the same predecessor.
+  for (PeerEntry& p : entry.peers) {
+    p.hop_mac = crypto::hop_mac(forwarding_key, p.peer_if, out_if,
+                                expiry_unix(expiry_), entries_.back().hop_mac);
+  }
+  entry.signature = crypto::sign(signing_key, signing_digest(entry));
+  return extend(std::move(entry));
+}
+
+bool Pcb::verify(crypto::KeyStore& keys) const {
+  // Rebuild the chain of signing digests prefix by prefix.
+  Pcb prefix{timestamp_, expiry_};
+  for (const AsEntry& e : entries_) {
+    const crypto::Sha256Digest digest = prefix.signing_digest(e);
+    if (!keys.verify_by(e.isd_as.value(), digest, e.signature)) return false;
+    prefix.entries_.push_back(e);
+  }
+  return !entries_.empty();
+}
+
+std::uint64_t Pcb::path_key() const {
+  crypto::Sha256 h;
+  h.update("scion-mpr/path-key/v1");
+  for (const AsEntry& e : entries_) {
+    h.update_u64(e.isd_as.value());
+    h.update_u16(e.in_if);
+    h.update_u16(e.out_if);
+  }
+  return h.finalize().prefix64();
+}
+
+}  // namespace scion::ctrl

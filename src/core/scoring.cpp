@@ -1,0 +1,80 @@
+#include "core/scoring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scion::ctrl {
+
+void LinkHistoryTable::add_path(std::span<const topo::LinkIndex> links) {
+  for (topo::LinkIndex l : links) ++counters_[l];
+}
+
+void LinkHistoryTable::remove_path(std::span<const topo::LinkIndex> links) {
+  for (topo::LinkIndex l : links) {
+    const auto it = counters_.find(l);
+    if (it == counters_.end()) continue;
+    if (--it->second <= 0) counters_.erase(it);
+  }
+}
+
+int LinkHistoryTable::counter(topo::LinkIndex link) const {
+  const auto it = counters_.find(link);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double LinkHistoryTable::geometric_mean(
+    std::span<const topo::LinkIndex> links) const {
+  if (links.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (topo::LinkIndex l : links) {
+    const int c = counter(l);
+    if (c == 0) return 0.0;  // a single new link makes the path fully fresh
+    log_sum += std::log(static_cast<double>(c));
+  }
+  return std::exp(log_sum / static_cast<double>(links.size()));
+}
+
+double diversity_score(const LinkHistoryTable& history,
+                       std::span<const topo::LinkIndex> path_links,
+                       const DiversityParams& params) {
+  assert(params.max_geometric_mean > 0.0);
+  const double gm = history.geometric_mean(path_links);
+  return 1.0 - std::min(1.0, gm / params.max_geometric_mean);
+}
+
+double score_fresh(double diversity, Duration age, Duration lifetime,
+                   const DiversityParams& params) {
+  assert(lifetime > Duration::zero());
+  diversity = std::clamp(diversity, 0.0, 1.0);
+  // Zero diversity means the path is at/beyond the acceptable redundancy;
+  // it must never be sent (std::pow(0, 0) == 1 would say otherwise for a
+  // brand-new PCB).
+  if (diversity == 0.0) return 0.0;
+  const double ratio =
+      std::clamp(age / lifetime, 0.0, 1.0);
+  const double f = params.alpha * ratio;  // Eq. 2
+  return std::pow(diversity, f);          // Eq. 1, not-previously-sent branch
+}
+
+double score_previously_sent(double stored_diversity, Duration sent_remaining,
+                             Duration current_remaining,
+                             const DiversityParams& params) {
+  stored_diversity = std::clamp(stored_diversity, 0.0, 1.0);
+  if (stored_diversity == 0.0) return 0.0;
+  // A sent instance that already expired is handled by the caller (the
+  // record is purged); clamp defensively anyway.
+  const double sent_rem = std::max(0.0, sent_remaining.as_seconds());
+  const double cur_rem = std::max(1e-9, current_remaining.as_seconds());
+  const double g = std::pow(params.beta * sent_rem / cur_rem, params.gamma);  // Eq. 3
+  return std::pow(stored_diversity, g);  // Eq. 1, previously-sent branch
+}
+
+double latency_factor(std::uint64_t path_latency_us,
+                      const DiversityParams& params) {
+  if (params.latency_weight <= 0.0) return 1.0;
+  const double latency_ms = static_cast<double>(path_latency_us) / 1000.0;
+  return std::pow(2.0, -params.latency_weight * latency_ms / 50.0);
+}
+
+}  // namespace scion::ctrl

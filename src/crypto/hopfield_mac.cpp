@@ -1,0 +1,34 @@
+#include "crypto/hopfield_mac.hpp"
+
+#include <cstring>
+
+namespace scion::crypto {
+
+ForwardingKey ForwardingKey::derive(std::uint64_t as_id,
+                                    std::uint64_t domain_seed) {
+  Sha256 h;
+  h.update("scion-mpr/forwarding-key/v1");
+  h.update_u64(domain_seed);
+  h.update_u64(as_id);
+  ForwardingKey key;
+  key.secret = h.finalize().bytes;
+  return key;
+}
+
+HopMac hop_mac(const ForwardingKey& key, std::uint16_t ingress_if,
+               std::uint16_t egress_if, std::uint32_t expiry_unix,
+               const HopMac& prev_mac) {
+  Sha256 input;
+  input.update_u16(ingress_if);
+  input.update_u16(egress_if);
+  input.update_u32(expiry_unix);
+  input.update(std::span<const std::uint8_t>{prev_mac.data(), prev_mac.size()});
+  const Sha256Digest full =
+      hmac_sha256(std::span<const std::uint8_t>{key.secret},
+                  std::span<const std::uint8_t>{input.finalize().bytes});
+  HopMac mac{};
+  std::memcpy(mac.data(), full.bytes.data(), mac.size());
+  return mac;
+}
+
+}  // namespace scion::crypto

@@ -1,0 +1,37 @@
+// Hop-field MACs for Packet-Carried Forwarding State (Section 2.3).
+//
+// Each hop field authenticates (ingress interface, egress interface,
+// expiration) under the AS's forwarding key and chains over the previous hop
+// field's MAC, preventing path splicing and alteration. SCION truncates the
+// MAC to 6 bytes on the wire; we do the same.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.hpp"
+
+namespace scion::crypto {
+
+/// Wire size of a truncated hop-field MAC.
+inline constexpr std::size_t kHopMacBytes = 6;
+
+using HopMac = std::array<std::uint8_t, kHopMacBytes>;
+
+/// Per-AS forwarding key (distinct from the control-plane signing key).
+struct ForwardingKey {
+  std::array<std::uint8_t, 32> secret{};
+
+  static ForwardingKey derive(std::uint64_t as_id, std::uint64_t domain_seed);
+};
+
+/// Computes the chained hop-field MAC.
+///
+/// `prev_mac` is the MAC of the previous hop field in the segment (all-zero
+/// for the first hop), which creates the chaining that makes segments
+/// append-only.
+HopMac hop_mac(const ForwardingKey& key, std::uint16_t ingress_if,
+               std::uint16_t egress_if, std::uint32_t expiry_unix,
+               const HopMac& prev_mac);
+
+}  // namespace scion::crypto

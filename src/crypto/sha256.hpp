@@ -1,0 +1,63 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for PCB/BGPsec signature modelling and hop-field MACs. The streaming
+// interface avoids buffering whole messages when hashing serialized
+// structures field by field.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace scion::crypto {
+
+/// A 256-bit digest.
+struct Sha256Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  bool operator==(const Sha256Digest&) const = default;
+
+  /// Lowercase hex rendering.
+  std::string hex() const;
+
+  /// First 8 bytes as a little-endian integer; convenient as a hash-map key.
+  std::uint64_t prefix64() const;
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+
+  /// Appends an integer in big-endian byte order (fixed width).
+  void update_u16(std::uint16_t v);
+  void update_u32(std::uint32_t v);
+  void update_u64(std::uint64_t v);
+
+  /// Finishes and returns the digest; the hasher must not be reused after.
+  Sha256Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+Sha256Digest sha256(std::string_view s);
+
+/// HMAC-SHA-256 (RFC 2104).
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+}  // namespace scion::crypto

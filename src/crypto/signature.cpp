@@ -1,0 +1,67 @@
+#include "crypto/signature.hpp"
+
+#include <cstring>
+
+namespace scion::crypto {
+
+SigningKey SigningKey::derive(SignerId signer, std::uint64_t domain_seed) {
+  Sha256 h;
+  h.update("scion-mpr/signing-key/v1");
+  h.update_u64(domain_seed);
+  h.update_u64(signer);
+  SigningKey key;
+  key.secret = h.finalize().bytes;
+  return key;
+}
+
+namespace {
+
+Signature expand_to_signature(const SigningKey& key, const Sha256Digest& digest) {
+  // Expand 32-byte HMAC outputs to the 96-byte ECDSA-P384 wire size by
+  // counter-mode chaining (HKDF-expand style).
+  Signature sig;
+  for (std::uint8_t counter = 0; counter < 3; ++counter) {
+    Sha256 h;
+    h.update(std::span<const std::uint8_t>{digest.bytes});
+    const std::uint8_t c = counter;
+    h.update(std::span<const std::uint8_t>{&c, 1});
+    const Sha256Digest block =
+        hmac_sha256(std::span<const std::uint8_t>{key.secret},
+                    std::span<const std::uint8_t>{h.finalize().bytes});
+    std::memcpy(sig.bytes.data() + counter * 32, block.bytes.data(), 32);
+  }
+  return sig;
+}
+
+}  // namespace
+
+Signature sign(const SigningKey& key, std::span<const std::uint8_t> data) {
+  return expand_to_signature(key, sha256(data));
+}
+
+Signature sign(const SigningKey& key, const Sha256Digest& digest) {
+  return expand_to_signature(key, digest);
+}
+
+bool verify(const SigningKey& key, std::span<const std::uint8_t> data,
+            const Signature& sig) {
+  return sign(key, data) == sig;
+}
+
+bool verify(const SigningKey& key, const Sha256Digest& digest,
+            const Signature& sig) {
+  return sign(key, digest) == sig;
+}
+
+const SigningKey& KeyStore::key_for(SignerId signer) {
+  auto [it, inserted] = keys_.try_emplace(signer);
+  if (inserted) it->second = SigningKey::derive(signer, domain_seed_);
+  return it->second;
+}
+
+bool KeyStore::verify_by(SignerId signer, const Sha256Digest& digest,
+                         const Signature& sig) {
+  return verify(key_for(signer), digest, sig);
+}
+
+}  // namespace scion::crypto

@@ -1,0 +1,75 @@
+// Control-plane signature model.
+//
+// The paper assumes ECDSA-P384 signatures on PCB AS entries and BGPsec
+// update path segments. For the overhead and path-quality evaluation only
+// the *wire size* and the append-only/tamper-evident semantics matter, so we
+// model signatures as 96-byte tags derived from HMAC-SHA-256 under a
+// per-signer secret (see DESIGN.md, substitutions table). Verification
+// recomputes the tag under the registered signer key: forging or mutating a
+// signed message without the signer's key is detected, exactly the property
+// beaconing relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/sha256.hpp"
+
+namespace scion::crypto {
+
+/// Wire size of an ECDSA-P384 signature (two 384-bit integers).
+inline constexpr std::size_t kSignatureBytes = 96;
+
+/// Default key-derivation domain shared by simulations: every component of
+/// one simulated world (beacon servers, path servers, data plane) must
+/// derive signing/forwarding keys under the same domain seed.
+inline constexpr std::uint64_t kDefaultKeyDomainSeed = 0x5C10;
+
+/// A modeled ECDSA-P384 signature.
+struct Signature {
+  std::array<std::uint8_t, kSignatureBytes> bytes{};
+  bool operator==(const Signature&) const = default;
+};
+
+/// Identifies a signer (an AS) in the key registry.
+using SignerId = std::uint64_t;
+
+/// Per-signer secret used by the signature model.
+struct SigningKey {
+  std::array<std::uint8_t, 32> secret{};
+
+  /// Derives a deterministic key for a signer; in a real deployment this is
+  /// the AS's control-plane key issued under the ISD's TRC.
+  static SigningKey derive(SignerId signer, std::uint64_t domain_seed);
+};
+
+/// Signs `data` under `key`. Deterministic.
+Signature sign(const SigningKey& key, std::span<const std::uint8_t> data);
+Signature sign(const SigningKey& key, const Sha256Digest& digest);
+
+/// Verifies `sig` over `data` under `key`.
+bool verify(const SigningKey& key, std::span<const std::uint8_t> data,
+            const Signature& sig);
+bool verify(const SigningKey& key, const Sha256Digest& digest,
+            const Signature& sig);
+
+/// Registry of signer keys, standing in for the TRC/certificate
+/// infrastructure: verifiers look up the signer's key by id.
+class KeyStore {
+ public:
+  explicit KeyStore(std::uint64_t domain_seed = 0xC0DE) : domain_seed_{domain_seed} {}
+
+  /// Returns (creating on first use) the key for a signer.
+  const SigningKey& key_for(SignerId signer);
+
+  /// Verifies a signature by `signer` over `digest`.
+  bool verify_by(SignerId signer, const Sha256Digest& digest, const Signature& sig);
+
+ private:
+  std::uint64_t domain_seed_;
+  std::unordered_map<SignerId, SigningKey> keys_;
+};
+
+}  // namespace scion::crypto

@@ -1,0 +1,202 @@
+#include "experiments/overhead_experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/overhead.hpp"
+#include "bgp/bgp_sim.hpp"
+#include "core/beaconing_sim.hpp"
+
+namespace scion::exp {
+
+namespace {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Runs one core-beaconing simulation and returns the monthly PCB bytes
+/// received by each monitor (matched into the core network by AS number),
+/// plus the per-monitor stored path counts.
+struct CoreRun {
+  std::vector<double> monthly_bytes;
+  std::vector<double> stored_paths;
+  double paths_per_origin{0};
+};
+
+CoreRun run_core(const topo::Topology& scion_view,
+                 ctrl::AlgorithmKind algorithm, const Scale& scale,
+                 const std::vector<std::uint64_t>& monitor_as_numbers) {
+  ctrl::BeaconingSimConfig config;
+  config.server.algorithm = algorithm;
+  config.server.mode = ctrl::BeaconingMode::kCore;
+  config.server.storage_limit = 60;
+  config.server.dissemination_limit = 5;
+  config.server.compute_crypto = false;
+  if (algorithm == ctrl::AlgorithmKind::kDiversity) {
+    config.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+  }
+  config.sim_duration = scale.beaconing_duration;
+  // Measure the periodic regime (see BeaconingSimConfig::warmup).
+  config.warmup = config.server.pcb_lifetime;
+  config.seed = scale.seed;
+  ctrl::BeaconingSim sim{scion_view, config};
+  sim.run();
+
+  CoreRun result;
+  double total_paths = 0;
+  double total_origins = 0;
+  for (const std::uint64_t as_number : monitor_as_numbers) {
+    const topo::AsIndex idx = find_by_as_number(scion_view, as_number);
+    if (idx == topo::kInvalidAsIndex) continue;
+    const auto& stats = sim.server(idx).stats();
+    result.monthly_bytes.push_back(analysis::extrapolate_to_month(
+        stats.bytes_received, scale.beaconing_duration));
+    const auto& store = sim.server(idx).store();
+    result.stored_paths.push_back(static_cast<double>(store.total_stored()));
+    total_paths += static_cast<double>(store.total_stored());
+    total_origins += static_cast<double>(store.origins().size());
+  }
+  result.paths_per_origin = total_origins > 0 ? total_paths / total_origins : 0;
+  return result;
+}
+
+}  // namespace
+
+OverheadResult run_overhead_experiment(const Scale& scale) {
+  OverheadResult r;
+
+  // --- Internet topology, monitors, prefix counts -------------------------
+  const topo::Topology internet = build_internet(scale);
+  const std::vector<topo::AsIndex> monitors =
+      pick_monitors(internet, scale.monitors);
+  std::vector<std::uint64_t> monitor_as_numbers;
+  for (const topo::AsIndex m : monitors) {
+    monitor_as_numbers.push_back(internet.as_id(m).as_number());
+  }
+  const std::vector<std::uint32_t> prefixes = prefix_counts(internet, scale.seed);
+
+  // --- BGP / BGPsec on the full topology ----------------------------------
+  bgp::BgpSimConfig bgp_config;
+  bgp_config.sampled_origins = scale.bgp_sampled_origins;
+  bgp_config.churn_window = scale.bgp_churn_window;
+  bgp_config.seed = scale.seed;
+  bgp::BgpSim bgp_sim{internet, bgp_config};
+  for (const topo::AsIndex m : monitors) bgp_sim.add_monitor(m);
+  bgp_sim.run();
+  for (const topo::AsIndex m : monitors) {
+    r.bgp.push_back(bgp_sim.monthly_bgp_bytes(m, prefixes));
+    r.bgpsec.push_back(bgp_sim.monthly_bgpsec_bytes(m, prefixes));
+  }
+
+  // --- SCION core beaconing (baseline and diversity) ----------------------
+  const CoreNetworks nets = build_core_networks(scale, internet);
+  const CoreRun baseline = run_core(nets.scion_view,
+                                    ctrl::AlgorithmKind::kBaseline, scale,
+                                    monitor_as_numbers);
+  const CoreRun diversity = run_core(nets.scion_view,
+                                     ctrl::AlgorithmKind::kDiversity, scale,
+                                     monitor_as_numbers);
+  r.core_baseline = baseline.monthly_bytes;
+  r.core_diversity = diversity.monthly_bytes;
+  r.diversity_paths_per_origin = diversity.paths_per_origin;
+
+  // --- SCION intra-ISD beaconing (baseline) -------------------------------
+  {
+    topo::IsdConfig isd_config;
+    isd_config.n_cores = scale.isd_cores;
+    isd_config.n_ases = scale.isd_ases;
+    isd_config.seed = scale.seed + 17;
+    const topo::Topology isd = topo::generate_isd(isd_config);
+
+    ctrl::BeaconingSimConfig config;
+    config.server.algorithm = ctrl::AlgorithmKind::kBaseline;
+    config.server.mode = ctrl::BeaconingMode::kIntraIsd;
+    config.server.compute_crypto = false;
+    config.sim_duration = scale.beaconing_duration;
+    config.warmup = config.server.pcb_lifetime;
+    config.seed = scale.seed;
+    ctrl::BeaconingSim sim{isd, config};
+    sim.run();
+
+    // Monitors map to the largest non-core ASes of the ISD by degree rank
+    // (core ASes receive no intra-ISD PCBs; see DESIGN.md).
+    std::vector<topo::AsIndex> ranked;
+    for (const topo::AsIndex idx : isd.highest_degree(isd.as_count())) {
+      if (!isd.is_core(idx)) ranked.push_back(idx);
+      if (ranked.size() >= monitors.size()) break;
+    }
+    for (const topo::AsIndex idx : ranked) {
+      r.intra_baseline.push_back(analysis::extrapolate_to_month(
+          sim.server(idx).stats().bytes_received, scale.beaconing_duration));
+    }
+  }
+
+  // --- Relative-to-BGP CDFs ------------------------------------------------
+  for (std::size_t i = 0; i < r.bgp.size(); ++i) {
+    if (r.bgp[i] <= 0) continue;
+    r.bgpsec_rel.add(r.bgpsec[i] / r.bgp[i]);
+    if (i < r.core_baseline.size() && r.core_baseline[i] > 0) {
+      r.core_baseline_rel.add(r.core_baseline[i] / r.bgp[i]);
+    }
+    if (i < r.core_diversity.size() && r.core_diversity[i] > 0) {
+      r.core_diversity_rel.add(r.core_diversity[i] / r.bgp[i]);
+    }
+    if (i < r.intra_baseline.size() && r.intra_baseline[i] > 0) {
+      r.intra_rel.add(r.intra_baseline[i] / r.bgp[i]);
+    }
+  }
+
+  // --- Section 5.2 per-path overhead ---------------------------------------
+  // BGP/BGPsec disseminate one path per (monitor, prefix); SCION stores up
+  // to the storage limit of paths per origin.
+  {
+    std::vector<double> per_path_bgp, per_path_bgpsec, per_path_b, per_path_d;
+    double total_prefixes = 0;
+    for (const std::uint32_t c : prefixes) total_prefixes += c;
+    for (std::size_t i = 0; i < r.bgp.size(); ++i) {
+      per_path_bgp.push_back(r.bgp[i] / total_prefixes);
+      per_path_bgpsec.push_back(r.bgpsec[i] / total_prefixes);
+    }
+    for (std::size_t i = 0; i < baseline.monthly_bytes.size(); ++i) {
+      if (baseline.stored_paths[i] > 0) {
+        per_path_b.push_back(baseline.monthly_bytes[i] /
+                             baseline.stored_paths[i]);
+      }
+      if (i < diversity.monthly_bytes.size() && diversity.stored_paths[i] > 0) {
+        per_path_d.push_back(diversity.monthly_bytes[i] /
+                             diversity.stored_paths[i]);
+      }
+    }
+    r.per_path_bgp = median(per_path_bgp);
+    r.per_path_bgpsec = median(per_path_bgpsec);
+    r.per_path_core_baseline = median(per_path_b);
+    r.per_path_core_diversity = median(per_path_d);
+  }
+  return r;
+}
+
+void print_overhead_result(const OverheadResult& r) {
+  std::printf("\nFig. 5 — monthly control-plane overhead relative to BGP "
+              "(CDF over monitors)\n");
+  util::print_cdf("BGPsec / BGP", r.bgpsec_rel, 8);
+  util::print_cdf("SCION core baseline / BGP", r.core_baseline_rel, 8);
+  util::print_cdf("SCION core diversity / BGP", r.core_diversity_rel, 8);
+  util::print_cdf("SCION intra-ISD baseline / BGP", r.intra_rel, 8);
+
+  std::printf("\nSection 5.2 — medians across monitors\n");
+  std::printf("  monthly bytes: BGP=%.3g BGPsec=%.3g core-baseline=%.3g "
+              "core-diversity=%.3g intra=%.3g\n",
+              median(r.bgp), median(r.bgpsec), median(r.core_baseline),
+              median(r.core_diversity), median(r.intra_baseline));
+  std::printf("  per-path overhead (bytes/month/path): BGP=%.3g BGPsec=%.3g "
+              "core-baseline=%.3g core-diversity=%.3g\n",
+              r.per_path_bgp, r.per_path_bgpsec, r.per_path_core_baseline,
+              r.per_path_core_diversity);
+  std::printf("  diversity paths stored per origin at monitors: %.1f\n",
+              r.diversity_paths_per_origin);
+}
+
+}  // namespace scion::exp

@@ -1,0 +1,42 @@
+// Fig. 5: distribution over monitor ASes of monthly control-plane overhead
+// relative to BGP, for BGPsec, SCION core beaconing (baseline and
+// diversity-based), and SCION intra-ISD beaconing (baseline). Also derives
+// the Section 5.2 headline numbers (orders of magnitude between protocols,
+// overhead per constructed path).
+#pragma once
+
+#include "experiments/scale.hpp"
+#include "util/stats.hpp"
+
+namespace scion::exp {
+
+struct OverheadResult {
+  /// Per-monitor monthly bytes.
+  std::vector<double> bgp;
+  std::vector<double> bgpsec;
+  std::vector<double> core_baseline;
+  std::vector<double> core_diversity;
+  std::vector<double> intra_baseline;
+
+  /// Relative-to-BGP CDFs (the Fig. 5 series).
+  util::EmpiricalCdf bgpsec_rel;
+  util::EmpiricalCdf core_baseline_rel;
+  util::EmpiricalCdf core_diversity_rel;
+  util::EmpiricalCdf intra_rel;
+
+  /// Section 5.2: median monthly bytes per disseminated path at a monitor.
+  double per_path_bgp{0};
+  double per_path_bgpsec{0};
+  double per_path_core_baseline{0};
+  double per_path_core_diversity{0};
+
+  /// Average number of paths per origin stored at a monitor (diversity run).
+  double diversity_paths_per_origin{0};
+};
+
+OverheadResult run_overhead_experiment(const Scale& scale);
+
+/// Prints the Fig. 5 CDFs and the Section 5.2 summary lines.
+void print_overhead_result(const OverheadResult& r);
+
+}  // namespace scion::exp

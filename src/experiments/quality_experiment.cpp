@@ -1,0 +1,162 @@
+#include "experiments/quality_experiment.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/path_quality.hpp"
+#include "bgp/bgp_sim.hpp"
+#include "core/beaconing_sim.hpp"
+#include "util/stats.hpp"
+
+namespace scion::exp {
+
+namespace {
+
+std::unique_ptr<ctrl::BeaconingSim> run_beaconing(
+    const topo::Topology& scion_view, ctrl::AlgorithmKind algorithm,
+    std::size_t storage_limit, const QualityConfig& config) {
+  ctrl::BeaconingSimConfig c;
+  c.server.algorithm = algorithm;
+  c.server.mode = ctrl::BeaconingMode::kCore;
+  c.server.storage_limit = storage_limit;
+  c.server.dissemination_limit = config.dissemination_limit;
+  c.server.compute_crypto = false;
+  if (algorithm == ctrl::AlgorithmKind::kDiversity) {
+    c.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+  }
+  c.sim_duration = config.sim_duration;
+  c.seed = config.seed;
+  auto sim = std::make_unique<ctrl::BeaconingSim>(scion_view, c);
+  sim->run();
+  return sim;
+}
+
+std::string limit_name(std::size_t limit) {
+  return limit == 0 ? "inf" : std::to_string(limit);
+}
+
+}  // namespace
+
+double QualityResult::fraction_of_optimal(const QualitySeries& s) const {
+  double sum = 0, opt = 0;
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    sum += s.values[i];
+    opt += optimum[i];
+  }
+  return opt > 0 ? sum / opt : 0.0;
+}
+
+QualityResult run_quality_experiment(const topo::Topology& bgp_view,
+                                     const topo::Topology& scion_view,
+                                     const QualityConfig& config) {
+  QualityResult result;
+  util::Rng rng{config.seed ^ 0xFACE};
+
+  // Sampled distinct AS pairs.
+  const std::size_t n = scion_view.as_count();
+  const std::size_t max_pairs = n * (n - 1) / 2;
+  const std::size_t want = std::min(config.sampled_pairs, max_pairs);
+  while (result.pairs.size() < want) {
+    const auto a = static_cast<topo::AsIndex>(rng.index(n));
+    const auto b = static_cast<topo::AsIndex>(rng.index(n));
+    if (a == b) continue;
+    result.pairs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+
+  analysis::QualityEvaluator evaluator{scion_view};
+  for (const auto& [s, t] : result.pairs) {
+    result.optimum.push_back(evaluator.optimal(s, t));
+  }
+
+  // SCION runs: evaluate the paths from origin t stored at s plus the
+  // reverse direction (segments are direction-agnostic at link level).
+  auto evaluate_sim = [&](ctrl::BeaconingSim& sim, const std::string& name) {
+    QualitySeries series;
+    series.name = name;
+    series.values.reserve(result.pairs.size());
+    for (const auto& [s, t] : result.pairs) {
+      std::vector<std::vector<topo::LinkIndex>> paths =
+          sim.paths_at(s, scion_view.as_id(t));
+      std::vector<std::vector<topo::LinkIndex>> reverse =
+          sim.paths_at(t, scion_view.as_id(s));
+      paths.insert(paths.end(), std::make_move_iterator(reverse.begin()),
+                   std::make_move_iterator(reverse.end()));
+      series.values.push_back(evaluator.of_paths(paths, s, t));
+    }
+    result.series.push_back(std::move(series));
+  };
+
+  for (const std::size_t limit : config.baseline_storage_limits) {
+    auto sim = run_beaconing(scion_view, ctrl::AlgorithmKind::kBaseline,
+                             limit, config);
+    evaluate_sim(*sim, "SCION Baseline (" + limit_name(limit) + ")");
+  }
+  for (const std::size_t limit : config.diversity_storage_limits) {
+    auto sim = run_beaconing(scion_view, ctrl::AlgorithmKind::kDiversity,
+                             limit, config);
+    evaluate_sim(*sim, "SCION Diversity (" + limit_name(limit) + ")");
+  }
+
+  if (config.include_bgp) {
+    bgp::BgpSimConfig bc;
+    bc.seed = config.seed;
+    // Only convergence matters for path quality; skip churn.
+    bc.churn_window = util::Duration::minutes(5);
+    bc.flaps_per_adjacency_per_day = 0.0;
+    bgp::BgpSim bgp_sim{bgp_view, bc};
+    bgp_sim.run();
+
+    QualitySeries series;
+    series.name = "BGP (multipath)";
+    for (const auto& [s, t] : result.pairs) {
+      auto paths = bgp_sim.bgp_link_paths(s, t);
+      auto reverse = bgp_sim.bgp_link_paths(t, s);
+      paths.insert(paths.end(), std::make_move_iterator(reverse.begin()),
+                   std::make_move_iterator(reverse.end()));
+      series.values.push_back(evaluator.of_paths(paths, s, t));
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void print_resilience(const QualityResult& r, int max_optimum) {
+  std::printf("\nResilience: average min #failing links disconnecting a pair, "
+              "grouped by the pair's optimum\n");
+  std::printf("  %-10s %8s", "optimum", "#pairs");
+  for (const QualitySeries& s : r.series) std::printf(" %22s", s.name.c_str());
+  std::printf("\n");
+  for (int v = 1; v <= max_optimum; ++v) {
+    std::size_t count = 0;
+    std::vector<double> sums(r.series.size(), 0.0);
+    for (std::size_t i = 0; i < r.pairs.size(); ++i) {
+      if (r.optimum[i] != v) continue;
+      ++count;
+      for (std::size_t k = 0; k < r.series.size(); ++k) {
+        sums[k] += r.series[k].values[i];
+      }
+    }
+    if (count == 0) continue;
+    std::printf("  %-10d %8zu", v, count);
+    for (const double sum : sums) {
+      std::printf(" %22.2f", sum / static_cast<double>(count));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_capacity(const QualityResult& r) {
+  std::printf("\nCapacity in multiples of inter-AS links (CDF over pairs)\n");
+  util::EmpiricalCdf optimum_cdf;
+  for (const int v : r.optimum) optimum_cdf.add(v);
+  for (const QualitySeries& s : r.series) {
+    util::EmpiricalCdf cdf;
+    for (const int v : s.values) cdf.add(v);
+    std::printf("  %-28s %s  | fraction of optimal: %.3f\n", s.name.c_str(),
+                cdf.summary().c_str(),
+                r.fraction_of_optimal(s));
+  }
+  std::printf("  %-28s %s\n", "All Paths (optimum)", optimum_cdf.summary().c_str());
+}
+
+}  // namespace scion::exp

@@ -1,0 +1,57 @@
+// Figs. 6a/6b (core network) and 7/8 (SCIONLab): failure resilience and
+// maximum capacity of the disseminated path sets, per algorithm and PCB
+// storage limit, against the optimum and BGP multipath.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "experiments/scale.hpp"
+
+namespace scion::exp {
+
+struct QualityConfig {
+  /// Diversity runs, one per storage limit (0 = unlimited).
+  std::vector<std::size_t> diversity_storage_limits{15, 30, 60, 0};
+  /// Baseline runs, one per storage limit.
+  std::vector<std::size_t> baseline_storage_limits{60};
+  /// Include the BGP multipath series (needs the relationship-preserving
+  /// view of the same topology).
+  bool include_bgp{true};
+  std::size_t sampled_pairs{200};
+  util::Duration sim_duration{util::Duration::hours(6)};
+  std::size_t dissemination_limit{5};
+  std::uint64_t seed{1};
+};
+
+struct QualitySeries {
+  std::string name;
+  /// Min-cut / max-flow value per sampled pair (aligned with `pairs`).
+  std::vector<int> values;
+};
+
+struct QualityResult {
+  std::vector<std::pair<topo::AsIndex, topo::AsIndex>> pairs;
+  std::vector<int> optimum;
+  std::vector<QualitySeries> series;
+
+  /// Sum(series)/Sum(optimum): the "fraction of optimal capacity" numbers
+  /// quoted in Section 5.3.
+  double fraction_of_optimal(const QualitySeries& s) const;
+};
+
+/// Runs the beaconing configurations on `scion_view`, BGP on `bgp_view`
+/// (same indices), samples AS pairs, and evaluates min-cut per pair.
+QualityResult run_quality_experiment(const topo::Topology& bgp_view,
+                                     const topo::Topology& scion_view,
+                                     const QualityConfig& config);
+
+/// Fig. 6a/7 rendering: per optimum value, the pair count and each series'
+/// average achieved resilience.
+void print_resilience(const QualityResult& r, int max_optimum);
+
+/// Fig. 6b/8 rendering: capacity CDFs per series plus fraction of optimal.
+void print_capacity(const QualityResult& r);
+
+}  // namespace scion::exp

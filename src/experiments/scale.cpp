@@ -1,0 +1,113 @@
+#include "experiments/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scion::exp {
+
+Scale Scale::paper() {
+  Scale s;
+  s.internet_ases = 12000;
+  s.n_tier1 = 20;
+  s.core_ases = 2000;
+  s.core_isds = 200;
+  s.isd_ases = 7028;
+  s.isd_cores = 11;
+  s.monitors = 26;
+  s.sampled_pairs = 1000;
+  s.bgp_sampled_origins = 600;
+  s.beaconing_duration = util::Duration::hours(6);
+  s.bgp_churn_window = util::Duration::hours(2);
+  return s;
+}
+
+Scale Scale::from_flags(const util::Flags& flags) {
+  Scale s = flags.get_bool("paper", false) ? Scale::paper() : Scale{};
+  s.internet_ases = static_cast<std::size_t>(
+      flags.get_int("internet-ases", static_cast<std::int64_t>(s.internet_ases)));
+  s.core_ases = static_cast<std::size_t>(
+      flags.get_int("core-ases", static_cast<std::int64_t>(s.core_ases)));
+  s.core_isds = static_cast<std::size_t>(
+      flags.get_int("core-isds", static_cast<std::int64_t>(s.core_isds)));
+  s.isd_ases = static_cast<std::size_t>(
+      flags.get_int("isd-ases", static_cast<std::int64_t>(s.isd_ases)));
+  s.monitors = static_cast<std::size_t>(
+      flags.get_int("monitors", static_cast<std::int64_t>(s.monitors)));
+  s.sampled_pairs = static_cast<std::size_t>(
+      flags.get_int("pairs", static_cast<std::int64_t>(s.sampled_pairs)));
+  s.bgp_sampled_origins = static_cast<std::size_t>(flags.get_int(
+      "bgp-origins", static_cast<std::int64_t>(s.bgp_sampled_origins)));
+  s.beaconing_duration = util::Duration::minutes(flags.get_int(
+      "beaconing-minutes",
+      static_cast<std::int64_t>(s.beaconing_duration.as_minutes())));
+  s.quality_duration = util::Duration::minutes(flags.get_int(
+      "quality-minutes",
+      static_cast<std::int64_t>(s.quality_duration.as_minutes())));
+  s.bgp_churn_window = util::Duration::minutes(flags.get_int(
+      "churn-minutes",
+      static_cast<std::int64_t>(s.bgp_churn_window.as_minutes())));
+  s.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(s.seed)));
+  // A generic multiplier for quick scaling experiments.
+  const double scale = flags.get_double("scale", 1.0);
+  if (scale != 1.0) {
+    auto mul = [scale](std::size_t v) {
+      return static_cast<std::size_t>(
+          std::max(1.0, std::round(static_cast<double>(v) * scale)));
+    };
+    s.internet_ases = mul(s.internet_ases);
+    s.core_ases = mul(s.core_ases);
+    s.core_isds = mul(s.core_isds);
+    s.isd_ases = mul(s.isd_ases);
+    s.sampled_pairs = mul(s.sampled_pairs);
+    s.bgp_sampled_origins = mul(s.bgp_sampled_origins);
+  }
+  return s;
+}
+
+topo::Topology build_internet(const Scale& scale) {
+  topo::HierarchyConfig config;
+  config.n_ases = scale.internet_ases;
+  config.n_roots = scale.n_tier1;
+  config.seed = scale.seed;
+  return topo::generate_hierarchy(config);
+}
+
+CoreNetworks build_core_networks(const Scale& scale,
+                                 const topo::Topology& internet) {
+  CoreNetworks nets;
+  nets.bgp_view =
+      topo::make_core_network(internet, scale.core_ases, scale.core_isds);
+  nets.scion_view = topo::with_all_core_links(nets.bgp_view);
+  return nets;
+}
+
+std::vector<std::uint32_t> prefix_counts(const topo::Topology& internet,
+                                         std::uint64_t seed) {
+  util::Rng rng{seed ^ 0xBEEF};
+  std::vector<std::uint32_t> counts(internet.as_count(), 1);
+  for (topo::AsIndex i = 0; i < internet.as_count(); ++i) {
+    // Pareto tail scaled by connectivity: hubs originate far more prefixes.
+    const double degree_boost =
+        1.0 + std::log2(1.0 + static_cast<double>(internet.link_degree(i)));
+    const double raw = rng.pareto(0.8, 1.1) * degree_boost;
+    counts[i] = static_cast<std::uint32_t>(
+        std::clamp(raw, 1.0, 30000.0));
+  }
+  return counts;
+}
+
+std::vector<topo::AsIndex> pick_monitors(const topo::Topology& topo,
+                                         std::size_t n) {
+  return topo.highest_degree(n);
+}
+
+topo::AsIndex find_by_as_number(const topo::Topology& topo,
+                                std::uint64_t as_number) {
+  for (topo::AsIndex i = 0; i < topo.as_count(); ++i) {
+    if (topo.as_id(i).as_number() == as_number) return i;
+  }
+  return topo::kInvalidAsIndex;
+}
+
+}  // namespace scion::exp

@@ -1,0 +1,24 @@
+// Appendix B / Figs. 7-9: the SCIONLab testbed cross-validation.
+//
+// The paper validates the simulator against the real 21-core testbed by
+// simulating the same topology; the "Measurement" series behaves like the
+// baseline algorithm with storage limit 5 (the deployed path selection).
+// We reproduce that methodology on a generated SCIONLab-like topology.
+#pragma once
+
+#include "experiments/quality_experiment.hpp"
+#include "util/stats.hpp"
+
+namespace scion::exp {
+
+struct ScionLabResult {
+  QualityResult quality;           // Figs. 7 and 8 series
+  util::EmpiricalCdf bandwidth;    // Fig. 9: bytes/s per core interface
+  double fraction_below_4kbps{0};  // paper: ~80 % of interfaces < 4 KB/s
+};
+
+ScionLabResult run_scionlab_experiment(const Scale& scale);
+
+void print_scionlab_bandwidth(const ScionLabResult& r);
+
+}  // namespace scion::exp

@@ -1,0 +1,31 @@
+// Table 1: path management overhead comparison — scope and frequency of
+// every SCION control-plane component under a mixed workload on a
+// multi-ISD topology.
+#pragma once
+
+#include "analysis/overhead.hpp"
+#include "experiments/scale.hpp"
+
+namespace scion::exp {
+
+struct Table1Config {
+  topo::MultiIsdConfig topology{};
+  util::Duration sim_duration{util::Duration::hours(1)};
+  double lookups_per_second{2.0};
+  double link_failures_per_hour{4.0};
+  std::uint64_t seed{5};
+};
+
+struct Table1Result {
+  analysis::OverheadLedger ledger;
+  util::Duration window;
+  std::uint64_t participants{0};
+  std::uint64_t lookups{0};
+  std::uint64_t paths_resolved{0};
+};
+
+Table1Result run_table1_experiment(const Table1Config& config);
+
+void print_table1(const Table1Result& r);
+
+}  // namespace scion::exp

@@ -1,0 +1,387 @@
+#include "scion/control_plane_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scion::svc {
+
+namespace {
+
+constexpr std::uint64_t kKeyDomain = crypto::kDefaultKeyDomainSeed;
+
+}  // namespace
+
+ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
+                                 ControlPlaneSimConfig config)
+    : topology_{topology}, config_{config}, net_{sim_}, rng_{config.seed} {
+  keys_ = std::make_unique<crypto::KeyStore>(kKeyDomain);
+  dataplane_ = std::make_unique<DataPlane>(topology_, kKeyDomain);
+
+  // Nodes + channels (ChannelId == LinkIndex).
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.add_node(topology_.as_id(i).to_string());
+  }
+  for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
+    const topo::Link& link = topology_.link(l);
+    const auto latency =
+        util::Duration::milliseconds(rng_.uniform_int(2, 30));
+    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
+    assert(ch == l);
+    (void)ch;
+  }
+
+  // ISD structure.
+  topo::IsdId max_isd = 0;
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    max_isd = std::max(max_isd, topology_.as_id(i).isd());
+  }
+  cores_by_isd_.resize(max_isd);
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    if (topology_.is_core(i)) {
+      cores_by_isd_[topology_.as_id(i).isd() - 1].push_back(i);
+    } else {
+      leaves_.push_back(i);
+    }
+  }
+
+  // Beacon servers: core-mode at core ASes, intra-mode everywhere (cores
+  // originate towards customers, non-cores relay to theirs). PCB sends are
+  // recorded in the ledger with the scope of the traversed link.
+  ctrl::BeaconServerConfig base;
+  base.interval = config_.beacon_interval;
+  base.pcb_lifetime = config_.pcb_lifetime;
+  base.dissemination_limit = config_.dissemination_limit;
+  base.storage_limit = config_.storage_limit;
+  base.algorithm = config_.algorithm;
+  if (config_.algorithm == ctrl::AlgorithmKind::kDiversity) {
+    base.store_policy = ctrl::StorePolicy::kDiversityAware;
+  }
+
+  core_servers_.resize(topology_.as_count());
+  intra_servers_.resize(topology_.as_count());
+  path_servers_.reserve(topology_.as_count());
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    path_servers_.push_back(std::make_unique<PathServer>(
+        std::max<std::size_t>(8, config_.storage_limit)));
+
+    auto make_send = [this, i](const char* comp) {
+      return [this, i, comp](topo::LinkIndex egress, const ctrl::PcbRef& pcb) {
+        const topo::AsIndex to = topology_.neighbor(egress, i);
+        // One beaconing *operation* per interval is recorded by the
+        // periodic driver; individual PCBs only contribute bytes.
+        ledger_.record(comp, scope_between(i, to), pcb->wire_size(),
+                       /*counts_as_operation=*/false);
+        net_.send(static_cast<sim::ChannelId>(egress), i, pcb->wire_size(), pcb);
+      };
+    };
+
+    if (topology_.is_core(i)) {
+      ctrl::BeaconServerConfig cfg = base;
+      cfg.mode = ctrl::BeaconingMode::kCore;
+      core_servers_[i] = std::make_unique<ctrl::BeaconServer>(
+          topology_, i, cfg, *keys_, kKeyDomain,
+          make_send(component::kCoreBeaconing));
+    }
+    ctrl::BeaconServerConfig cfg = base;
+    cfg.mode = ctrl::BeaconingMode::kIntraIsd;
+    cfg.include_peer_entries = true;
+    intra_servers_[i] = std::make_unique<ctrl::BeaconServer>(
+        topology_, i, cfg, *keys_, kKeyDomain,
+        make_send(component::kIntraIsdBeaconing));
+  }
+
+  // PCB delivery: dispatch on the link type the beacon arrived over.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    net_.set_handler(i, [this, i](const sim::Message& msg) {
+      const auto& pcb = std::any_cast<const ctrl::PcbRef&>(msg.payload);
+      const auto link = static_cast<topo::LinkIndex>(msg.channel);
+      if (topology_.link(link).type == topo::LinkType::kCore) {
+        if (core_servers_[i]) core_servers_[i]->handle_pcb(pcb, link, sim_.now());
+      } else {
+        intra_servers_[i]->handle_pcb(pcb, link, sim_.now());
+      }
+    });
+  }
+
+  // Periodic drivers.
+  for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
+    const auto offset = util::Duration::nanoseconds(
+        rng_.uniform_int(0, config_.beacon_interval.ns() - 1));
+    sim_.schedule_periodic(util::TimePoint::origin() + offset,
+                           config_.beacon_interval, [this, i] {
+                             if (core_servers_[i]) {
+                               ledger_.record_operation(component::kCoreBeaconing);
+                               core_servers_[i]->on_interval(sim_.now());
+                             }
+                             ledger_.record_operation(
+                                 component::kIntraIsdBeaconing);
+                             intra_servers_[i]->on_interval(sim_.now());
+                           });
+  }
+  for (topo::AsIndex leaf : leaves_) {
+    // First registration only after beaconing had a chance to reach the
+    // leaf (one interval in).
+    const auto offset =
+        config_.beacon_interval +
+        util::Duration::nanoseconds(
+            rng_.uniform_int(0, config_.registration_interval.ns() - 1));
+    sim_.schedule_periodic(util::TimePoint::origin() + offset,
+                           config_.registration_interval,
+                           [this, leaf] { do_registration(leaf); });
+  }
+}
+
+analysis::Scope ControlPlaneSim::scope_between(topo::AsIndex a,
+                                               topo::AsIndex b) const {
+  if (a == b) return analysis::Scope::kIntraAs;
+  if (topology_.as_id(a).isd() == topology_.as_id(b).isd()) {
+    return analysis::Scope::kIntraIsd;
+  }
+  return analysis::Scope::kGlobal;
+}
+
+void ControlPlaneSim::record_service_message(const char* comp,
+                                             topo::AsIndex from,
+                                             topo::AsIndex to,
+                                             std::size_t bytes) {
+  ledger_.record(comp, scope_between(from, to), bytes);
+}
+
+topo::AsIndex ControlPlaneSim::core_of_isd(topo::IsdId isd,
+                                           std::size_t salt) const {
+  const auto& cores = cores_by_isd_[isd - 1];
+  assert(!cores.empty());
+  return cores[salt % cores.size()];
+}
+
+void ControlPlaneSim::do_registration(topo::AsIndex leaf) {
+  const util::TimePoint now = sim_.now();
+  const crypto::SigningKey& sign_key =
+      keys_->key_for(topology_.as_id(leaf).value());
+  const crypto::ForwardingKey fwd_key =
+      crypto::ForwardingKey::derive(topology_.as_id(leaf).value(), kKeyDomain);
+
+  const ctrl::BeaconStore& store = intra_servers_[leaf]->store();
+  for (const topo::IsdAsId origin : store.origins()) {
+    const auto origin_idx = topology_.find(origin);
+    if (!origin_idx) continue;
+    // Take the best few stored PCBs (they are already policy-filtered).
+    std::vector<PathSegment> segments;
+    for (const ctrl::StoredPcb& stored : store.for_origin(origin)) {
+      if (stored.pcb->expired(now)) continue;
+      segments.push_back(make_segment(topology_, stored, leaf,
+                                      SegmentType::kDown, sign_key, fwd_key,
+                                      /*include_peers=*/true));
+      if (segments.size() >= config_.segments_per_registration) break;
+    }
+    if (segments.empty()) continue;
+
+    // Up-segments stay local; down-segments go to the origin core's path
+    // server (intra-ISD unicast).
+    for (PathSegment& seg : segments) {
+      PathSegment up = seg;
+      up.type = SegmentType::kUp;
+      path_servers_[leaf]->register_up_segment(std::move(up));
+    }
+    record_service_message(component::kRegistration, leaf, *origin_idx,
+                           registration_bytes(segments));
+    const topo::AsIndex origin_as = *origin_idx;
+    sim_.schedule_after(util::Duration::milliseconds(10),
+                        [this, origin_as, segments = std::move(segments)] {
+                          for (const PathSegment& seg : segments) {
+                            path_servers_[origin_as]->register_down_segment(seg);
+                          }
+                        });
+  }
+
+  // Core path servers also absorb their beacon server's core segments
+  // (AS-local operation).
+  if (topology_.is_core(leaf)) return;
+}
+
+std::vector<PathSegment> ControlPlaneSim::fetch_core_segments(
+    topo::AsIndex src, topo::AsIndex via, topo::IsdId dst_isd) {
+  const util::TimePoint now = sim_.now();
+  PathServer& ps = *path_servers_[src];
+  // Synthetic cache key for the (via core, destination ISD) pair.
+  const auto cache_key = static_cast<topo::AsIndex>(
+      via * (cores_by_isd_.size() + 1) + dst_isd);
+  if (auto cached = ps.cache_get(cache_key, now)) return *cached;
+
+  // Ask the core AS our up-segments terminate at for core segments towards
+  // dst ISD's cores (a core-path segment lookup, intra-ISD scope).
+  record_service_message(component::kCoreSegmentLookup, src, via,
+                         kSegmentRequestBytes);
+
+  std::vector<PathSegment> result;
+  if (const ctrl::BeaconServer* bs = core_servers_[via].get()) {
+    const crypto::SigningKey& sign_key =
+        keys_->key_for(topology_.as_id(via).value());
+    const crypto::ForwardingKey fwd_key = crypto::ForwardingKey::derive(
+        topology_.as_id(via).value(), kKeyDomain);
+    for (const topo::AsIndex origin : cores_by_isd_[dst_isd - 1]) {
+      if (origin == via) continue;
+      for (const ctrl::StoredPcb& stored :
+           bs->store().for_origin(topology_.as_id(origin))) {
+        if (stored.pcb->expired(now)) continue;
+        result.push_back(make_segment(topology_, stored, via,
+                                      SegmentType::kCore, sign_key, fwd_key));
+        if (result.size() >= 16) break;
+      }
+    }
+  }
+  std::size_t total_bytes = 0;
+  for (const PathSegment& s : result) total_bytes += s.wire_size();
+  record_service_message(component::kCoreSegmentLookup, via, src,
+                         segment_response_bytes(result.size(), total_bytes));
+  ps.cache_put(cache_key, result, now, config_.cache_ttl);
+  return result;
+}
+
+std::vector<PathSegment> ControlPlaneSim::fetch_down_segments(
+    topo::AsIndex src, topo::AsIndex dst) {
+  const util::TimePoint now = sim_.now();
+  PathServer& ps = *path_servers_[src];
+  if (auto cached = ps.cache_get(dst, now)) return *cached;
+
+  // Down-segments are stored at the path server of the core AS that
+  // originated them; the lookup queries the destination ISD's core path
+  // servers and aggregates (multi-path wants segments from every core).
+  const topo::IsdId dst_isd = topology_.as_id(dst).isd();
+  std::vector<PathSegment> result;
+  for (const topo::AsIndex responder : cores_by_isd_[dst_isd - 1]) {
+    record_service_message(component::kDownSegmentLookup, src, responder,
+                           kSegmentRequestBytes);
+    std::vector<PathSegment> fetched =
+        path_servers_[responder]->down_segments(dst, now);
+    std::size_t total_bytes = 0;
+    for (const PathSegment& s : fetched) total_bytes += s.wire_size();
+    record_service_message(component::kDownSegmentLookup, responder, src,
+                           segment_response_bytes(fetched.size(), total_bytes));
+    result.insert(result.end(), std::make_move_iterator(fetched.begin()),
+                  std::make_move_iterator(fetched.end()));
+  }
+  ps.cache_put(dst, result, now, config_.cache_ttl);
+  return result;
+}
+
+std::vector<EndToEndPath> ControlPlaneSim::resolve_paths(topo::AsIndex src,
+                                                         topo::AsIndex dst) {
+  const util::TimePoint now = sim_.now();
+  // Endpoint asks its local path server (intra-AS).
+  record_service_message(component::kEndpointLookup, src, src,
+                         kSegmentRequestBytes);
+
+  const std::vector<PathSegment> up = path_servers_[src]->up_segments(now);
+  const std::vector<PathSegment> down = fetch_down_segments(src, dst);
+
+  // Core segments must terminate at a core our up-segments reach, so we
+  // query each distinct up-segment origin core for segments towards the
+  // destination ISD's cores.
+  const topo::IsdId dst_isd = topology_.as_id(dst).isd();
+  std::vector<PathSegment> core;
+  std::vector<topo::AsIndex> vias;
+  if (topology_.is_core(src)) {
+    // A core source (e.g. a carrier-grade SIG's AS) is its own "via": its
+    // beacon server holds the core segments directly.
+    vias.push_back(src);
+  }
+  for (const PathSegment& u : up) {
+    const topo::AsIndex via = u.origin_as();
+    if (std::find(vias.begin(), vias.end(), via) != vias.end()) continue;
+    vias.push_back(via);
+  }
+  for (const topo::AsIndex via : vias) {
+    const std::vector<PathSegment> fetched =
+        fetch_core_segments(src, via, dst_isd);
+    core.insert(core.end(), fetched.begin(), fetched.end());
+  }
+
+  std::vector<EndToEndPath> paths =
+      combine_segments(topology_, src, dst, up, core, down);
+
+  std::size_t response_bytes = 0;
+  for (const EndToEndPath& p : paths) response_bytes += packet_header_bytes(p);
+  record_service_message(component::kEndpointLookup, src, src,
+                         segment_response_bytes(paths.size(), response_bytes));
+  paths_resolved_ += paths.size();
+  return paths;
+}
+
+void ControlPlaneSim::do_lookup() {
+  if (leaves_.size() < 2) return;
+  ++lookups_performed_;
+  const topo::AsIndex src = leaves_[rng_.index(leaves_.size())];
+  // Zipf-popular destinations (rank 1 = most popular), skipping src.
+  topo::AsIndex dst = src;
+  for (int attempt = 0; attempt < 8 && dst == src; ++attempt) {
+    const std::uint64_t rank =
+        rng_.zipf(leaves_.size(), config_.zipf_exponent);
+    dst = leaves_[rank - 1];
+  }
+  if (dst == src) return;
+  resolve_paths(src, dst);
+}
+
+void ControlPlaneSim::schedule_next_lookup() {
+  if (config_.lookups_per_second <= 0.0) return;
+  const auto gap = util::Duration::nanoseconds(static_cast<std::int64_t>(
+      rng_.exponential(1.0 / config_.lookups_per_second) * 1e9));
+  sim_.schedule_after(gap, [this] {
+    do_lookup();
+    schedule_next_lookup();
+  });
+}
+
+void ControlPlaneSim::fail_link(topo::LinkIndex l, util::Duration downtime) {
+  if (!net_.channel_up(l)) return;
+  net_.set_channel_up(l, false);
+  const topo::Link& link = topology_.link(l);
+
+  // The AS observing the failure revokes affected segments at the core
+  // path servers of its ISD (intra-ISD operation) and they drop matching
+  // segments.
+  const topo::AsIndex observer = link.a;
+  const topo::IsdId isd = topology_.as_id(observer).isd();
+  for (const topo::AsIndex core : cores_by_isd_[isd - 1]) {
+    record_service_message(component::kRevocation, observer, core,
+                           Revocation::kWireBytes);
+    path_servers_[core]->revoke_link(l);
+  }
+  path_servers_[observer]->revoke_link(l);
+
+  sim_.schedule_after(downtime, [this, l] { net_.set_channel_up(l, true); });
+}
+
+void ControlPlaneSim::schedule_next_failure() {
+  if (config_.link_failures_per_hour <= 0.0) return;
+  const double mean_gap_seconds = 3600.0 / config_.link_failures_per_hour;
+  const auto gap = util::Duration::nanoseconds(
+      static_cast<std::int64_t>(rng_.exponential(mean_gap_seconds) * 1e9));
+  sim_.schedule_after(gap, [this] {
+    // Fail a random provider-customer link (leaf connectivity).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto l =
+          static_cast<topo::LinkIndex>(rng_.index(topology_.link_count()));
+      if (topology_.link(l).type == topo::LinkType::kProviderCustomer &&
+          net_.channel_up(l)) {
+        fail_link(l, config_.failure_downtime);
+        break;
+      }
+    }
+    schedule_next_failure();
+  });
+}
+
+void ControlPlaneSim::run() {
+  assert(!ran_);
+  ran_ = true;
+  // Let beaconing populate stores before the workload starts.
+  const util::Duration warmup = config_.beacon_interval * 2;
+  sim_.run_until(util::TimePoint::origin() + warmup);
+  schedule_next_lookup();
+  schedule_next_failure();
+  sim_.run_until(util::TimePoint::origin() + warmup + config_.sim_duration);
+}
+
+}  // namespace scion::svc

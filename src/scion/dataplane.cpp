@@ -1,0 +1,123 @@
+#include "scion/dataplane.hpp"
+
+#include <cassert>
+
+namespace scion::svc {
+
+namespace {
+
+std::uint32_t expiry_unix(util::TimePoint expiry) {
+  return static_cast<std::uint32_t>(expiry.ns() / 1'000'000'000);
+}
+
+}  // namespace
+
+std::size_t packet_header_bytes(const EndToEndPath& path) {
+  std::size_t segments = 0;
+  if (path.up) ++segments;
+  if (path.core) ++segments;
+  if (path.down) ++segments;
+  if (segments == 0) segments = 1;  // intra-AS delivery still has one
+  return kScionCommonHeaderBytes + segments * kInfoFieldBytes +
+         (path.ases.size()) * kHopFieldBytes;
+}
+
+bool DataPlane::verify_segment_chain(const PathSegment& seg,
+                                     std::string* error) const {
+  crypto::HopMac prev{};
+  const std::uint32_t expiry = expiry_unix(seg.pcb->expiry());
+  for (const ctrl::AsEntry& e : seg.pcb->entries()) {
+    const crypto::ForwardingKey key =
+        crypto::ForwardingKey::derive(e.isd_as.value(), key_domain_seed_);
+    const crypto::HopMac expected =
+        crypto::hop_mac(key, e.in_if, e.out_if, expiry, prev);
+    if (expected != e.hop_mac) {
+      if (error) {
+        *error = "hop-field MAC rejected at AS " + e.isd_as.to_string();
+      }
+      return false;
+    }
+    prev = e.hop_mac;
+  }
+  return true;
+}
+
+bool DataPlane::verify_peer_hop(const PathSegment& seg,
+                                std::size_t entry_index,
+                                topo::LinkIndex peer_link,
+                                std::string* error) const {
+  const auto& entries = seg.pcb->entries();
+  assert(entry_index > 0 && entry_index < entries.size());
+  const ctrl::AsEntry& e = entries[entry_index];
+  const topo::AsIndex self = seg.ases[entry_index];
+  const topo::IfId peer_if = topology_.interface_of(peer_link, self);
+  for (const ctrl::PeerEntry& p : e.peers) {
+    if (p.peer_if != peer_if) continue;
+    const crypto::ForwardingKey key =
+        crypto::ForwardingKey::derive(e.isd_as.value(), key_domain_seed_);
+    const crypto::HopMac expected =
+        crypto::hop_mac(key, p.peer_if, e.out_if, expiry_unix(seg.pcb->expiry()),
+                        entries[entry_index - 1].hop_mac);
+    if (expected == p.hop_mac) return true;
+    if (error) {
+      *error = "peer hop-field MAC rejected at AS " + e.isd_as.to_string();
+    }
+    return false;
+  }
+  if (error) {
+    *error = "no peer hop field for the crossed peering link at AS " +
+             e.isd_as.to_string();
+  }
+  return false;
+}
+
+bool DataPlane::verify(const EndToEndPath& path, std::string* error) const {
+  for (const PathSegment* seg : {path.up.get(), path.core.get(), path.down.get()}) {
+    if (seg != nullptr && !verify_segment_chain(*seg, error)) return false;
+  }
+  if (path.kind == EndToEndPath::Kind::kPeering) {
+    assert(path.peer_link.has_value());
+    if (!verify_peer_hop(*path.up, path.up_cut, *path.peer_link, error)) {
+      return false;
+    }
+    if (!verify_peer_hop(*path.down, path.down_cut, *path.peer_link, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DataPlane::valid_at(const EndToEndPath& path, util::TimePoint now) const {
+  for (const PathSegment* seg : {path.up.get(), path.core.get(), path.down.get()}) {
+    if (seg != nullptr && now >= seg->expiry()) return false;
+  }
+  return true;
+}
+
+ForwardResult DataPlane::forward(
+    const EndToEndPath& path,
+    const std::function<bool(topo::LinkIndex)>& link_up) const {
+  ForwardResult result;
+  if (!verify(path, &result.error)) return result;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const topo::LinkIndex l = path.links[i];
+    // Sanity: the link must actually connect the consecutive ASes.
+    const topo::Link& link = topology_.link(l);
+    const bool matches = (link.a == path.ases[i] && link.b == path.ases[i + 1]) ||
+                         (link.b == path.ases[i] && link.a == path.ases[i + 1]);
+    if (!matches) {
+      result.error = "link does not connect the path's ASes";
+      return result;
+    }
+    if (link_up && !link_up(l)) {
+      result.failed_link = l;
+      result.error = "link down";
+      return result;
+    }
+    ++result.links_traversed;
+  }
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace scion::svc

@@ -1,0 +1,68 @@
+// Data plane: Packet-Carried Forwarding State (Section 2.3).
+//
+// Hop fields carry chained MACs computed during beaconing; border routers
+// verify their own hop field against the AS forwarding key and the previous
+// hop field in the segment, so paths cannot be altered or spliced beyond
+// the authorized combinations. forward() walks an end-to-end path across
+// the topology, verifying MACs and honoring link state — the primitive the
+// failover experiments and examples build on.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "scion/path_combiner.hpp"
+
+namespace scion::svc {
+
+struct ForwardResult {
+  bool delivered{false};
+  /// Links successfully traversed before delivery or failure.
+  std::size_t links_traversed{0};
+  /// The link whose failure stopped the packet, if any.
+  std::optional<topo::LinkIndex> failed_link;
+  std::string error;
+};
+
+/// SCION header size model: common header + address headers.
+inline constexpr std::size_t kScionCommonHeaderBytes = 12 + 24;
+/// Per path segment: an info field.
+inline constexpr std::size_t kInfoFieldBytes = 8;
+/// Per hop: a hop field (flags, expiry, two ifids, truncated MAC).
+inline constexpr std::size_t kHopFieldBytes = 12;
+
+/// Bytes of forwarding state a packet carries for `path` (PCFS replaces
+/// router state entirely, Mechanism 4 of Section 4.1).
+std::size_t packet_header_bytes(const EndToEndPath& path);
+
+class DataPlane {
+ public:
+  DataPlane(const topo::Topology& topology, std::uint64_t key_domain_seed)
+      : topology_{topology}, key_domain_seed_{key_domain_seed} {}
+
+  /// Verifies the hop-field MAC chains of every segment `path` uses, and
+  /// the peer hop fields if the path crosses a peering link. On failure,
+  /// `error` (if non-null) says which AS rejected the packet.
+  bool verify(const EndToEndPath& path, std::string* error = nullptr) const;
+
+  /// Checks that the path has not expired at `now`.
+  bool valid_at(const EndToEndPath& path, util::TimePoint now) const;
+
+  /// Sends a packet along the path; `link_up` gates each traversed link
+  /// (default: all up). MAC verification failures stop the packet at the
+  /// offending AS.
+  ForwardResult forward(
+      const EndToEndPath& path,
+      const std::function<bool(topo::LinkIndex)>& link_up = {}) const;
+
+ private:
+  bool verify_segment_chain(const PathSegment& seg, std::string* error) const;
+  bool verify_peer_hop(const PathSegment& seg, std::size_t entry_index,
+                       topo::LinkIndex peer_link, std::string* error) const;
+
+  const topo::Topology& topology_;
+  std::uint64_t key_domain_seed_;
+};
+
+}  // namespace scion::svc

@@ -1,0 +1,140 @@
+#include "scion/deployment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "analysis/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace scion::svc {
+
+const char* to_string(InterIspModel m) {
+  switch (m) {
+    case InterIspModel::kNativeCrossConnect:
+      return "native cross-connect";
+    case InterIspModel::kRouterOnAStick:
+      return "router-on-a-stick";
+    case InterIspModel::kRedundant:
+      return "redundant";
+  }
+  return "?";
+}
+
+std::size_t DeployedLink::wire_bytes(std::size_t scion_packet_bytes) const {
+  switch (config_.model) {
+    case InterIspModel::kNativeCrossConnect:
+      return scion_packet_bytes;
+    case InterIspModel::kRouterOnAStick:
+      return scion_packet_bytes + kIpEncapOverheadBytes;
+    case InterIspModel::kRedundant:
+      // The native sub-link is preferred while it is up; accounting uses
+      // the preferred path's framing.
+      return scion_packet_bytes;
+  }
+  return scion_packet_bytes;
+}
+
+double DeployedLink::scion_goodput_mbps(double offered_scion_mbps,
+                                        double hostile_ip_load) const {
+  assert(hostile_ip_load >= 0.0 && hostile_ip_load <= 1.0);
+  const double capacity = config_.capacity_mbps;
+  if (config_.model == InterIspModel::kNativeCrossConnect) {
+    return std::min(offered_scion_mbps, capacity);
+  }
+  // Shared link: hostile IP traffic competes. With a queuing discipline,
+  // SCION is guaranteed min_share of the capacity (and opportunistically
+  // uses whatever IP leaves free); without one, IP load consumes capacity
+  // first.
+  double available = capacity * (1.0 - hostile_ip_load);
+  if (config_.queuing_discipline) {
+    available = std::max(available, capacity * config_.scion_min_share);
+  }
+  if (config_.model == InterIspModel::kRedundant) {
+    // The native sub-link's full capacity is always available on top.
+    available += capacity;
+  }
+  return std::min(offered_scion_mbps, available);
+}
+
+double DeployedLink::availability(double fiber_failure_prob,
+                                  double ip_underlay_failure_prob) const {
+  const double fiber_up = 1.0 - fiber_failure_prob;
+  const double underlay_up =
+      (1.0 - fiber_failure_prob) * (1.0 - ip_underlay_failure_prob);
+  switch (config_.model) {
+    case InterIspModel::kNativeCrossConnect:
+      return fiber_up;
+    case InterIspModel::kRouterOnAStick:
+      return underlay_up;
+    case InterIspModel::kRedundant:
+      // Survives unless both sub-links are down (independent fibers).
+      return 1.0 - (1.0 - fiber_up) * (1.0 - underlay_up);
+  }
+  return fiber_up;
+}
+
+const char* to_string(IxpModel m) {
+  switch (m) {
+    case IxpModel::kBigSwitch:
+      return "big switch";
+    case IxpModel::kExposedTopology:
+      return "exposed topology";
+  }
+  return "?";
+}
+
+topo::Topology build_ixp_fabric(IxpModel model, const IxpConfig& config) {
+  assert(config.members >= 2);
+  topo::Topology fabric;
+  util::Rng rng{config.seed};
+
+  for (std::size_t m = 0; m < config.members; ++m) {
+    fabric.add_as(topo::IsdAsId::make(1, 100 + m), /*is_core=*/false);
+  }
+
+  if (model == IxpModel::kBigSwitch) {
+    // Bilateral peering rides one shared L2 fabric. For the resilience
+    // analysis the fabric is a node every member hangs off with one port:
+    // any member pair's connectivity has min-cut 1 (port or fabric), the
+    // single failure domain the enhanced model eliminates.
+    const topo::AsIndex fabric_switch =
+        fabric.add_as(topo::IsdAsId::make(1, 999), /*is_core=*/false);
+    for (topo::AsIndex m = 0; m < config.members; ++m) {
+      fabric.add_link(m, fabric_switch, topo::LinkType::kPeer);
+    }
+    return fabric;
+  }
+
+  // Enhanced model: IXP sites are SCION ASes; sites form a ring with
+  // redundant parallel links, members home onto several sites.
+  assert(config.sites >= 2 && config.member_homing >= 1);
+  std::vector<topo::AsIndex> sites;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    sites.push_back(
+        fabric.add_as(topo::IsdAsId::make(1, 900 + s), /*is_core=*/false));
+  }
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    const std::size_t next = (s + 1) % config.sites;
+    if (config.sites == 2 && s == 1) break;
+    for (std::size_t k = 0; k < config.links_per_site_pair; ++k) {
+      fabric.add_link(sites[s], sites[next], topo::LinkType::kPeer);
+    }
+  }
+  for (topo::AsIndex m = 0; m < config.members; ++m) {
+    const std::size_t first = rng.index(config.sites);
+    const std::size_t homing = std::min(config.member_homing, config.sites);
+    for (std::size_t h = 0; h < homing; ++h) {
+      fabric.add_link(m, sites[(first + h) % config.sites],
+                      topo::LinkType::kPeer);
+    }
+  }
+  return fabric;
+}
+
+int ixp_member_min_cut(const topo::Topology& fabric, topo::AsIndex a,
+                       topo::AsIndex b) {
+  analysis::FlowGraph graph = analysis::FlowGraph::from_topology(fabric);
+  return graph.max_flow(a, b);
+}
+
+}  // namespace scion::svc

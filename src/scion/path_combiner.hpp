@@ -1,0 +1,66 @@
+// End-to-end path construction from path segments (Section 2.3).
+//
+// Hosts combine an up-path segment (traversed leaf-to-core), optionally a
+// core-path segment, and a down-path segment (core-to-leaf). Shortcut paths
+// avoid the core when the up- and down-segments share a non-core AS, and
+// peering shortcuts cross a peering link advertised in both segments.
+// Cryptographic protections (hop-field MAC chains, dataplane.hpp) ensure
+// only these authorized combinations are forwardable.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "scion/segment.hpp"
+
+namespace scion::svc {
+
+struct EndToEndPath {
+  enum class Kind : std::uint8_t {
+    kUpCoreDown,  // three segments via the core
+    kUpDown,      // up and down meet at the same core AS
+    kShortcut,    // crossover at a shared non-core AS
+    kPeering,     // crossover over a peering link
+  };
+
+  Kind kind{Kind::kUpCoreDown};
+  /// Full AS sequence, src first.
+  std::vector<topo::AsIndex> ases;
+  /// links[i] connects ases[i] and ases[i+1].
+  std::vector<topo::LinkIndex> links;
+
+  /// The segments this path was combined from (up/core/down may be null
+  /// depending on kind). Owned: a path stays usable after the segment
+  /// buffers it was combined from are gone.
+  std::shared_ptr<const PathSegment> up;
+  std::shared_ptr<const PathSegment> core;
+  std::shared_ptr<const PathSegment> down;
+  /// For kShortcut/kPeering: index into up->ases / down->ases of the
+  /// crossover ASes.
+  std::size_t up_cut{0};
+  std::size_t down_cut{0};
+  /// For kPeering: the peering link crossed.
+  std::optional<topo::LinkIndex> peer_link;
+
+  std::size_t length() const { return links.size(); }
+};
+
+const char* to_string(EndToEndPath::Kind k);
+
+struct CombineOptions {
+  std::size_t max_paths{32};
+  bool allow_shortcuts{true};
+  bool allow_peering{true};
+};
+
+/// Enumerates loop-free end-to-end paths from `src` to `dst`, shortest
+/// first, de-duplicated by link sequence. `up` segments must terminate at
+/// `src`, `down` segments at `dst`; core segments are matched by their
+/// terminal/origin core ASes.
+std::vector<EndToEndPath> combine_segments(
+    const topo::Topology& topology, topo::AsIndex src, topo::AsIndex dst,
+    std::span<const PathSegment> up, std::span<const PathSegment> core,
+    std::span<const PathSegment> down, const CombineOptions& options = {});
+
+}  // namespace scion::svc

@@ -1,0 +1,145 @@
+#include "scion/path_server.hpp"
+
+#include <algorithm>
+
+namespace scion::svc {
+
+std::size_t segment_response_bytes(std::size_t n_segments,
+                                   std::size_t total_segment_bytes) {
+  return kSegmentResponseHeaderBytes + n_segments * 4 + total_segment_bytes;
+}
+
+std::size_t registration_bytes(std::span<const PathSegment> segments) {
+  std::size_t total = kRegistrationHeaderBytes;
+  for (const PathSegment& s : segments) total += 4 + s.wire_size();
+  return total;
+}
+
+void PathServer::insert_segment(SegmentMap& map, topo::AsIndex key,
+                                PathSegment segment) {
+  auto& bucket = map[key];
+  // Same path: keep the freshest instance.
+  for (PathSegment& existing : bucket) {
+    if (existing.key() == segment.key()) {
+      if (segment.expiry() > existing.expiry()) existing = std::move(segment);
+      return;
+    }
+  }
+  if (per_key_limit_ == 0 || bucket.size() < per_key_limit_) {
+    bucket.push_back(std::move(segment));
+    return;
+  }
+  // Evict the worst under shortest-fresh preference if the candidate beats it.
+  auto worse = [](const PathSegment& x, const PathSegment& y) {
+    if (x.length() != y.length()) return x.length() > y.length();
+    return x.expiry() < y.expiry();
+  };
+  auto victim = bucket.begin();
+  for (auto it = bucket.begin() + 1; it != bucket.end(); ++it) {
+    if (worse(*it, *victim)) victim = it;
+  }
+  if (worse(*victim, segment)) *victim = std::move(segment);
+}
+
+std::vector<PathSegment> PathServer::valid_of(const SegmentMap& map,
+                                              topo::AsIndex key,
+                                              util::TimePoint now) {
+  std::vector<PathSegment> out;
+  const auto it = map.find(key);
+  if (it == map.end()) return out;
+  for (const PathSegment& s : it->second) {
+    if (now < s.expiry()) out.push_back(s);
+  }
+  return out;
+}
+
+void PathServer::register_down_segment(PathSegment segment) {
+  ++stats_.registrations;
+  ++stats_.segments_registered;
+  const topo::AsIndex leaf = segment.terminal_as();
+  insert_segment(down_by_leaf_, leaf, std::move(segment));
+}
+
+std::vector<PathSegment> PathServer::down_segments(topo::AsIndex leaf,
+                                                   util::TimePoint now) const {
+  return valid_of(down_by_leaf_, leaf, now);
+}
+
+void PathServer::register_core_segment(PathSegment segment) {
+  ++stats_.segments_registered;
+  const topo::AsIndex origin = segment.origin_as();
+  insert_segment(core_by_origin_, origin, std::move(segment));
+}
+
+std::vector<PathSegment> PathServer::core_segments(topo::AsIndex origin_core,
+                                                   util::TimePoint now) const {
+  return valid_of(core_by_origin_, origin_core, now);
+}
+
+void PathServer::register_up_segment(PathSegment segment) {
+  ++stats_.segments_registered;
+  for (PathSegment& existing : up_) {
+    if (existing.key() == segment.key()) {
+      if (segment.expiry() > existing.expiry()) existing = std::move(segment);
+      return;
+    }
+  }
+  if (per_key_limit_ == 0 || up_.size() < per_key_limit_) {
+    up_.push_back(std::move(segment));
+  } else {
+    // Replace the oldest.
+    auto victim = std::min_element(
+        up_.begin(), up_.end(), [](const PathSegment& a, const PathSegment& b) {
+          return a.expiry() < b.expiry();
+        });
+    if (segment.expiry() > victim->expiry()) *victim = std::move(segment);
+  }
+}
+
+std::vector<PathSegment> PathServer::up_segments(util::TimePoint now) const {
+  std::vector<PathSegment> out;
+  for (const PathSegment& s : up_) {
+    if (now < s.expiry()) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t PathServer::revoke_link(topo::LinkIndex link) {
+  ++stats_.revocations;
+  std::size_t dropped = 0;
+  auto contains = [link](const PathSegment& s) {
+    return std::find(s.links.begin(), s.links.end(), link) != s.links.end();
+  };
+  for (auto* map : {&down_by_leaf_, &core_by_origin_}) {
+    for (auto& [key, bucket] : *map) {
+      dropped += static_cast<std::size_t>(std::erase_if(bucket, contains));
+    }
+  }
+  dropped += static_cast<std::size_t>(std::erase_if(up_, contains));
+  return dropped;
+}
+
+void PathServer::cache_put(topo::AsIndex key,
+                           std::vector<PathSegment> segments,
+                           util::TimePoint now, util::Duration ttl) {
+  cache_[key] = CacheEntry{std::move(segments), now + ttl};
+}
+
+std::optional<std::vector<PathSegment>> PathServer::cache_get(
+    topo::AsIndex key, util::TimePoint now) {
+  ++stats_.lookups;
+  const auto it = cache_.find(key);
+  if (it == cache_.end() || now >= it->second.expires) {
+    ++stats_.cache_misses;
+    return std::nullopt;
+  }
+  ++stats_.cache_hits;
+  // Filter segments that expired before the cache entry.
+  std::vector<PathSegment> out;
+  for (const PathSegment& s : it->second.segments) {
+    if (now < s.expiry()) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace scion::svc

@@ -1,0 +1,93 @@
+// Path server (Section 2.2, "Path Segment Dissemination").
+//
+// Each AS's control service runs a path server. A core AS's path server
+// stores the down-path segments registered by the leaf ASes of its ISD and
+// the core-path segments its beacon server discovered; non-core path
+// servers keep the AS's own up-segments and a TTL cache of remote lookup
+// results (the infrastructure "bears similarities to DNS").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "scion/segment.hpp"
+
+namespace scion::svc {
+
+/// Wire size of a segment request: SCION/UDP headers + <ISD, AS> + type.
+inline constexpr std::size_t kSegmentRequestBytes = 64;
+/// Response framing on top of the segments themselves.
+inline constexpr std::size_t kSegmentResponseHeaderBytes = 32;
+/// Registration framing.
+inline constexpr std::size_t kRegistrationHeaderBytes = 32;
+
+std::size_t segment_response_bytes(std::size_t n_segments,
+                                   std::size_t total_segment_bytes);
+std::size_t registration_bytes(std::span<const PathSegment> segments);
+
+class PathServer {
+ public:
+  struct Stats {
+    std::uint64_t registrations{0};
+    std::uint64_t segments_registered{0};
+    std::uint64_t lookups{0};
+    std::uint64_t cache_hits{0};
+    std::uint64_t cache_misses{0};
+    std::uint64_t revocations{0};
+  };
+
+  /// `per_key_limit` caps stored segments per destination/origin key.
+  explicit PathServer(std::size_t per_key_limit = 10)
+      : per_key_limit_{per_key_limit} {}
+
+  // --- core path server role ---
+  /// Stores a down-path segment registered by leaf `segment.terminal_as()`.
+  void register_down_segment(PathSegment segment);
+  std::vector<PathSegment> down_segments(topo::AsIndex leaf,
+                                         util::TimePoint now) const;
+
+  /// Stores a core-path segment towards `segment.origin_as()`.
+  void register_core_segment(PathSegment segment);
+  std::vector<PathSegment> core_segments(topo::AsIndex origin_core,
+                                         util::TimePoint now) const;
+
+  // --- local path server role ---
+  void register_up_segment(PathSegment segment);
+  std::vector<PathSegment> up_segments(util::TimePoint now) const;
+
+  /// Drops every stored segment containing `link` (triggered by a
+  /// revocation); returns how many were dropped.
+  std::size_t revoke_link(topo::LinkIndex link);
+
+  // --- lookup cache (for fetched remote segments) ---
+  void cache_put(topo::AsIndex key, std::vector<PathSegment> segments,
+                 util::TimePoint now, util::Duration ttl);
+  std::optional<std::vector<PathSegment>> cache_get(topo::AsIndex key,
+                                                    util::TimePoint now);
+
+  const Stats& stats() const { return stats_; }
+  Stats& mutable_stats() { return stats_; }
+
+ private:
+  using SegmentMap = std::unordered_map<topo::AsIndex, std::vector<PathSegment>>;
+
+  void insert_segment(SegmentMap& map, topo::AsIndex key, PathSegment segment);
+  static std::vector<PathSegment> valid_of(const SegmentMap& map,
+                                           topo::AsIndex key,
+                                           util::TimePoint now);
+
+  std::size_t per_key_limit_;
+  SegmentMap down_by_leaf_;
+  SegmentMap core_by_origin_;
+  std::vector<PathSegment> up_;
+  struct CacheEntry {
+    std::vector<PathSegment> segments;
+    util::TimePoint expires;
+  };
+  std::unordered_map<topo::AsIndex, CacheEntry> cache_;
+  Stats stats_;
+};
+
+}  // namespace scion::svc

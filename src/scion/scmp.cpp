@@ -1,0 +1,64 @@
+#include "scion/scmp.hpp"
+
+#include <algorithm>
+
+namespace scion::svc {
+
+void PathManager::set_paths(std::vector<EndToEndPath> paths) {
+  paths_.clear();
+  paths_.reserve(paths.size());
+  for (EndToEndPath& p : paths) paths_.push_back(Entry{std::move(p), true});
+  active_ = 0;
+  connected_ = !paths_.empty();
+}
+
+const EndToEndPath* PathManager::active() const {
+  if (!connected_) return nullptr;
+  return &paths_[active_].path;
+}
+
+bool PathManager::uses_link(const EndToEndPath& path,
+                            topo::LinkIndex link) const {
+  return std::find(path.links.begin(), path.links.end(), link) !=
+         path.links.end();
+}
+
+void PathManager::pick_active() {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].usable) {
+      if (connected_ && i != active_) ++failovers_;
+      active_ = i;
+      connected_ = true;
+      return;
+    }
+  }
+  connected_ = false;
+}
+
+bool PathManager::notify_revocation(topo::LinkIndex failed_link) {
+  bool active_hit = false;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    Entry& e = paths_[i];
+    if (e.usable && uses_link(e.path, failed_link)) {
+      e.usable = false;
+      if (connected_ && i == active_) active_hit = true;
+    }
+  }
+  if (active_hit) pick_active();
+  return connected_;
+}
+
+void PathManager::notify_restored(topo::LinkIndex link) {
+  for (Entry& e : paths_) {
+    if (!e.usable && uses_link(e.path, link)) e.usable = true;
+  }
+  if (!connected_) pick_active();
+}
+
+std::size_t PathManager::usable_paths() const {
+  return static_cast<std::size_t>(
+      std::count_if(paths_.begin(), paths_.end(),
+                    [](const Entry& e) { return e.usable; }));
+}
+
+}  // namespace scion::svc

@@ -1,0 +1,68 @@
+// SCMP link revocations and endpoint fast failover (Sections 2.2 / 4.1).
+//
+// When a border router observes a failed link it emits SCMP revocations to
+// the endpoints whose traffic used it, and the owning AS revokes affected
+// segments at the core path server. Endpoints keep a set of end-to-end
+// paths and switch away from revoked ones immediately — the multi-path
+// fast-failover property the deployment section sells to leased-line
+// customers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scion/path_combiner.hpp"
+
+namespace scion::svc {
+
+/// An SCMP "external interface down" revocation.
+struct Revocation {
+  topo::LinkIndex link{topo::kInvalidLinkIndex};
+  util::TimePoint issued;
+  util::Duration validity{util::Duration::seconds(10)};
+
+  /// SCMP header (8) + revocation payload: ISD-AS (8), ifid (2), timestamps
+  /// (12), MAC (16), quoted packet head (32).
+  static constexpr std::size_t kWireBytes = 78;
+
+  bool active_at(util::TimePoint now) const {
+    return now >= issued && now < issued + validity;
+  }
+};
+
+/// Endpoint-side path set with preference order and failover.
+class PathManager {
+ public:
+  /// Installs the candidate paths in preference order (front = preferred).
+  void set_paths(std::vector<EndToEndPath> paths);
+
+  /// The currently active path, or nullptr when disconnected.
+  const EndToEndPath* active() const;
+
+  /// Processes a revocation: paths containing the link become unusable. If
+  /// the active path was hit, fail over to the best surviving path.
+  /// Returns true while connectivity survives.
+  bool notify_revocation(topo::LinkIndex failed_link);
+
+  /// Re-enables paths over a restored link.
+  void notify_restored(topo::LinkIndex link);
+
+  std::size_t usable_paths() const;
+  std::size_t total_paths() const { return paths_.size(); }
+  std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  struct Entry {
+    EndToEndPath path;
+    bool usable{true};
+  };
+  bool uses_link(const EndToEndPath& path, topo::LinkIndex link) const;
+  void pick_active();
+
+  std::vector<Entry> paths_;
+  std::size_t active_{0};
+  bool connected_{false};
+  std::uint64_t failovers_{0};
+};
+
+}  // namespace scion::svc

@@ -1,0 +1,55 @@
+#include "scion/segment.hpp"
+
+#include <cassert>
+
+namespace scion::svc {
+
+const char* to_string(SegmentType t) {
+  switch (t) {
+    case SegmentType::kUp:
+      return "up";
+    case SegmentType::kDown:
+      return "down";
+    case SegmentType::kCore:
+      return "core";
+  }
+  return "?";
+}
+
+PathSegment make_segment(const topo::Topology& topology,
+                         const ctrl::StoredPcb& stored, topo::AsIndex owner,
+                         SegmentType type, const crypto::SigningKey& sign_key,
+                         const crypto::ForwardingKey& fwd_key,
+                         bool include_peers) {
+  assert(stored.pcb && !stored.links.empty());
+
+  std::vector<ctrl::PeerEntry> peers;
+  if (include_peers) {
+    for (topo::LinkIndex l :
+         topology.links_of_type(owner, topo::LinkType::kPeer)) {
+      ctrl::PeerEntry p;
+      p.peer_as = topology.as_id(topology.neighbor(l, owner));
+      p.peer_if = topology.interface_of(l, owner);
+      peers.push_back(p);
+    }
+  }
+
+  const topo::IfId in_if = topology.interface_of(stored.links.back(), owner);
+  PathSegment seg;
+  seg.type = type;
+  seg.pcb = std::make_shared<const ctrl::Pcb>(stored.pcb->extend_signed(
+      topology.as_id(owner), in_if, topo::kNoInterface, std::move(peers),
+      sign_key, fwd_key));
+  seg.links = stored.links;
+  seg.ases.reserve(seg.pcb->entries().size());
+  for (const ctrl::AsEntry& e : seg.pcb->entries()) {
+    const auto idx = topology.find(e.isd_as);
+    assert(idx.has_value());
+    seg.ases.push_back(*idx);
+  }
+  assert(seg.ases.size() == seg.links.size() + 1);
+  assert(seg.ases.back() == owner);
+  return seg;
+}
+
+}  // namespace scion::svc

@@ -1,0 +1,150 @@
+#include "scion/sig.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "scion/dataplane.hpp"
+
+namespace scion::svc {
+
+std::optional<IpPrefix> IpPrefix::parse(const std::string& text) {
+  unsigned octets[4] = {0, 0, 0, 0};
+  unsigned length = 32;
+  const char* p = text.c_str();
+  const char* end = p + text.size();
+  for (int i = 0; i < 4; ++i) {
+    const auto r = std::from_chars(p, end, octets[i]);
+    if (r.ec != std::errc{} || octets[i] > 255) return std::nullopt;
+    p = r.ptr;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) {
+    if (*p != '/') return std::nullopt;
+    const auto r = std::from_chars(p + 1, end, length);
+    if (r.ec != std::errc{} || r.ptr != end || length > 32) return std::nullopt;
+  }
+  IpPrefix prefix;
+  prefix.address = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                   octets[3];
+  prefix.length = static_cast<std::uint8_t>(length);
+  return prefix;
+}
+
+std::string ip_to_string(std::uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", addr >> 24,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+void AsMapTable::add(IpPrefix prefix, topo::IsdAsId as) {
+  entries_.push_back(Entry{prefix, as});
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& x, const Entry& y) {
+                     return x.prefix.length > y.prefix.length;
+                   });
+}
+
+std::optional<topo::IsdAsId> AsMapTable::lookup(std::uint32_t addr) const {
+  // Entries are sorted by descending length: first hit = longest match.
+  for (const Entry& e : entries_) {
+    if (e.prefix.contains(addr)) return e.as;
+  }
+  return std::nullopt;
+}
+
+PathManager* Sig::paths_for(topo::AsIndex remote_as) {
+  auto it = path_cache_.find(remote_as);
+  if (it == path_cache_.end()) {
+    ++stats_.path_resolutions;
+    std::vector<EndToEndPath> paths =
+        control_plane_.resolve_paths(local_as_, remote_as);
+    if (paths.empty()) return nullptr;
+    it = path_cache_.try_emplace(remote_as).first;
+    it->second.set_paths(std::move(paths));
+  }
+  return &it->second;
+}
+
+Sig::EncapResult Sig::send_ip_packet(std::uint32_t dst_ip,
+                                     std::size_t payload_bytes) {
+  ++stats_.packets_in;
+  stats_.bytes_in += payload_bytes;
+  EncapResult result;
+
+  const std::optional<topo::IsdAsId> remote_id = asmap_.lookup(dst_ip);
+  if (!remote_id) {
+    ++stats_.packets_dropped_no_mapping;
+    result.error = "no ASMap entry for " + ip_to_string(dst_ip);
+    return result;
+  }
+  const auto remote = control_plane_.topology().find(*remote_id);
+  if (!remote) {
+    ++stats_.packets_dropped_no_mapping;
+    result.error = "ASMap points at unknown AS " + remote_id->to_string();
+    return result;
+  }
+  result.remote_as = *remote;
+
+  // Local delivery needs no SCION encapsulation.
+  if (*remote == local_as_) {
+    ++stats_.packets_delivered;
+    result.delivered = true;
+    result.wire_bytes = payload_bytes;
+    stats_.bytes_on_wire += payload_bytes;
+    return result;
+  }
+
+  PathManager* manager = paths_for(*remote);
+  if (manager == nullptr || manager->active() == nullptr) {
+    ++stats_.packets_dropped_no_path;
+    result.error = "no SCION path to " + remote_id->to_string();
+    return result;
+  }
+
+  // Forward over the active path; a failure observed en route behaves like
+  // an SCMP revocation (the border router reports the dead link).
+  const EndToEndPath* path = manager->active();
+  ForwardResult forwarded = control_plane_.dataplane().forward(
+      *path, [this](topo::LinkIndex l) { return control_plane_.link_up(l); });
+  if (!forwarded.delivered && forwarded.failed_link.has_value()) {
+    const std::uint64_t before = manager->failovers();
+    if (manager->notify_revocation(*forwarded.failed_link)) {
+      stats_.failovers += manager->failovers() - before;
+      path = manager->active();
+      forwarded = control_plane_.dataplane().forward(
+          *path,
+          [this](topo::LinkIndex l) { return control_plane_.link_up(l); });
+    }
+  }
+  if (!forwarded.delivered) {
+    ++stats_.packets_dropped_no_path;
+    result.error = forwarded.error;
+    return result;
+  }
+
+  ++stats_.packets_delivered;
+  result.delivered = true;
+  result.wire_bytes =
+      payload_bytes + packet_header_bytes(*path) + kSigFramingBytes;
+  stats_.bytes_on_wire += result.wire_bytes;
+  return result;
+}
+
+void Sig::handle_revocation(topo::LinkIndex failed_link) {
+  for (auto& [remote, manager] : path_cache_) {
+    const std::uint64_t before = manager.failovers();
+    manager.notify_revocation(failed_link);
+    stats_.failovers += manager.failovers() - before;
+  }
+}
+
+void Sig::handle_restoration(topo::LinkIndex link) {
+  for (auto& [remote, manager] : path_cache_) manager.notify_restored(link);
+}
+
+}  // namespace scion::svc

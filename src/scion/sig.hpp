@@ -1,0 +1,117 @@
+// SCION-IP Gateway (Section 3.4, deployment cases b and c).
+//
+// The SIG lets legacy IP hosts use SCION transparently: it maps the
+// destination IP address to a SCION AS via the ASMap table, obtains paths
+// from the control service, encapsulates the IP packet in a SCION header,
+// and forwards it; revocations trigger immediate failover on the cached
+// path set. A carrier-grade SIG (CGSIG) is the same machine placed in the
+// provider's AS, aggregating traffic for customers that stay entirely
+// SCION-unaware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "scion/control_plane_sim.hpp"
+#include "scion/scmp.hpp"
+
+namespace scion::svc {
+
+/// An IPv4 prefix (address/length).
+struct IpPrefix {
+  std::uint32_t address{0};
+  std::uint8_t length{0};
+
+  bool contains(std::uint32_t addr) const {
+    if (length == 0) return true;
+    const std::uint32_t mask = length >= 32 ? ~0u : ~0u << (32 - length);
+    return (addr & mask) == (address & mask);
+  }
+
+  /// Parses dotted-quad/len, e.g. "10.1.0.0/16"; nullopt on bad input.
+  static std::optional<IpPrefix> parse(const std::string& text);
+};
+
+/// Renders an IPv4 address dotted-quad.
+std::string ip_to_string(std::uint32_t addr);
+
+/// The ASMap table: IP prefix -> SCION AS (longest-prefix match), the
+/// mapping database the SIG consults for every outgoing packet.
+class AsMapTable {
+ public:
+  void add(IpPrefix prefix, topo::IsdAsId as);
+
+  /// Longest-prefix match; nullopt when no mapping covers the address.
+  std::optional<topo::IsdAsId> lookup(std::uint32_t addr) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    IpPrefix prefix;
+    topo::IsdAsId as;
+  };
+  std::vector<Entry> entries_;  // kept sorted by descending prefix length
+};
+
+/// Encapsulation overhead the SIG adds to an IP packet: the SCION common
+/// header and path (variable) plus the SIG framing (4-byte stream header).
+inline constexpr std::size_t kSigFramingBytes = 4;
+
+struct SigStats {
+  std::uint64_t packets_in{0};
+  std::uint64_t packets_delivered{0};
+  std::uint64_t packets_dropped_no_mapping{0};
+  std::uint64_t packets_dropped_no_path{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t bytes_on_wire{0};
+  std::uint64_t path_resolutions{0};
+  std::uint64_t failovers{0};
+};
+
+class Sig {
+ public:
+  /// `local_as` is where the SIG sits: the customer's own AS (CPE
+  /// deployment, case b) or the provider's AS (carrier-grade, case c).
+  Sig(ControlPlaneSim& control_plane, topo::AsIndex local_as)
+      : control_plane_{control_plane}, local_as_{local_as} {}
+
+  AsMapTable& asmap() { return asmap_; }
+
+  /// Result of pushing one IP packet through the gateway.
+  struct EncapResult {
+    bool delivered{false};
+    /// Total bytes on the SCION wire (payload + headers), 0 if dropped.
+    std::size_t wire_bytes{0};
+    /// The remote AS the packet was tunnelled to.
+    topo::AsIndex remote_as{topo::kInvalidAsIndex};
+    std::string error;
+  };
+
+  /// Encapsulates and forwards an IP packet of `payload_bytes` addressed
+  /// to `dst_ip`. Paths are resolved on first use per remote AS and cached
+  /// in a PathManager; forwarding honors current link state.
+  EncapResult send_ip_packet(std::uint32_t dst_ip, std::size_t payload_bytes);
+
+  /// Processes an SCMP revocation: all cached path sets fail over away
+  /// from the revoked link.
+  void handle_revocation(topo::LinkIndex failed_link);
+
+  /// Re-enables paths over a restored link in all cached path sets.
+  void handle_restoration(topo::LinkIndex link);
+
+  const SigStats& stats() const { return stats_; }
+
+ private:
+  PathManager* paths_for(topo::AsIndex remote_as);
+
+  ControlPlaneSim& control_plane_;
+  topo::AsIndex local_as_;
+  AsMapTable asmap_;
+  std::unordered_map<topo::AsIndex, PathManager> path_cache_;
+  SigStats stats_;
+};
+
+}  // namespace scion::svc

@@ -1,0 +1,107 @@
+#include "simnet/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace scion::sim {
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(NodeState{std::move(name), Handler{}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  assert(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+ChannelId Network::add_channel(NodeId a, NodeId b, Duration latency) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  assert(latency >= Duration::zero());
+  channels_.push_back(ChannelState{a, b, latency, true, {}, {}});
+  return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+void Network::set_channel_up(ChannelId ch, bool up) {
+  assert(ch < channels_.size());
+  channels_[ch].up = up;
+}
+
+bool Network::channel_up(ChannelId ch) const {
+  assert(ch < channels_.size());
+  return channels_[ch].up;
+}
+
+void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
+                   std::any payload) {
+  assert(ch < channels_.size());
+  ChannelState& c = channels_[ch];
+  assert(from == c.a || from == c.b);
+  if (!c.up) return;  // link failure: message lost
+  const NodeId to = (from == c.a) ? c.b : c.a;
+  DirectionStats& dir = (from == c.a) ? c.a_to_b : c.b_to_a;
+  ++dir.messages;
+  dir.bytes += bytes;
+  sim_.schedule_after(
+      c.latency,
+      [this, msg = Message{from, to, ch, bytes, std::move(payload)}]() mutable {
+        // Deliver only if the channel is still up on arrival.
+        if (!channels_[msg.channel].up) return;
+        const Handler& h = nodes_[msg.to].handler;
+        if (h) h(msg);
+      });
+}
+
+const std::string& Network::node_name(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].name;
+}
+
+NodeId Network::peer(ChannelId ch, NodeId self) const {
+  assert(ch < channels_.size());
+  const ChannelState& c = channels_[ch];
+  assert(self == c.a || self == c.b);
+  return self == c.a ? c.b : c.a;
+}
+
+NodeId Network::endpoint_a(ChannelId ch) const {
+  assert(ch < channels_.size());
+  return channels_[ch].a;
+}
+
+NodeId Network::endpoint_b(ChannelId ch) const {
+  assert(ch < channels_.size());
+  return channels_[ch].b;
+}
+
+Duration Network::latency(ChannelId ch) const {
+  assert(ch < channels_.size());
+  return channels_[ch].latency;
+}
+
+const DirectionStats& Network::stats_from(ChannelId ch, NodeId from) const {
+  assert(ch < channels_.size());
+  const ChannelState& c = channels_[ch];
+  assert(from == c.a || from == c.b);
+  return from == c.a ? c.a_to_b : c.b_to_a;
+}
+
+std::uint64_t Network::total_bytes(ChannelId ch) const {
+  assert(ch < channels_.size());
+  return channels_[ch].a_to_b.bytes + channels_[ch].b_to_a.bytes;
+}
+
+std::uint64_t Network::total_bytes_all() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : channels_) sum += c.a_to_b.bytes + c.b_to_a.bytes;
+  return sum;
+}
+
+void Network::reset_stats() {
+  for (auto& c : channels_) {
+    c.a_to_b = DirectionStats{};
+    c.b_to_a = DirectionStats{};
+  }
+}
+
+}  // namespace scion::sim

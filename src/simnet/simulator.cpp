@@ -1,0 +1,57 @@
+#include "simnet/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scion::sim {
+
+void Simulator::schedule_at(TimePoint t, Callback fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(Duration d, Callback fn) {
+  assert(d >= Duration::zero());
+  schedule_at(now_ + d, std::move(fn));
+}
+
+std::uint64_t Simulator::schedule_periodic(TimePoint first, Duration period,
+                                           Callback fn) {
+  assert(period > Duration::zero());
+  const auto id = static_cast<std::uint64_t>(periodics_.size());
+  periodics_.push_back(Periodic{period, std::move(fn), false});
+  schedule_at(first, [this, id, first] { fire_periodic(id, first); });
+  return id;
+}
+
+void Simulator::fire_periodic(std::uint64_t id, TimePoint when) {
+  Periodic& p = periodics_[id];
+  if (p.cancelled) return;
+  p.fn();
+  const TimePoint next = when + p.period;
+  schedule_at(next, [this, id, next] { fire_periodic(id, next); });
+}
+
+void Simulator::cancel_periodic(std::uint64_t id) {
+  assert(id < periodics_.size());
+  periodics_[id].cancelled = true;
+}
+
+void Simulator::pop_and_run() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) pop_and_run();
+}
+
+void Simulator::run_until(TimePoint end) {
+  while (!queue_.empty() && queue_.top().time <= end) pop_and_run();
+  now_ = std::max(now_, end);
+}
+
+}  // namespace scion::sim

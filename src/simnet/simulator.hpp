@@ -1,0 +1,83 @@
+// Discrete-event simulation core (the ns-3 substitute).
+//
+// A Simulator owns a virtual clock and an event queue. Events scheduled for
+// the same instant execute in scheduling order (a monotonically increasing
+// sequence number breaks ties), which keeps runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace scion::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Event-driven virtual-time scheduler.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`; `t` must not be in the past.
+  void schedule_at(TimePoint t, Callback fn);
+
+  /// Schedules `fn` after `d` (>= 0) from now.
+  void schedule_after(Duration d, Callback fn);
+
+  /// Schedules `fn` every `period` starting at `first`, until the simulation
+  /// stops. Returns an id usable with cancel_periodic().
+  std::uint64_t schedule_periodic(TimePoint first, Duration period, Callback fn);
+
+  /// Stops future firings of a periodic event.
+  void cancel_periodic(std::uint64_t id);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs while events exist with time <= `end`; afterwards now() == end
+  /// (or later if already past it).
+  void run_until(TimePoint end);
+
+  /// Total callbacks executed so far.
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Periodic {
+    Duration period;
+    Callback fn;
+    bool cancelled{false};
+  };
+
+  void pop_and_run();
+  void fire_periodic(std::uint64_t id, TimePoint when);
+
+  TimePoint now_{TimePoint::origin()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t processed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Periodic> periodics_;
+};
+
+}  // namespace scion::sim

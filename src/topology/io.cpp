@@ -1,0 +1,87 @@
+#include "topology/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace scion::topo {
+
+void write_topology(std::ostream& os, const Topology& topo) {
+  os << "# scion-mpr topology: " << topo.as_count() << " ASes, "
+     << topo.link_count() << " links\n";
+  for (AsIndex i = 0; i < topo.as_count(); ++i) {
+    os << "as " << topo.as_id(i).to_string() << ' '
+       << (topo.is_core(i) ? "core" : "leaf") << '\n';
+  }
+  for (LinkIndex l = 0; l < topo.link_count(); ++l) {
+    const Link& link = topo.link(l);
+    os << "link " << topo.as_id(link.a).to_string() << ' '
+       << topo.as_id(link.b).to_string() << ' ' << to_string(link.type)
+       << '\n';
+  }
+}
+
+std::string topology_to_string(const Topology& topo) {
+  std::ostringstream os;
+  write_topology(os, topo);
+  return os.str();
+}
+
+Topology read_topology(std::istream& is) {
+  Topology topo;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields{line};
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank line
+
+    auto fail = [&](const std::string& why) -> ParseError {
+      return ParseError{"line " + std::to_string(line_no) + ": " + why};
+    };
+
+    if (kind == "as") {
+      std::string id_str, role;
+      if (!(fields >> id_str >> role)) throw fail("expected: as <id> core|leaf");
+      const IsdAsId id = IsdAsId::parse(id_str);
+      if (!id.valid()) throw fail("bad AS id '" + id_str + "'");
+      if (role != "core" && role != "leaf") throw fail("bad role '" + role + "'");
+      if (topo.find(id)) throw fail("duplicate AS " + id_str);
+      topo.add_as(id, role == "core");
+    } else if (kind == "link") {
+      std::string a_str, b_str, type_str;
+      if (!(fields >> a_str >> b_str >> type_str)) {
+        throw fail("expected: link <a> <b> core|pc|peer");
+      }
+      const auto a = topo.find(IsdAsId::parse(a_str));
+      const auto b = topo.find(IsdAsId::parse(b_str));
+      if (!a) throw fail("unknown AS '" + a_str + "'");
+      if (!b) throw fail("unknown AS '" + b_str + "'");
+      LinkType type;
+      if (type_str == "core") {
+        type = LinkType::kCore;
+      } else if (type_str == "pc") {
+        type = LinkType::kProviderCustomer;
+      } else if (type_str == "peer") {
+        type = LinkType::kPeer;
+      } else {
+        throw fail("bad link type '" + type_str + "'");
+      }
+      if (*a == *b) throw fail("self-link on " + a_str);
+      topo.add_link(*a, *b, type);
+    } else {
+      throw fail("unknown record '" + kind + "'");
+    }
+  }
+  return topo;
+}
+
+Topology topology_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_topology(is);
+}
+
+}  // namespace scion::topo

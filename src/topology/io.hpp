@@ -1,0 +1,31 @@
+// Plain-text serialization of topologies, so experiment inputs can be
+// stored, inspected, and replayed.
+//
+// Format, one record per line ('#' starts a comment):
+//   as <isd>-<as> core|leaf
+//   link <isd>-<as> <isd>-<as> core|pc|peer
+// Link lines may repeat for parallel links; for `pc` links the first AS is
+// the provider. ASes must be declared before links referencing them.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace scion::topo {
+
+/// Error thrown on malformed topology text.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_topology(std::ostream& os, const Topology& topo);
+std::string topology_to_string(const Topology& topo);
+
+Topology read_topology(std::istream& is);
+Topology topology_from_string(const std::string& text);
+
+}  // namespace scion::topo

@@ -1,0 +1,202 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+#include <unordered_set>
+
+namespace scion::topo {
+
+std::string IsdAsId::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u-%llu", static_cast<unsigned>(isd()),
+                static_cast<unsigned long long>(as_number()));
+  return buf;
+}
+
+IsdAsId IsdAsId::parse(const std::string& s) {
+  const auto dash = s.find('-');
+  if (dash == std::string::npos) return IsdAsId{};
+  unsigned isd = 0;
+  unsigned long long as = 0;
+  auto r1 = std::from_chars(s.data(), s.data() + dash, isd);
+  auto r2 = std::from_chars(s.data() + dash + 1, s.data() + s.size(), as);
+  if (r1.ec != std::errc{} || r2.ec != std::errc{}) return IsdAsId{};
+  if (isd > 0xFFFF) return IsdAsId{};
+  return IsdAsId::make(static_cast<IsdId>(isd), as);
+}
+
+const char* to_string(LinkType t) {
+  switch (t) {
+    case LinkType::kCore:
+      return "core";
+    case LinkType::kProviderCustomer:
+      return "pc";
+    case LinkType::kPeer:
+      return "peer";
+  }
+  return "?";
+}
+
+AsIndex Topology::add_as(IsdAsId id, bool is_core) {
+  assert(id.valid());
+  assert(!index_.contains(id) && "duplicate AS id");
+  const auto idx = static_cast<AsIndex>(ases_.size());
+  ases_.push_back(AsState{id, is_core, 1, {}});
+  index_.emplace(id, idx);
+  return idx;
+}
+
+LinkIndex Topology::add_link(AsIndex a, AsIndex b, LinkType type) {
+  assert(a < ases_.size() && b < ases_.size() && a != b);
+  const auto l = static_cast<LinkIndex>(links_.size());
+  links_.push_back(Link{a, b, ases_[a].next_if++, ases_[b].next_if++, type});
+  ases_[a].links.push_back(l);
+  ases_[b].links.push_back(l);
+  return l;
+}
+
+std::optional<AsIndex> Topology::find(IsdAsId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const LinkIndex> Topology::links_of(AsIndex idx) const {
+  assert(idx < ases_.size());
+  return ases_[idx].links;
+}
+
+AsIndex Topology::neighbor(LinkIndex l, AsIndex self) const {
+  const Link& link = links_[l];
+  assert(self == link.a || self == link.b);
+  return self == link.a ? link.b : link.a;
+}
+
+IfId Topology::interface_of(LinkIndex l, AsIndex self) const {
+  const Link& link = links_[l];
+  assert(self == link.a || self == link.b);
+  return self == link.a ? link.if_a : link.if_b;
+}
+
+bool Topology::is_provider_side(LinkIndex l, AsIndex self) const {
+  const Link& link = links_[l];
+  return link.type == LinkType::kProviderCustomer && link.a == self;
+}
+
+std::vector<AsIndex> Topology::core_ases() const {
+  std::vector<AsIndex> out;
+  for (AsIndex i = 0; i < ases_.size(); ++i) {
+    if (ases_[i].is_core) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<LinkIndex> Topology::links_of_type(AsIndex idx, LinkType type) const {
+  std::vector<LinkIndex> out;
+  for (LinkIndex l : ases_[idx].links) {
+    const Link& link = links_[l];
+    if (link.type != type) continue;
+    if (type == LinkType::kProviderCustomer && link.a != idx) continue;
+    out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<LinkIndex> Topology::customer_links(AsIndex idx) const {
+  return links_of_type(idx, LinkType::kProviderCustomer);
+}
+
+std::vector<LinkIndex> Topology::provider_links(AsIndex idx) const {
+  std::vector<LinkIndex> out;
+  for (LinkIndex l : ases_[idx].links) {
+    const Link& link = links_[l];
+    if (link.type == LinkType::kProviderCustomer && link.b == idx) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<AsIndex> Topology::neighbors_of_type(AsIndex idx, LinkType type) const {
+  std::vector<AsIndex> out;
+  std::unordered_set<AsIndex> seen;
+  for (LinkIndex l : links_of_type(idx, type)) {
+    const AsIndex n = neighbor(l, idx);
+    if (seen.insert(n).second) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t Topology::degree(AsIndex idx) const {
+  std::unordered_set<AsIndex> seen;
+  for (LinkIndex l : ases_[idx].links) seen.insert(neighbor(l, idx));
+  return seen.size();
+}
+
+std::vector<LinkIndex> Topology::links_between(AsIndex x, AsIndex y) const {
+  std::vector<LinkIndex> out;
+  for (LinkIndex l : ases_[x].links) {
+    if (neighbor(l, x) == y) out.push_back(l);
+  }
+  return out;
+}
+
+std::optional<LinkIndex> Topology::link_by_interface(AsIndex self,
+                                                     IfId ifid) const {
+  assert(self < ases_.size());
+  for (LinkIndex l : ases_[self].links) {
+    if (interface_of(l, self) == ifid) return l;
+  }
+  return std::nullopt;
+}
+
+bool Topology::connected() const {
+  if (ases_.empty()) return true;
+  std::vector<bool> visited(ases_.size(), false);
+  std::vector<AsIndex> stack{0};
+  visited[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const AsIndex cur = stack.back();
+    stack.pop_back();
+    for (LinkIndex l : ases_[cur].links) {
+      const AsIndex n = neighbor(l, cur);
+      if (!visited[n]) {
+        visited[n] = true;
+        ++count;
+        stack.push_back(n);
+      }
+    }
+  }
+  return count == ases_.size();
+}
+
+Topology Topology::induced_subgraph(std::span<const AsIndex> keep) const {
+  Topology out;
+  std::unordered_map<AsIndex, AsIndex> remap;
+  remap.reserve(keep.size());
+  for (AsIndex old : keep) {
+    assert(old < ases_.size());
+    remap.emplace(old, out.add_as(ases_[old].id, ases_[old].is_core));
+  }
+  for (const Link& link : links_) {
+    const auto ia = remap.find(link.a);
+    const auto ib = remap.find(link.b);
+    if (ia != remap.end() && ib != remap.end()) {
+      out.add_link(ia->second, ib->second, link.type);
+    }
+  }
+  return out;
+}
+
+std::vector<AsIndex> Topology::highest_degree(std::size_t n) const {
+  std::vector<AsIndex> order(ases_.size());
+  for (AsIndex i = 0; i < ases_.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](AsIndex x, AsIndex y) {
+    return ases_[x].links.size() > ases_[y].links.size();
+  });
+  order.resize(std::min(n, order.size()));
+  return order;
+}
+
+}  // namespace scion::topo

@@ -1,0 +1,36 @@
+// Minimal command-line / environment knob parsing for the bench and example
+// binaries. Every harness must run with no arguments (default scale), but
+// larger paper-scale runs are reachable via --key=value flags or REPRO_*
+// environment variables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace scion::util {
+
+/// Parsed `--key=value` flags with environment-variable fallback.
+///
+/// Lookup order for key "scale": the flag `--scale=X`, then the environment
+/// variable `REPRO_SCALE`, then the provided default.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv, ignoring anything that does not look like --key=value
+  /// (so google-benchmark's own flags pass through untouched).
+  Flags(int argc, char** argv);
+
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace scion::util

@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace scion::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  assert(x_min > 0 && alpha > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  assert(n >= 1);
+  // Rejection-inversion sampling (W. Hormann, G. Derflinger 1996) for the
+  // Zipf distribution, valid for any s >= 0.
+  if (n == 1) return 1;
+  const double q = s;
+  auto h = [&](double x) {
+    if (std::abs(q - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - q) - 1.0) / (1.0 - q);
+  };
+  auto h_inv = [&](double x) {
+    if (std::abs(q - 1.0) < 1e-12) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - q), 1.0 / (1.0 - q));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform() * (hn - hx0);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    const double kk = static_cast<double>(k == 0 ? 1 : k);
+    if (k - x <= 0.5 || u >= h(kk + 0.5) - std::pow(kk, -q)) {
+      return k == 0 ? 1 : (k > n ? n : k);
+    }
+  }
+}
+
+Rng Rng::fork() { return Rng{(*this)()}; }
+
+}  // namespace scion::util

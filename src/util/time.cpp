@@ -1,0 +1,46 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scion::util {
+
+namespace {
+
+std::string format_value(double v, const char* unit) {
+  char buf[64];
+  if (v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", v, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g%s", v, unit);
+  }
+  return buf;
+}
+
+std::string format_ns(std::int64_t ns) {
+  const bool neg = ns < 0;
+  const double a = std::abs(static_cast<double>(ns));
+  std::string s;
+  if (a >= 3600e9) {
+    s = format_value(a / 3600e9, "h");
+  } else if (a >= 60e9) {
+    s = format_value(a / 60e9, "m");
+  } else if (a >= 1e9) {
+    s = format_value(a / 1e9, "s");
+  } else if (a >= 1e6) {
+    s = format_value(a / 1e6, "ms");
+  } else if (a >= 1e3) {
+    s = format_value(a / 1e3, "us");
+  } else {
+    s = format_value(a, "ns");
+  }
+  return neg ? "-" + s : s;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+
+std::string TimePoint::to_string() const { return format_ns(ns_); }
+
+}  // namespace scion::util

@@ -1,0 +1,87 @@
+// Strong time types used throughout the simulator.
+//
+// All simulation timestamps are integer nanoseconds since the start of the
+// simulation. Strong types keep durations and absolute times from being
+// mixed up and make unit mistakes (seconds vs milliseconds) impossible to
+// compile.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace scion::util {
+
+/// A span of simulated time. Internally nanoseconds in a signed 64-bit
+/// integer, which covers ~292 years — far beyond any simulation horizon.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; prefer these over the raw constructor.
+  static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
+  static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  static constexpr Duration hours(std::int64_t h) { return seconds(h * 3600); }
+  static constexpr Duration days(std::int64_t d) { return hours(d * 24); }
+  static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+  static constexpr Duration zero() { return Duration{0}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double as_minutes() const { return as_seconds() / 60.0; }
+  constexpr double as_hours() const { return as_seconds() / 3600.0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering, e.g. "10m", "1.5s", "250ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// An absolute point on the simulated timeline.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint{ns}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() { return TimePoint{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanoseconds(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+}  // namespace scion::util

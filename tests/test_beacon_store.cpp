@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/beacon_store.hpp"
+
+namespace scion::ctrl {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+const Duration kLifetime = Duration::hours(6);
+
+/// Builds a stored PCB whose entry chain is synthesized from the link ids
+/// (so different link sequences give different path keys).
+StoredPcb make_stored(IsdAsId origin, std::vector<topo::LinkIndex> links,
+                      TimePoint timestamp) {
+  Pcb pcb = Pcb::originate_unsigned(
+      origin, static_cast<topo::IfId>(links.front() + 1), timestamp, kLifetime);
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    pcb = pcb.extend_unsigned(
+        IsdAsId::make(9, 100 + links[i - 1]),
+        static_cast<topo::IfId>(links[i - 1] + 1),
+        static_cast<topo::IfId>(links[i] + 1), {});
+  }
+  StoredPcb stored;
+  stored.pcb = std::make_shared<const Pcb>(std::move(pcb));
+  stored.links = std::move(links);
+  stored.received_at = timestamp;
+  stored.path_key = stored.pcb->path_key();
+  return stored;
+}
+
+const IsdAsId kOrigin = IsdAsId::make(1, 1);
+
+TEST(BeaconStore, InsertAndQuery) {
+  BeaconStore store{10};
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {1}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kInserted);
+  EXPECT_EQ(store.for_origin(kOrigin).size(), 1u);
+  EXPECT_EQ(store.total_stored(), 1u);
+  EXPECT_TRUE(store.for_origin(IsdAsId::make(2, 2)).empty());
+}
+
+TEST(BeaconStore, RefreshReplacesOlderInstance) {
+  BeaconStore store{10};
+  store.insert(make_stored(kOrigin, {1, 2}, TimePoint::origin()));
+  const TimePoint newer = TimePoint::origin() + Duration::minutes(10);
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {1, 2}, newer)),
+            BeaconStore::InsertOutcome::kRefreshed);
+  ASSERT_EQ(store.for_origin(kOrigin).size(), 1u);
+  EXPECT_EQ(store.for_origin(kOrigin)[0].pcb->timestamp(), newer);
+}
+
+TEST(BeaconStore, StaleInstanceIgnored) {
+  BeaconStore store{10};
+  const TimePoint newer = TimePoint::origin() + Duration::minutes(10);
+  store.insert(make_stored(kOrigin, {1, 2}, newer));
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {1, 2}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kStale);
+  EXPECT_EQ(store.for_origin(kOrigin)[0].pcb->timestamp(), newer);
+}
+
+TEST(BeaconStore, RespectsPerOriginLimit) {
+  BeaconStore store{2};
+  store.insert(make_stored(kOrigin, {1}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {2}, TimePoint::origin()));
+  // Worse (longer) candidate is rejected when full.
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {3, 4}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kRejected);
+  EXPECT_EQ(store.total_stored(), 2u);
+}
+
+TEST(BeaconStore, ShortestFreshEvictsLongerPath) {
+  BeaconStore store{2, StorePolicy::kShortestFresh};
+  store.insert(make_stored(kOrigin, {1, 2, 3}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {4}, TimePoint::origin()));
+  // A 2-hop path beats the 3-hop one.
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {5, 6}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kReplaced);
+  for (const StoredPcb& s : store.for_origin(kOrigin)) {
+    EXPECT_LE(s.links.size(), 2u);
+  }
+}
+
+TEST(BeaconStore, UnlimitedStorage) {
+  BeaconStore store{0};
+  for (topo::LinkIndex l = 0; l < 100; ++l) {
+    store.insert(make_stored(kOrigin, {l}, TimePoint::origin()));
+  }
+  EXPECT_EQ(store.total_stored(), 100u);
+}
+
+TEST(BeaconStore, DiversityAwareEvictsRedundantPath) {
+  BeaconStore store{3, StorePolicy::kDiversityAware};
+  // Three paths, two of which share links {1,2}.
+  store.insert(make_stored(kOrigin, {1, 2, 3}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {1, 2, 4}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {7, 8}, TimePoint::origin()));
+  // A fully fresh path should replace one of the overlapping pair, not the
+  // disjoint {7,8} one.
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {10, 11}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kReplaced);
+  bool kept_disjoint = false;
+  int overlapping = 0;
+  for (const StoredPcb& s : store.for_origin(kOrigin)) {
+    if (s.links == std::vector<topo::LinkIndex>{7, 8}) kept_disjoint = true;
+    if (s.links.size() == 3) ++overlapping;
+  }
+  EXPECT_TRUE(kept_disjoint);
+  EXPECT_EQ(overlapping, 1);
+}
+
+TEST(BeaconStore, DiversityAwareRejectsRedundantCandidate) {
+  BeaconStore store{2, StorePolicy::kDiversityAware};
+  store.insert(make_stored(kOrigin, {1, 2}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {3, 4}, TimePoint::origin()));
+  // Candidate overlapping both stored paths is worse than either.
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {1, 3}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kRejected);
+}
+
+TEST(BeaconStore, ExpireDropsOnlyExpired) {
+  BeaconStore store{10};
+  store.insert(make_stored(kOrigin, {1}, TimePoint::origin()));
+  store.insert(
+      make_stored(kOrigin, {2}, TimePoint::origin() + Duration::hours(3)));
+  store.expire(TimePoint::origin() + kLifetime);
+  ASSERT_EQ(store.for_origin(kOrigin).size(), 1u);
+  EXPECT_EQ(store.for_origin(kOrigin)[0].links, std::vector<topo::LinkIndex>{2});
+}
+
+TEST(BeaconStore, OriginsSortedAndLive) {
+  BeaconStore store{10};
+  const IsdAsId o2 = IsdAsId::make(2, 5);
+  store.insert(make_stored(o2, {1}, TimePoint::origin()));
+  store.insert(make_stored(kOrigin, {2}, TimePoint::origin()));
+  EXPECT_EQ(store.origins(), (std::vector<IsdAsId>{kOrigin, o2}));
+  store.expire(TimePoint::origin() + kLifetime);
+  EXPECT_TRUE(store.origins().empty());
+}
+
+TEST(BeaconStore, SeparateBucketsPerOrigin) {
+  BeaconStore store{1};
+  const IsdAsId o2 = IsdAsId::make(2, 5);
+  EXPECT_EQ(store.insert(make_stored(kOrigin, {1}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kInserted);
+  EXPECT_EQ(store.insert(make_stored(o2, {2}, TimePoint::origin())),
+            BeaconStore::InsertOutcome::kInserted);
+  EXPECT_EQ(store.total_stored(), 2u);
+}
+
+}  // namespace
+}  // namespace scion::ctrl

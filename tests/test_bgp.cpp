@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "bgp/bgp_sim.hpp"
+#include "bgp/messages.hpp"
+#include "bgp/policy.hpp"
+#include "topology/generator.hpp"
+
+namespace scion::bgp {
+namespace {
+
+using util::Duration;
+
+// --- Message sizes ---------------------------------------------------------------
+
+TEST(Messages, BgpUpdateSizeFollowsRfc4271) {
+  // Header 19 + lengths 4 + origin 4 + next-hop 7 + extra attrs + as-path
+  // header 5 + one NLRI.
+  EXPECT_EQ(bgp_update_size(0, 1, 0),
+            19u + 4 + 4 + 7 + kBgpExtraAttrBytes + 5 + 5);
+  EXPECT_EQ(bgp_update_size(3, 1, 0), bgp_update_size(0, 1, 0) + 3 * 4);
+  EXPECT_EQ(bgp_update_size(3, 4, 0), bgp_update_size(3, 1, 0) + 3 * 5);
+  // Pure withdrawal has no path attributes.
+  EXPECT_EQ(bgp_update_size(0, 0, 2), 19u + 4 + 2 * 5);
+}
+
+TEST(Messages, BgpsecPerHopCostDominates) {
+  const std::size_t one_hop = bgpsec_update_size(1);
+  const std::size_t two_hop = bgpsec_update_size(2);
+  EXPECT_EQ(two_hop - one_hop, 6u + 118u);
+  EXPECT_GT(one_hop, bgp_update_size(1, 1, 0) * 2)
+      << "BGPsec updates are far larger than BGP";
+  EXPECT_GT(bgpsec_update_size(4), bgp_update_size(4, 1, 0) * 5);
+}
+
+TEST(Messages, AggregationOnlyHelpsBgp) {
+  // 10 prefixes, 4-hop path: one BGP update vs 10 BGPsec updates.
+  const std::size_t bgp_bytes = bgp_update_size(4, 10, 0);
+  const std::size_t bgpsec_bytes = 10 * bgpsec_update_size(4);
+  EXPECT_GT(bgpsec_bytes, 10 * bgp_bytes / 2);
+}
+
+TEST(Messages, UpdateWireSizeUsesContents) {
+  BgpUpdateMsg msg;
+  msg.announced = {1, 2};
+  msg.path = std::make_shared<std::vector<topo::AsIndex>>(
+      std::vector<topo::AsIndex>{7, 8, 9});
+  msg.withdrawn = {3};
+  EXPECT_EQ(update_wire_size(msg), bgp_update_size(3, 2, 1));
+}
+
+// --- Policy ----------------------------------------------------------------------
+
+TEST(Policy, ClassifyFromLinkTypes) {
+  topo::Topology t;
+  const auto p = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto c = t.add_as(topo::IsdAsId::make(1, 2), false);
+  const auto x = t.add_as(topo::IsdAsId::make(1, 3), false);
+  t.add_link(p, c, topo::LinkType::kProviderCustomer);  // 0
+  t.add_link(c, x, topo::LinkType::kPeer);              // 1
+  t.add_link(p, x, topo::LinkType::kCore);              // 2
+  EXPECT_EQ(classify(t, 0, p), Relationship::kCustomer);
+  EXPECT_EQ(classify(t, 0, c), Relationship::kProvider);
+  EXPECT_EQ(classify(t, 1, c), Relationship::kPeer);
+  EXPECT_EQ(classify(t, 2, p), Relationship::kPeer);
+}
+
+TEST(Policy, GaoRexfordExportMatrix) {
+  using R = Relationship;
+  // Customer routes go everywhere.
+  EXPECT_TRUE(may_export(R::kCustomer, R::kCustomer));
+  EXPECT_TRUE(may_export(R::kCustomer, R::kPeer));
+  EXPECT_TRUE(may_export(R::kCustomer, R::kProvider));
+  // Peer/provider routes only to customers.
+  EXPECT_TRUE(may_export(R::kPeer, R::kCustomer));
+  EXPECT_FALSE(may_export(R::kPeer, R::kPeer));
+  EXPECT_FALSE(may_export(R::kPeer, R::kProvider));
+  EXPECT_TRUE(may_export(R::kProvider, R::kCustomer));
+  EXPECT_FALSE(may_export(R::kProvider, R::kPeer));
+  EXPECT_FALSE(may_export(R::kProvider, R::kProvider));
+}
+
+TEST(Policy, LocalPrefOrdering) {
+  EXPECT_GT(local_pref(Relationship::kCustomer), local_pref(Relationship::kPeer));
+  EXPECT_GT(local_pref(Relationship::kPeer), local_pref(Relationship::kProvider));
+}
+
+// --- Full simulation --------------------------------------------------------------
+
+/// Chain: 0 --pc--> 1 --pc--> 2 (0 is 1's provider, 1 is 2's provider).
+topo::Topology chain3() {
+  topo::Topology t;
+  const auto a = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto b = t.add_as(topo::IsdAsId::make(1, 2), false);
+  const auto c = t.add_as(topo::IsdAsId::make(1, 3), false);
+  t.add_link(a, b, topo::LinkType::kProviderCustomer);
+  t.add_link(b, c, topo::LinkType::kProviderCustomer);
+  return t;
+}
+
+BgpSimConfig quick_bgp_config() {
+  BgpSimConfig config;
+  config.convergence_window = Duration::minutes(10);
+  config.churn_window = Duration::minutes(10);
+  config.flaps_per_adjacency_per_day = 0.0;
+  config.seed = 3;
+  return config;
+}
+
+TEST(BgpSim, ChainConverges) {
+  const topo::Topology t = chain3();
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+  // Everyone reaches everyone in a chain (customer routes go up, provider
+  // routes go down).
+  for (topo::AsIndex a = 0; a < 3; ++a) {
+    for (topo::AsIndex b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const auto best = sim.speaker(a).best(b);
+      ASSERT_TRUE(best.has_value()) << a << " cannot reach " << b;
+      EXPECT_EQ(best->path->back(), b);
+    }
+  }
+}
+
+TEST(BgpSim, ValleyFreePathsOnly) {
+  // Two customers of different providers, providers peer:
+  //   p1 --peer-- p2, p1 -> c1, p2 -> c2. c1 must reach c2 via p1-p2.
+  topo::Topology t;
+  const auto p1 = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto p2 = t.add_as(topo::IsdAsId::make(1, 2), true);
+  const auto c1 = t.add_as(topo::IsdAsId::make(1, 3), false);
+  const auto c2 = t.add_as(topo::IsdAsId::make(1, 4), false);
+  t.add_link(p1, p2, topo::LinkType::kPeer);
+  t.add_link(p1, c1, topo::LinkType::kProviderCustomer);
+  t.add_link(p2, c2, topo::LinkType::kProviderCustomer);
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+
+  const auto route = sim.speaker(c1).best(c2);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route->path, (std::vector<topo::AsIndex>{p1, p2, c2}));
+  // But p1 must NOT reach c2's sibling prefix via a peer-peer-peer valley:
+  // c1's prefix is not exported from p1 to p2 (peer route via customer is
+  // fine — customer routes go everywhere).
+  const auto p2_to_c1 = sim.speaker(p2).best(c1);
+  ASSERT_TRUE(p2_to_c1.has_value());
+  EXPECT_EQ(*p2_to_c1->path, (std::vector<topo::AsIndex>{p1, c1}));
+}
+
+TEST(BgpSim, PeerRoutesNotReExportedToPeers) {
+  // Triangle of peers plus a stub: peer routes must not transit.
+  topo::Topology t;
+  const auto a = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto b = t.add_as(topo::IsdAsId::make(1, 2), true);
+  const auto c = t.add_as(topo::IsdAsId::make(1, 3), true);
+  t.add_link(a, b, topo::LinkType::kPeer);
+  t.add_link(b, c, topo::LinkType::kPeer);
+  // No a-c link: a cannot reach c (b will not re-export a peer route).
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+  EXPECT_FALSE(sim.speaker(a).best(c).has_value());
+  EXPECT_TRUE(sim.speaker(a).best(b).has_value());
+}
+
+TEST(BgpSim, PrefersCustomerRoute) {
+  // dst reachable from src both via a provider and via a customer; the
+  // customer route must win even if longer.
+  topo::Topology t;
+  const auto src = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto prov = t.add_as(topo::IsdAsId::make(1, 2), true);
+  const auto cust = t.add_as(topo::IsdAsId::make(1, 3), false);
+  const auto mid = t.add_as(topo::IsdAsId::make(1, 4), false);
+  const auto dst = t.add_as(topo::IsdAsId::make(1, 5), false);
+  t.add_link(prov, src, topo::LinkType::kProviderCustomer);   // prov -> src
+  t.add_link(src, cust, topo::LinkType::kProviderCustomer);   // src -> cust
+  t.add_link(prov, dst, topo::LinkType::kProviderCustomer);   // short: via prov
+  t.add_link(cust, mid, topo::LinkType::kProviderCustomer);   // long: via cust
+  t.add_link(mid, dst, topo::LinkType::kProviderCustomer);
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+  const auto best = sim.speaker(src).best(dst);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->learned_from, Relationship::kCustomer);
+  EXPECT_EQ(best->path->front(), cust);
+}
+
+TEST(BgpSim, MultipathReturnsEqualBestSet) {
+  // Two disjoint equal-length provider paths to dst.
+  topo::Topology t;
+  const auto src = t.add_as(topo::IsdAsId::make(1, 1), false);
+  const auto m1 = t.add_as(topo::IsdAsId::make(1, 2), true);
+  const auto m2 = t.add_as(topo::IsdAsId::make(1, 3), true);
+  const auto dst = t.add_as(topo::IsdAsId::make(1, 4), false);
+  t.add_link(m1, src, topo::LinkType::kProviderCustomer);
+  t.add_link(m2, src, topo::LinkType::kProviderCustomer);
+  t.add_link(m1, dst, topo::LinkType::kProviderCustomer);
+  t.add_link(m2, dst, topo::LinkType::kProviderCustomer);
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+  EXPECT_EQ(sim.speaker(src).multipath(dst).size(), 2u);
+  const auto link_paths = sim.bgp_link_paths(src, dst);
+  EXPECT_EQ(link_paths.size(), 2u);
+  for (const auto& links : link_paths) EXPECT_EQ(links.size(), 2u);
+}
+
+TEST(BgpSim, LinkPathsIncludeParallelLinks) {
+  topo::Topology t;
+  const auto a = t.add_as(topo::IsdAsId::make(1, 1), true);
+  const auto b = t.add_as(topo::IsdAsId::make(1, 2), false);
+  t.add_link(a, b, topo::LinkType::kProviderCustomer);
+  t.add_link(a, b, topo::LinkType::kProviderCustomer);
+  BgpSim sim{t, quick_bgp_config()};
+  sim.run();
+  const auto paths = sim.bgp_link_paths(a, b);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 2u) << "multipath rides both parallel links";
+}
+
+TEST(BgpSim, SessionFlapWithdrawsAndRecovers) {
+  const topo::Topology t = chain3();
+  BgpSimConfig config = quick_bgp_config();
+  BgpSim sim{t, config};
+  sim.run();
+  ASSERT_TRUE(sim.speaker(0).best(2).has_value());
+
+  // Manually bounce the 1-2 session.
+  auto& sim_ref = sim;
+  const_cast<Speaker&>(sim_ref.speaker(1)).session_down(2);
+  const_cast<Speaker&>(sim_ref.speaker(2)).session_down(1);
+  EXPECT_FALSE(sim.speaker(2).best(0).has_value())
+      << "withdrawal cascades locally at 2";
+  const_cast<Speaker&>(sim_ref.speaker(1)).session_up(2);
+  const_cast<Speaker&>(sim_ref.speaker(2)).session_up(1);
+  sim.simulator().run();
+  EXPECT_TRUE(sim.speaker(2).best(0).has_value());
+  EXPECT_TRUE(sim.speaker(0).best(2).has_value());
+}
+
+TEST(BgpSim, MonitorsAccountPerOrigin) {
+  topo::HierarchyConfig h;
+  h.n_ases = 60;
+  h.n_roots = 4;
+  h.seed = 6;
+  const topo::Topology t = topo::generate_hierarchy(h);
+  BgpSimConfig config = quick_bgp_config();
+  config.flaps_per_adjacency_per_day = 50.0;  // force churn
+  config.churn_window = Duration::minutes(30);
+  BgpSim sim{t, config};
+  const topo::AsIndex monitor = 0;
+  sim.add_monitor(monitor);
+  sim.run();
+  const MonitorAccount& acc = sim.monitor(monitor);
+  EXPECT_GT(acc.raw_messages, 0u) << "churn must reach the monitor";
+  EXPECT_GT(acc.per_origin.size(), 0u);
+
+  const std::vector<std::uint32_t> ones(t.as_count(), 1);
+  const double bgp_bytes = sim.monthly_bgp_bytes(monitor, ones);
+  const double bgpsec_bytes = sim.monthly_bgpsec_bytes(monitor, ones);
+  EXPECT_GT(bgp_bytes, 0.0);
+  EXPECT_GT(bgpsec_bytes, bgp_bytes)
+      << "BGPsec must cost more than BGP at the same monitor";
+}
+
+TEST(BgpSim, PrefixCountsScaleAccounting) {
+  const topo::Topology t = chain3();
+  BgpSimConfig config = quick_bgp_config();
+  config.flaps_per_adjacency_per_day = 200.0;
+  config.churn_window = Duration::hours(1);
+  BgpSim sim{t, config};
+  sim.add_monitor(0);
+  sim.run();
+  const std::vector<std::uint32_t> ones(3, 1);
+  const std::vector<std::uint32_t> tens(3, 10);
+  EXPECT_NEAR(sim.monthly_bgpsec_bytes(0, tens),
+              10.0 * sim.monthly_bgpsec_bytes(0, ones), 1e-6);
+  EXPECT_NEAR(sim.monthly_bgp_bytes(0, tens),
+              10.0 * sim.monthly_bgp_bytes(0, ones), 1e-6);
+  // Per prefix, BGPsec costs roughly an order of magnitude more than BGP
+  // (per-hop signatures, no aggregation) — the Fig. 5 gap.
+  const double ratio =
+      sim.monthly_bgpsec_bytes(0, ones) / sim.monthly_bgp_bytes(0, ones);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+}  // namespace
+}  // namespace scion::bgp

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "experiments/overhead_experiment.hpp"
+#include "experiments/quality_experiment.hpp"
+#include "experiments/scale.hpp"
+#include "experiments/scionlab_experiment.hpp"
+#include "experiments/table1_experiment.hpp"
+
+namespace scion::exp {
+namespace {
+
+Scale tiny_scale() {
+  Scale s;
+  s.internet_ases = 150;
+  s.n_tier1 = 6;
+  s.core_ases = 30;
+  s.core_isds = 3;
+  s.isd_ases = 60;
+  s.isd_cores = 4;
+  s.scionlab_cores = 12;
+  s.monitors = 6;
+  s.sampled_pairs = 30;
+  s.bgp_sampled_origins = 40;
+  s.beaconing_duration = util::Duration::hours(1);
+  s.bgp_churn_window = util::Duration::minutes(20);
+  s.seed = 3;
+  return s;
+}
+
+TEST(Scale, FlagsOverrideDefaults) {
+  const char* argv[] = {"prog", "--core-ases=99", "--monitors=5"};
+  util::Flags flags{3, const_cast<char**>(argv)};
+  const Scale s = Scale::from_flags(flags);
+  EXPECT_EQ(s.core_ases, 99u);
+  EXPECT_EQ(s.monitors, 5u);
+  EXPECT_EQ(s.internet_ases, Scale{}.internet_ases);
+}
+
+TEST(Scale, PaperPresetMatchesPaper) {
+  const char* argv[] = {"prog", "--paper"};
+  util::Flags flags{2, const_cast<char**>(argv)};
+  const Scale s = Scale::from_flags(flags);
+  EXPECT_EQ(s.internet_ases, 12000u);
+  EXPECT_EQ(s.core_ases, 2000u);
+  EXPECT_EQ(s.core_isds, 200u);
+  EXPECT_EQ(s.monitors, 26u);
+}
+
+TEST(Scale, ScaleMultiplierApplies) {
+  const char* argv[] = {"prog", "--scale=0.5"};
+  util::Flags flags{2, const_cast<char**>(argv)};
+  const Scale s = Scale::from_flags(flags);
+  EXPECT_EQ(s.internet_ases, Scale{}.internet_ases / 2);
+}
+
+TEST(Builders, CoreNetworksShareIndices) {
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const CoreNetworks nets = build_core_networks(s, internet);
+  EXPECT_EQ(nets.bgp_view.as_count(), nets.scion_view.as_count());
+  EXPECT_EQ(nets.bgp_view.link_count(), nets.scion_view.link_count());
+  EXPECT_TRUE(nets.scion_view.connected());
+}
+
+TEST(Builders, PrefixCountsHeavyTailed) {
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const auto counts = prefix_counts(internet, 1);
+  ASSERT_EQ(counts.size(), internet.as_count());
+  std::uint32_t max_count = 0;
+  double total = 0;
+  for (const std::uint32_t c : counts) {
+    EXPECT_GE(c, 1u);
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(max_count, 10u * static_cast<std::uint32_t>(
+                                 total / static_cast<double>(counts.size())))
+      << "the tail must dominate the mean";
+}
+
+TEST(Builders, MonitorsMapIntoCoreNetwork) {
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const CoreNetworks nets = build_core_networks(s, internet);
+  const auto monitors = pick_monitors(internet, s.monitors);
+  std::size_t found = 0;
+  for (const topo::AsIndex m : monitors) {
+    if (find_by_as_number(nets.scion_view,
+                          internet.as_id(m).as_number()) !=
+        topo::kInvalidAsIndex) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, monitors.size() - 1)
+      << "high-degree monitors survive the pruning";
+}
+
+TEST(QualityExperiment, SeriesBoundedByOptimum) {
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const CoreNetworks nets = build_core_networks(s, internet);
+  QualityConfig config;
+  config.diversity_storage_limits = {15};
+  config.baseline_storage_limits = {15};
+  config.sampled_pairs = 20;
+  config.sim_duration = util::Duration::hours(1);
+  config.seed = 3;
+  const QualityResult r =
+      run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+
+  ASSERT_EQ(r.series.size(), 3u);  // baseline, diversity, BGP
+  for (const QualitySeries& series : r.series) {
+    ASSERT_EQ(series.values.size(), r.pairs.size());
+    for (std::size_t i = 0; i < series.values.size(); ++i) {
+      EXPECT_LE(series.values[i], r.optimum[i])
+          << series.name << " cannot beat the optimum";
+      EXPECT_GE(series.values[i], 0);
+    }
+    EXPECT_LE(r.fraction_of_optimal(series), 1.0);
+  }
+  for (const int opt : r.optimum) {
+    EXPECT_GE(opt, 1) << "the core network is connected";
+  }
+}
+
+TEST(QualityExperiment, DiversityBeatsBaselineOnAggregate) {
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const CoreNetworks nets = build_core_networks(s, internet);
+  QualityConfig config;
+  config.diversity_storage_limits = {60};
+  config.baseline_storage_limits = {60};
+  config.include_bgp = true;
+  config.sampled_pairs = 30;
+  config.sim_duration = util::Duration::hours(2);
+  config.seed = 5;
+  const QualityResult r =
+      run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+
+  double baseline = 0, diversity = 0, bgp_frac = 0;
+  for (const QualitySeries& series : r.series) {
+    const double f = r.fraction_of_optimal(series);
+    if (series.name.find("Baseline") != std::string::npos) baseline = f;
+    if (series.name.find("Diversity") != std::string::npos) diversity = f;
+    if (series.name.find("BGP") != std::string::npos) bgp_frac = f;
+  }
+  EXPECT_GE(diversity, baseline) << "Fig. 6: diversity at least matches baseline";
+  EXPECT_GT(diversity, bgp_frac) << "Fig. 6: SCION beats BGP multipath";
+}
+
+TEST(ScionLabExperiment, RunsAndMatchesPaperShape) {
+  Scale s = tiny_scale();
+  s.sampled_pairs = 40;
+  const ScionLabResult r = run_scionlab_experiment(s);
+  EXPECT_FALSE(r.quality.series.empty());
+  EXPECT_GT(r.bandwidth.count(), 0u);
+  // Paper: the vast majority of interfaces stay below 4 KB/s.
+  EXPECT_GT(r.fraction_below_4kbps, 0.6);
+}
+
+TEST(Table1Experiment, ProducesAllComponents) {
+  Table1Config config;
+  config.topology.n_isds = 3;
+  config.topology.ases_per_isd = 8;
+  config.sim_duration = util::Duration::minutes(40);
+  const Table1Result r = run_table1_experiment(config);
+  EXPECT_EQ(r.ledger.rows().size(), 7u);
+  EXPECT_GT(r.lookups, 0u);
+}
+
+}  // namespace
+}  // namespace scion::exp

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/grid_search.hpp"
+#include "topology/generator.hpp"
+
+namespace scion::ctrl {
+namespace {
+
+topo::Topology tiny_core() {
+  topo::ScionLabConfig config;
+  config.n_cores = 10;
+  config.extra_edge_fraction = 0.5;
+  config.seed = 4;
+  return topo::generate_scionlab(config);
+}
+
+GridSearchConfig quick_config() {
+  GridSearchConfig config;
+  config.sim_duration = util::Duration::minutes(40);
+  config.sampled_pairs = 15;
+  config.coarse_alpha = {2.0};
+  config.coarse_beta = {1.0, 3.0};
+  config.coarse_gamma = {2.0};
+  config.refine_steps = 1;
+  config.seed = 9;
+  return config;
+}
+
+TEST(GridSearch, EvaluatesCoarsePlusRefinement) {
+  const topo::Topology core = tiny_core();
+  const GridSearchConfig config = quick_config();
+  const GridSearchResult result = grid_search_diversity_params(core, config);
+  // 1x2x1 coarse + 6 refinement points.
+  EXPECT_EQ(result.evaluated.size(), 2u + 6u);
+  EXPECT_GT(result.baseline_bytes, 0u);
+}
+
+TEST(GridSearch, BestIsArgmaxOfObjective) {
+  const topo::Topology core = tiny_core();
+  const GridSearchResult result =
+      grid_search_diversity_params(core, quick_config());
+  for (const EvaluatedPoint& p : result.evaluated) {
+    EXPECT_LE(p.objective, result.best.objective);
+  }
+}
+
+TEST(GridSearch, PointsAreInternallyConsistent) {
+  const topo::Topology core = tiny_core();
+  const GridSearchConfig config = quick_config();
+  const GridSearchResult result = grid_search_diversity_params(core, config);
+  for (const EvaluatedPoint& p : result.evaluated) {
+    EXPECT_GE(p.quality, 0.0);
+    EXPECT_LE(p.quality, 1.0);
+    EXPECT_GE(p.overhead, 0.0);
+    EXPECT_NEAR(p.objective,
+                p.quality - config.overhead_weight * p.overhead, 1e-12);
+  }
+}
+
+TEST(GridSearch, DiversityOverheadBelowBaseline) {
+  const topo::Topology core = tiny_core();
+  const GridSearchResult result =
+      grid_search_diversity_params(core, quick_config());
+  // Every sane parameter point should undercut the baseline's bytes.
+  EXPECT_LT(result.best.overhead, 1.0);
+}
+
+TEST(GridSearch, EvaluateSinglePointMatchesSearchSetup) {
+  const topo::Topology core = tiny_core();
+  GridSearchConfig config = quick_config();
+  DiversityParams params;
+  const EvaluatedPoint a =
+      evaluate_diversity_params(core, params, config, 1000);
+  const EvaluatedPoint b =
+      evaluate_diversity_params(core, params, config, 1000);
+  EXPECT_EQ(a.quality, b.quality) << "evaluation is deterministic";
+  EXPECT_EQ(a.overhead, b.overhead);
+}
+
+}  // namespace
+}  // namespace scion::ctrl

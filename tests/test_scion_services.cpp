@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include "scion/dataplane.hpp"
+#include "scion/path_combiner.hpp"
+#include "scion/path_server.hpp"
+#include "scion/scmp.hpp"
+#include "scion/segment.hpp"
+
+namespace scion::svc {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+constexpr std::uint64_t kDomain = crypto::kDefaultKeyDomainSeed;
+
+/// Two-ISD world:
+///   C1(0) --core-- C2(1)                                    link 0
+///   C1 -> A(2) -> S(3)   (ISD 1 customer chain)             links 1, 2
+///   C1 -> B(4) -> S      (second up path for S)             links 3, 4
+///   A  -> S2(5)          (sibling leaf for shortcut)        link 5
+///   C2 -> D(6) -> T(7)   (ISD 2 customer chain)             links 6, 7
+///   A --peer-- D         (inter-ISD peering)                link 8
+struct WorldFixture : ::testing::Test {
+  topo::Topology t;
+  crypto::KeyStore keys{kDomain};
+  TimePoint t0 = TimePoint::origin();
+  Duration lifetime = Duration::hours(6);
+
+  topo::AsIndex c1, c2, a, s, b, s2, d, tt;
+
+  void SetUp() override {
+    c1 = t.add_as(topo::IsdAsId::make(1, 1), true);
+    c2 = t.add_as(topo::IsdAsId::make(2, 2), true);
+    a = t.add_as(topo::IsdAsId::make(1, 3), false);
+    s = t.add_as(topo::IsdAsId::make(1, 4), false);
+    b = t.add_as(topo::IsdAsId::make(1, 5), false);
+    s2 = t.add_as(topo::IsdAsId::make(1, 6), false);
+    d = t.add_as(topo::IsdAsId::make(2, 7), false);
+    tt = t.add_as(topo::IsdAsId::make(2, 8), false);
+    t.add_link(c1, c2, topo::LinkType::kCore);              // 0
+    t.add_link(c1, a, topo::LinkType::kProviderCustomer);   // 1
+    t.add_link(a, s, topo::LinkType::kProviderCustomer);    // 2
+    t.add_link(c1, b, topo::LinkType::kProviderCustomer);   // 3
+    t.add_link(b, s, topo::LinkType::kProviderCustomer);    // 4
+    t.add_link(a, s2, topo::LinkType::kProviderCustomer);   // 5
+    t.add_link(c2, d, topo::LinkType::kProviderCustomer);   // 6
+    t.add_link(d, tt, topo::LinkType::kProviderCustomer);   // 7
+    t.add_link(a, d, topo::LinkType::kPeer);                // 8
+  }
+
+  crypto::SigningKey sk(topo::AsIndex as) {
+    return keys.key_for(t.as_id(as).value());
+  }
+  crypto::ForwardingKey fk(topo::AsIndex as) {
+    return crypto::ForwardingKey::derive(t.as_id(as).value(), kDomain);
+  }
+
+  /// Peer entries an AS advertises (all its peering links).
+  std::vector<ctrl::PeerEntry> peers_of(topo::AsIndex as) {
+    std::vector<ctrl::PeerEntry> out;
+    for (topo::LinkIndex l : t.links_of_type(as, topo::LinkType::kPeer)) {
+      ctrl::PeerEntry p;
+      p.peer_as = t.as_id(t.neighbor(l, as));
+      p.peer_if = t.interface_of(l, as);
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Builds a terminated segment along `ases` over `links` (PCB direction:
+  /// origin first), with every intermediate AS advertising its peers.
+  PathSegment build_segment(SegmentType type,
+                            std::vector<topo::AsIndex> ases,
+                            std::vector<topo::LinkIndex> links) {
+    ctrl::Pcb pcb = ctrl::Pcb::originate(
+        t.as_id(ases[0]), t.interface_of(links[0], ases[0]), t0, lifetime,
+        sk(ases[0]), fk(ases[0]));
+    for (std::size_t i = 1; i + 1 < ases.size(); ++i) {
+      pcb = pcb.extend_signed(t.as_id(ases[i]),
+                              t.interface_of(links[i - 1], ases[i]),
+                              t.interface_of(links[i], ases[i]),
+                              peers_of(ases[i]), sk(ases[i]), fk(ases[i]));
+    }
+    ctrl::StoredPcb stored;
+    stored.pcb = std::make_shared<const ctrl::Pcb>(std::move(pcb));
+    stored.links = links;
+    stored.received_at = t0;
+    stored.path_key = stored.pcb->path_key();
+    return make_segment(t, stored, ases.back(), type, sk(ases.back()),
+                        fk(ases.back()), /*include_peers=*/true);
+  }
+
+  PathSegment up_via_a() {
+    return build_segment(SegmentType::kUp, {c1, a, s}, {1, 2});
+  }
+  PathSegment up_via_b() {
+    return build_segment(SegmentType::kUp, {c1, b, s}, {3, 4});
+  }
+  PathSegment core_c1_c2() {
+    // Core segment stored at C1 with origin C2.
+    return build_segment(SegmentType::kCore, {c2, c1}, {0});
+  }
+  PathSegment down_to_t() {
+    return build_segment(SegmentType::kDown, {c2, d, tt}, {6, 7});
+  }
+  PathSegment down_to_s2() {
+    return build_segment(SegmentType::kDown, {c1, a, s2}, {1, 5});
+  }
+};
+
+// --- Segments ---------------------------------------------------------------------
+
+TEST_F(WorldFixture, MakeSegmentTerminatesWithOwnerEntry) {
+  const PathSegment seg = up_via_a();
+  EXPECT_EQ(seg.ases, (std::vector<topo::AsIndex>{c1, a, s}));
+  EXPECT_EQ(seg.links, (std::vector<topo::LinkIndex>{1, 2}));
+  EXPECT_EQ(seg.origin_as(), c1);
+  EXPECT_EQ(seg.terminal_as(), s);
+  EXPECT_EQ(seg.length(), 2u);
+  ASSERT_EQ(seg.pcb->entries().size(), 3u);
+  EXPECT_EQ(seg.pcb->entries().back().out_if, topo::kNoInterface);
+  EXPECT_TRUE(seg.pcb->verify(keys));
+}
+
+TEST_F(WorldFixture, SegmentWireSizeGrowsWithTermination) {
+  const PathSegment seg = up_via_a();
+  EXPECT_GT(seg.wire_size(),
+            ctrl::kPcbHeaderBytes + 2 * (ctrl::kAsEntryFixedBytes +
+                                         crypto::kSignatureBytes));
+}
+
+// --- Combination -------------------------------------------------------------------
+
+TEST_F(WorldFixture, CombinesUpCoreDown) {
+  const auto up = std::vector{up_via_a()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  const auto paths = combine_segments(t, s, tt, up, core, down);
+  ASSERT_EQ(paths.size(), 2u) << "full core path + peering shortcut";
+
+  // Shortest is the peering shortcut S-A-D-T.
+  EXPECT_EQ(paths[0].kind, EndToEndPath::Kind::kPeering);
+  EXPECT_EQ(paths[0].ases, (std::vector<topo::AsIndex>{s, a, d, tt}));
+  EXPECT_EQ(paths[0].links, (std::vector<topo::LinkIndex>{2, 8, 7}));
+
+  EXPECT_EQ(paths[1].kind, EndToEndPath::Kind::kUpCoreDown);
+  EXPECT_EQ(paths[1].ases, (std::vector<topo::AsIndex>{s, a, c1, c2, d, tt}));
+  EXPECT_EQ(paths[1].links, (std::vector<topo::LinkIndex>{2, 1, 0, 6, 7}));
+}
+
+TEST_F(WorldFixture, PeeringRequiresBothSidesAdvertising) {
+  const auto up = std::vector{up_via_a()};
+  const auto core = std::vector{core_c1_c2()};
+  // Down segment built WITHOUT peer entries at D.
+  ctrl::Pcb pcb = ctrl::Pcb::originate(t.as_id(c2), t.interface_of(6, c2), t0,
+                                       lifetime, sk(c2), fk(c2));
+  pcb = pcb.extend_signed(t.as_id(d), t.interface_of(6, d),
+                          t.interface_of(7, d), {}, sk(d), fk(d));
+  ctrl::StoredPcb stored;
+  stored.pcb = std::make_shared<const ctrl::Pcb>(std::move(pcb));
+  stored.links = {6, 7};
+  stored.received_at = t0;
+  stored.path_key = stored.pcb->path_key();
+  const PathSegment no_peer_down = make_segment(
+      t, stored, tt, SegmentType::kDown, sk(tt), fk(tt), false);
+
+  const auto paths =
+      combine_segments(t, s, tt, up, core, std::vector{no_peer_down});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].kind, EndToEndPath::Kind::kUpCoreDown);
+}
+
+TEST_F(WorldFixture, CombinesUpDownAtSameCore) {
+  const auto up = std::vector{up_via_b()};
+  const auto down = std::vector{down_to_s2()};
+  const auto paths = combine_segments(t, s, s2, up, {}, down);
+  ASSERT_FALSE(paths.empty());
+  bool found_updown = false;
+  for (const auto& p : paths) {
+    if (p.kind == EndToEndPath::Kind::kUpDown) {
+      found_updown = true;
+      EXPECT_EQ(p.ases, (std::vector<topo::AsIndex>{s, b, c1, a, s2}));
+    }
+  }
+  EXPECT_TRUE(found_updown);
+}
+
+TEST_F(WorldFixture, ShortcutCrossoverAtSharedAs) {
+  const auto up = std::vector{up_via_a()};
+  const auto down = std::vector{down_to_s2()};
+  const auto paths = combine_segments(t, s, s2, up, {}, down);
+  ASSERT_FALSE(paths.empty());
+  // Shortest must be the shortcut S-A-S2, never touching C1.
+  EXPECT_EQ(paths[0].kind, EndToEndPath::Kind::kShortcut);
+  EXPECT_EQ(paths[0].ases, (std::vector<topo::AsIndex>{s, a, s2}));
+  EXPECT_EQ(paths[0].links, (std::vector<topo::LinkIndex>{2, 5}));
+}
+
+TEST_F(WorldFixture, MultipleUpSegmentsMultiplyPaths) {
+  const auto up = std::vector{up_via_a(), up_via_b()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  const auto paths = combine_segments(t, s, tt, up, core, down);
+  // via A (core), via B (core), peering via A.
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST_F(WorldFixture, MaxPathsCaps) {
+  const auto up = std::vector{up_via_a(), up_via_b()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  CombineOptions options;
+  options.max_paths = 1;
+  const auto paths = combine_segments(t, s, tt, up, core, down, options);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST_F(WorldFixture, MismatchedSegmentsYieldNothing) {
+  // Up terminates at s, but we ask for paths from s2.
+  const auto up = std::vector{up_via_a()};
+  const auto down = std::vector{down_to_t()};
+  EXPECT_TRUE(combine_segments(t, s2, tt, up, {}, down).empty());
+}
+
+// --- Data plane -------------------------------------------------------------------
+
+TEST_F(WorldFixture, DataPlaneVerifiesCombinedPaths) {
+  const auto up = std::vector{up_via_a()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  const auto paths = combine_segments(t, s, tt, up, core, down);
+  DataPlane dp{t, kDomain};
+  for (const auto& p : paths) {
+    std::string error;
+    EXPECT_TRUE(dp.verify(p, &error)) << to_string(p.kind) << ": " << error;
+    EXPECT_TRUE(dp.valid_at(p, t0 + Duration::hours(1)));
+    EXPECT_FALSE(dp.valid_at(p, t0 + lifetime));
+    const ForwardResult result = dp.forward(p);
+    EXPECT_TRUE(result.delivered) << result.error;
+    EXPECT_EQ(result.links_traversed, p.links.size());
+  }
+}
+
+TEST_F(WorldFixture, DataPlaneRejectsForeignKeyDomain) {
+  const auto up = std::vector{up_via_a()};
+  const auto down = std::vector{down_to_s2()};
+  const auto paths = combine_segments(t, s, s2, up, {}, down);
+  ASSERT_FALSE(paths.empty());
+  DataPlane dp{t, kDomain + 1};
+  std::string error;
+  EXPECT_FALSE(dp.verify(paths[0], &error));
+  EXPECT_NE(error.find("MAC"), std::string::npos);
+}
+
+TEST_F(WorldFixture, ForwardStopsAtDownLink) {
+  const auto up = std::vector{up_via_a()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  const auto paths = combine_segments(t, s, tt, up, core, down);
+  DataPlane dp{t, kDomain};
+  const EndToEndPath& p = paths[1];  // the core path (links 2,1,0,6,7)
+  const ForwardResult result =
+      dp.forward(p, [](topo::LinkIndex l) { return l != 0; });
+  EXPECT_FALSE(result.delivered);
+  ASSERT_TRUE(result.failed_link.has_value());
+  EXPECT_EQ(*result.failed_link, 0u);
+  EXPECT_EQ(result.links_traversed, 2u);
+}
+
+TEST_F(WorldFixture, PacketHeaderBytesScaleWithSegments) {
+  const auto up = std::vector{up_via_a()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  const auto paths = combine_segments(t, s, tt, up, core, down);
+  const auto& peering = paths[0];
+  const auto& full = paths[1];
+  EXPECT_GT(packet_header_bytes(full), packet_header_bytes(peering));
+}
+
+// --- Path server -------------------------------------------------------------------
+
+TEST_F(WorldFixture, PathServerRegistersAndLooksUp) {
+  PathServer ps{4};
+  ps.register_down_segment(down_to_t());
+  const auto segs = ps.down_segments(tt, t0 + Duration::hours(1));
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].terminal_as(), tt);
+  EXPECT_TRUE(ps.down_segments(s, t0).empty());
+  EXPECT_TRUE(ps.down_segments(tt, t0 + lifetime).empty())
+      << "expired segments are filtered";
+}
+
+TEST_F(WorldFixture, PathServerDedupesByPathKey) {
+  PathServer ps{4};
+  ps.register_down_segment(down_to_t());
+  ps.register_down_segment(down_to_t());
+  EXPECT_EQ(ps.down_segments(tt, t0).size(), 1u);
+}
+
+TEST_F(WorldFixture, PathServerRevocationDropsAffected) {
+  PathServer ps{4};
+  ps.register_down_segment(down_to_t());   // uses links 6, 7
+  ps.register_down_segment(down_to_s2());  // uses links 1, 5
+  EXPECT_EQ(ps.revoke_link(7), 1u);
+  EXPECT_TRUE(ps.down_segments(tt, t0).empty());
+  EXPECT_EQ(ps.down_segments(s2, t0).size(), 1u);
+}
+
+TEST_F(WorldFixture, PathServerCacheTtl) {
+  PathServer ps{4};
+  ps.cache_put(tt, {down_to_t()}, t0, Duration::minutes(30));
+  EXPECT_TRUE(ps.cache_get(tt, t0 + Duration::minutes(29)).has_value());
+  EXPECT_FALSE(ps.cache_get(tt, t0 + Duration::minutes(31)).has_value());
+  EXPECT_EQ(ps.stats().cache_hits, 1u);
+  EXPECT_EQ(ps.stats().cache_misses, 1u);
+}
+
+TEST_F(WorldFixture, RegistrationBytesCoverSegments) {
+  const std::vector<PathSegment> segs{down_to_t(), down_to_s2()};
+  EXPECT_EQ(registration_bytes(segs), kRegistrationHeaderBytes + 4 +
+                                          segs[0].wire_size() + 4 +
+                                          segs[1].wire_size());
+}
+
+// --- SCMP / failover ----------------------------------------------------------------
+
+TEST_F(WorldFixture, PathManagerFailsOverAndRecovers) {
+  const auto up = std::vector{up_via_a(), up_via_b()};
+  const auto core = std::vector{core_c1_c2()};
+  const auto down = std::vector{down_to_t()};
+  PathManager manager;
+  manager.set_paths(combine_segments(t, s, tt, up, core, down));
+  ASSERT_EQ(manager.total_paths(), 3u);
+  const EndToEndPath* active = manager.active();
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->kind, EndToEndPath::Kind::kPeering);
+
+  // Kill the peering link: fail over to a core path.
+  EXPECT_TRUE(manager.notify_revocation(8));
+  EXPECT_EQ(manager.active()->kind, EndToEndPath::Kind::kUpCoreDown);
+  EXPECT_EQ(manager.failovers(), 1u);
+  EXPECT_EQ(manager.usable_paths(), 2u);
+
+  // Kill link 2 (S-A): the up-via-b path survives.
+  EXPECT_TRUE(manager.notify_revocation(2));
+  EXPECT_EQ(manager.active()->up->links, (std::vector<topo::LinkIndex>{3, 4}));
+
+  // Kill the core link: everything remaining dies.
+  EXPECT_FALSE(manager.notify_revocation(0));
+  EXPECT_EQ(manager.active(), nullptr);
+
+  // Restoration brings connectivity back.
+  manager.notify_restored(0);
+  EXPECT_NE(manager.active(), nullptr);
+}
+
+TEST_F(WorldFixture, RevocationOfUnusedLinkIsNoop) {
+  const auto up = std::vector{up_via_a()};
+  const auto down = std::vector{down_to_s2()};
+  PathManager manager;
+  manager.set_paths(combine_segments(t, s, s2, up, {}, down));
+  const std::size_t before = manager.usable_paths();
+  EXPECT_TRUE(manager.notify_revocation(0));  // core link not on any path
+  EXPECT_EQ(manager.usable_paths(), before);
+  EXPECT_EQ(manager.failovers(), 0u);
+}
+
+TEST(Revocation, ActiveWindow) {
+  Revocation rev;
+  rev.link = 3;
+  rev.issued = TimePoint::origin() + Duration::seconds(100);
+  rev.validity = Duration::seconds(10);
+  EXPECT_FALSE(rev.active_at(TimePoint::origin()));
+  EXPECT_TRUE(rev.active_at(rev.issued + Duration::seconds(5)));
+  EXPECT_FALSE(rev.active_at(rev.issued + Duration::seconds(10)));
+}
+
+}  // namespace
+}  // namespace scion::svc

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/simulator.hpp"
+
+namespace scion::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_ns(30), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::from_ns(10), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::from_ns(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(TimePoint::from_ns(100), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(Duration::seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + Duration::seconds(5));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    ++fired;
+    sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(2));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(10), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_periodic(TimePoint::origin() + Duration::seconds(1),
+                        Duration::seconds(2), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(10));
+  // Fires at t = 1, 3, 5, 7, 9.
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, PeriodicCancelStopsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  const std::uint64_t id = sim.schedule_periodic(
+      TimePoint::origin() + Duration::seconds(1), Duration::seconds(1),
+      [&] { ++fired; });
+  sim.schedule_at(TimePoint::origin() + Duration::milliseconds(3500),
+                  [&] { sim.cancel_periodic(id); });
+  sim.run_until(TimePoint::origin() + Duration::seconds(10));
+  EXPECT_EQ(fired, 3);  // t = 1, 2, 3
+}
+
+TEST(Network, DeliversAfterLatency) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(10));
+
+  TimePoint delivered;
+  std::string payload;
+  net.set_handler(b, [&](const Message& msg) {
+    delivered = sim.now();
+    payload = std::any_cast<std::string>(msg.payload);
+    EXPECT_EQ(msg.from, a);
+    EXPECT_EQ(msg.to, b);
+    EXPECT_EQ(msg.channel, ch);
+    EXPECT_EQ(msg.bytes, 100u);
+  });
+  net.send(ch, a, 100, std::string{"hello"});
+  sim.run();
+  EXPECT_EQ(delivered, TimePoint::origin() + Duration::milliseconds(10));
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(Network, CountsBytesPerDirection) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  net.send(ch, a, 100, 0);
+  net.send(ch, a, 50, 0);
+  net.send(ch, b, 7, 0);
+  sim.run();
+  EXPECT_EQ(net.stats_from(ch, a).bytes, 150u);
+  EXPECT_EQ(net.stats_from(ch, a).messages, 2u);
+  EXPECT_EQ(net.stats_from(ch, b).bytes, 7u);
+  EXPECT_EQ(net.total_bytes(ch), 157u);
+  EXPECT_EQ(net.total_bytes_all(), 157u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_bytes_all(), 0u);
+}
+
+TEST(Network, DownChannelDropsSilently) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+
+  net.set_channel_up(ch, false);
+  net.send(ch, a, 10, 0);
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.total_bytes(ch), 0u) << "down links carry no bytes";
+
+  net.set_channel_up(ch, true);
+  net.send(ch, a, 10, 0);
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, MessageInFlightDroppedIfChannelFails) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(10));
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+  net.send(ch, a, 10, 0);
+  sim.schedule_after(Duration::milliseconds(5),
+                     [&] { net.set_channel_up(ch, false); });
+  sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, ParallelChannelsBetweenSamePair) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch1 = net.add_channel(a, b, Duration::milliseconds(1));
+  const ChannelId ch2 = net.add_channel(a, b, Duration::milliseconds(2));
+  EXPECT_NE(ch1, ch2);
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+  net.send(ch1, a, 1, 0);
+  net.send(ch2, a, 1, 0);
+  sim.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(net.peer(ch1, a), b);
+  EXPECT_EQ(net.peer(ch2, b), a);
+}
+
+}  // namespace
+}  // namespace scion::sim

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Runs every bench binary, headline figures first, capturing combined output.
+# Usage: tools/run_benches.sh [output-file]
+out="${1:-bench_output.txt}"
+: > "$out"
+ordered="bench_table1_overhead_scope bench_fig5_overhead bench_fig6a_resilience bench_fig6b_capacity bench_fig7_scionlab_resilience bench_fig8_scionlab_capacity bench_fig9_scionlab_bandwidth bench_micro bench_ablation_scoring bench_ablation_sweeps bench_ext_latency"
+for name in $ordered; do
+  b="build/bench/$name"
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "=== $b ===" >> "$out"
+    "$b" >> "$out" 2>&1
+    echo >> "$out"
+  fi
+done
+# Catch any bench not in the explicit list.
+for b in build/bench/*; do
+  case " $ordered " in
+    *" $(basename "$b") "*) continue ;;
+  esac
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "=== $b ===" >> "$out"
+    "$b" >> "$out" 2>&1
+    echo >> "$out"
+  fi
+done
+echo "bench suite complete: $out"

@@ -1,0 +1,202 @@
+// scion-mpr — command-line front end to the library.
+//
+//   scion-mpr gen      --kind=internet|core|isd|scionlab|multi-isd [--out=FILE]
+//   scion-mpr beacon   --topology=FILE [--algorithm=baseline|diversity]
+//                      [--hours=N] [--warmup-hours=N]
+//   scion-mpr quality  --topology=FILE [--pairs=N] [--hours=N]
+//   scion-mpr table1   [--isds=N] [--isd-size=N] [--minutes=N]
+//
+// Topologies are the plain-text format of topology/io.hpp, so generated
+// networks can be inspected, edited, and replayed.
+#include <fstream>
+#include <iostream>
+
+#include "analysis/path_quality.hpp"
+#include "core/beaconing_sim.hpp"
+#include "experiments/scale.hpp"
+#include "experiments/table1_experiment.hpp"
+#include "topology/io.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+using namespace scion;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: scion-mpr <gen|beacon|quality|table1> [--key=value ...]\n"
+      "  gen      --kind=internet|core|isd|scionlab|multi-isd [--ases=N]\n"
+      "           [--seed=N] [--out=FILE]\n"
+      "  beacon   --topology=FILE [--algorithm=baseline|diversity]\n"
+      "           [--hours=N] [--warmup-hours=N] [--storage=N] [--limit=N]\n"
+      "  quality  --topology=FILE [--pairs=N] [--hours=N]\n"
+      "  table1   [--isds=N] [--isd-size=N] [--minutes=N]\n";
+  return 2;
+}
+
+topo::Topology load_topology(const util::Flags& flags) {
+  const std::string path = flags.get("topology", "");
+  if (path.empty()) throw std::runtime_error("--topology=FILE is required");
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return topo::read_topology(in);
+}
+
+int cmd_gen(const util::Flags& flags) {
+  const std::string kind = flags.get("kind", "multi-isd");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  topo::Topology topology;
+  if (kind == "internet") {
+    topo::HierarchyConfig config;
+    config.n_ases = static_cast<std::size_t>(flags.get_int("ases", 800));
+    config.seed = seed;
+    topology = topo::generate_hierarchy(config);
+  } else if (kind == "core") {
+    topo::HierarchyConfig config;
+    config.n_ases = static_cast<std::size_t>(flags.get_int("ases", 800));
+    config.seed = seed;
+    topology = topo::with_all_core_links(topo::make_core_network(
+        topo::generate_hierarchy(config),
+        static_cast<std::size_t>(flags.get_int("cores", 64)),
+        static_cast<std::size_t>(flags.get_int("isds", 8))));
+  } else if (kind == "isd") {
+    topo::IsdConfig config;
+    config.n_ases = static_cast<std::size_t>(flags.get_int("ases", 300));
+    config.n_cores = static_cast<std::size_t>(flags.get_int("cores", 11));
+    config.seed = seed;
+    topology = topo::generate_isd(config);
+  } else if (kind == "scionlab") {
+    topo::ScionLabConfig config;
+    config.n_cores = static_cast<std::size_t>(flags.get_int("cores", 21));
+    config.seed = seed;
+    topology = topo::generate_scionlab(config);
+  } else if (kind == "multi-isd") {
+    topo::MultiIsdConfig config;
+    config.n_isds = static_cast<std::size_t>(flags.get_int("isds", 3));
+    config.ases_per_isd =
+        static_cast<std::size_t>(flags.get_int("isd-size", 12));
+    config.seed = seed;
+    topology = topo::generate_multi_isd(config);
+  } else {
+    std::cerr << "unknown --kind=" << kind << "\n";
+    return usage();
+  }
+
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    topo::write_topology(std::cout, topology);
+  } else {
+    std::ofstream file{out};
+    if (!file) throw std::runtime_error("cannot write " + out);
+    topo::write_topology(file, topology);
+    std::cout << "wrote " << topology.as_count() << " ASes, "
+              << topology.link_count() << " links to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_beacon(const util::Flags& flags) {
+  const topo::Topology topology = load_topology(flags);
+  ctrl::BeaconingSimConfig config;
+  const std::string algorithm = flags.get("algorithm", "diversity");
+  config.server.algorithm = algorithm == "baseline"
+                                ? ctrl::AlgorithmKind::kBaseline
+                                : ctrl::AlgorithmKind::kDiversity;
+  if (config.server.algorithm == ctrl::AlgorithmKind::kDiversity) {
+    config.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+  }
+  config.server.storage_limit =
+      static_cast<std::size_t>(flags.get_int("storage", 60));
+  config.server.dissemination_limit =
+      static_cast<std::size_t>(flags.get_int("limit", 5));
+  config.server.compute_crypto = flags.get_bool("crypto", false);
+  config.sim_duration = util::Duration::hours(flags.get_int("hours", 3));
+  config.warmup = util::Duration::hours(flags.get_int("warmup-hours", 0));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  ctrl::BeaconingSim sim{topology, config};
+  sim.run();
+  const auto agg = sim.aggregate_stats();
+  std::cout << "algorithm: " << to_string(config.server.algorithm) << "\n"
+            << "simulated: " << config.sim_duration.to_string()
+            << " (warm-up " << config.warmup.to_string() << ")\n"
+            << "PCBs sent: " << agg.pcbs_sent << " ("
+            << agg.pcbs_originated << " originations)\n"
+            << "bytes on the wire: " << sim.total_bytes() << "\n";
+  util::EmpiricalCdf per_interface;
+  for (const ctrl::InterfaceUsage& usage : sim.interface_usage()) {
+    per_interface.add(static_cast<double>(usage.bytes) /
+                      config.sim_duration.as_seconds());
+  }
+  std::cout << "per-interface B/s: " << per_interface.summary() << "\n";
+  return 0;
+}
+
+int cmd_quality(const util::Flags& flags) {
+  const topo::Topology topology = load_topology(flags);
+  const auto pairs = static_cast<std::size_t>(flags.get_int("pairs", 100));
+  const auto hours = flags.get_int("hours", 2);
+
+  analysis::QualityEvaluator evaluator{topology};
+  std::cout << "algorithm     capacity/optimal   bytes\n";
+  for (const auto algorithm :
+       {ctrl::AlgorithmKind::kBaseline, ctrl::AlgorithmKind::kDiversity}) {
+    ctrl::BeaconingSimConfig config;
+    config.server.algorithm = algorithm;
+    config.server.compute_crypto = false;
+    if (algorithm == ctrl::AlgorithmKind::kDiversity) {
+      config.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+    }
+    config.sim_duration = util::Duration::hours(hours);
+    ctrl::BeaconingSim sim{topology, config};
+    sim.run();
+
+    util::Rng rng{9};
+    double achieved = 0, optimal = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const auto a = static_cast<topo::AsIndex>(rng.index(topology.as_count()));
+      const auto b = static_cast<topo::AsIndex>(rng.index(topology.as_count()));
+      if (a == b) continue;
+      auto paths = sim.paths_at(a, topology.as_id(b));
+      auto reverse = sim.paths_at(b, topology.as_id(a));
+      paths.insert(paths.end(), reverse.begin(), reverse.end());
+      achieved += evaluator.of_paths(paths, a, b);
+      optimal += evaluator.optimal(a, b);
+    }
+    std::printf("%-13s %16.3f %9llu\n", to_string(algorithm),
+                optimal > 0 ? achieved / optimal : 0.0,
+                static_cast<unsigned long long>(sim.total_bytes()));
+  }
+  return 0;
+}
+
+int cmd_table1(const util::Flags& flags) {
+  exp::Table1Config config;
+  config.topology.n_isds =
+      static_cast<std::size_t>(flags.get_int("isds", 4));
+  config.topology.ases_per_isd =
+      static_cast<std::size_t>(flags.get_int("isd-size", 16));
+  config.sim_duration = util::Duration::minutes(flags.get_int("minutes", 60));
+  const exp::Table1Result result = exp::run_table1_experiment(config);
+  exp::print_table1(result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Flags flags{argc, argv};
+  try {
+    if (command == "gen") return cmd_gen(flags);
+    if (command == "beacon") return cmd_beacon(flags);
+    if (command == "quality") return cmd_quality(flags);
+    if (command == "table1") return cmd_table1(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
