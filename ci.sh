@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: configure and build the asan-ubsan preset (ASan + UBSan,
+# SCION_MPR_CHECKED=ON, -Werror), run the full test suite under the
+# sanitizers, and lint the simulator sources with simlint. Any sanitizer
+# report, failed test, warning, or determinism hazard fails the script.
+#
+# Usage: ./ci.sh [preset]   (default: asan-ubsan; try `tsan` or `checked`)
+set -eu
+
+preset="${1:-asan-ubsan}"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset"
+
+case "$preset" in
+  asan-ubsan) build_dir="build-asan" ;;
+  tsan) build_dir="build-tsan" ;;
+  checked) build_dir="build-checked" ;;
+  *) build_dir="build" ;;
+esac
+"$build_dir/tools/simlint" src
+
+echo "ci: $preset build, tests, and simlint all green"

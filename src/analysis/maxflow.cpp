@@ -1,7 +1,8 @@
 #include "analysis/maxflow.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <unordered_set>
 
@@ -10,7 +11,8 @@ namespace scion::analysis {
 FlowGraph::FlowGraph(std::size_t n_nodes) : graph_(n_nodes) {}
 
 void FlowGraph::add_undirected_unit_edge(std::uint32_t u, std::uint32_t v) {
-  assert(u < graph_.size() && v < graph_.size() && u != v);
+  SCION_CHECK(u < graph_.size() && v < graph_.size() && u != v,
+              "edge endpoints must be distinct existing nodes");
   // An undirected unit edge is the arc pair (u->v, v->u) with capacity 1
   // each, where each arc doubles as the other's residual.
   graph_[u].push_back(static_cast<std::uint32_t>(edges_.size()));
@@ -20,7 +22,8 @@ void FlowGraph::add_undirected_unit_edge(std::uint32_t u, std::uint32_t v) {
 }
 
 void FlowGraph::add_directed_unit_edge(std::uint32_t u, std::uint32_t v) {
-  assert(u < graph_.size() && v < graph_.size() && u != v);
+  SCION_CHECK(u < graph_.size() && v < graph_.size() && u != v,
+              "edge endpoints must be distinct existing nodes");
   graph_[u].push_back(static_cast<std::uint32_t>(edges_.size()));
   edges_.push_back(Edge{v, 1, 1});
   graph_[v].push_back(static_cast<std::uint32_t>(edges_.size()));
@@ -67,7 +70,7 @@ int FlowGraph::dfs(std::uint32_t u, std::uint32_t t, int pushed) {
 }
 
 int FlowGraph::max_flow(std::uint32_t s, std::uint32_t t) {
-  assert(s < graph_.size() && t < graph_.size());
+  SCION_CHECK(s < graph_.size() && t < graph_.size(), "terminal out of range");
   if (s == t) return 0;
   reset_capacities();
   int flow = 0;

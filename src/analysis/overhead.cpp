@@ -1,6 +1,7 @@
 #include "analysis/overhead.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 #include <cstdio>
 
 namespace scion::analysis {
@@ -55,7 +56,7 @@ Scope OverheadLedger::Row::scope() const {
 
 Frequency OverheadLedger::Row::frequency(util::Duration window,
                                          std::uint64_t participants) const {
-  assert(window > util::Duration::zero());
+  SCION_CHECK(window > util::Duration::zero(), "measurement window must be positive");
   if (participants == 0) participants = 1;
   const double per_participant_per_hour =
       static_cast<double>(operations) / static_cast<double>(participants) /
@@ -95,7 +96,7 @@ void OverheadLedger::print(const std::string& title, util::Duration window,
 }
 
 double extrapolate_to_month(std::uint64_t bytes, util::Duration window) {
-  assert(window > util::Duration::zero());
+  SCION_CHECK(window > util::Duration::zero(), "measurement window must be positive");
   const double month_hours = 30.0 * 24.0;
   return static_cast<double>(bytes) * (month_hours / window.as_hours());
 }

@@ -1,7 +1,8 @@
 #include "bgp/bgp_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace scion::bgp {
 
@@ -49,7 +50,7 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
     }
     auto send = [this, i](topo::AsIndex neighbor, const BgpUpdateMsg& msg) {
       const auto it = channel_by_pair_.find(pair_key(i, neighbor));
-      assert(it != channel_by_pair_.end());
+      SCION_CHECK(it != channel_by_pair_.end(), "no channel for adjacency");
       net_.send(it->second, i, update_wire_size(msg), msg);
     };
     auto schedule = [this](util::Duration delay, std::function<void()> fn) {
@@ -77,7 +78,7 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
 }
 
 void BgpSim::add_monitor(topo::AsIndex as) {
-  assert(!ran_);
+  SCION_CHECK(!ran_, "monitors must be registered before run()");
   monitors_.try_emplace(as);
 }
 
@@ -152,7 +153,7 @@ void BgpSim::schedule_next_flap() {
 }
 
 void BgpSim::run() {
-  assert(!ran_);
+  SCION_CHECK(!ran_, "BgpSim::run is single-shot");
   ran_ = true;
 
   // Cold start: every origin announces its prefix, staggered over a few

@@ -9,6 +9,7 @@
 // the paper extrapolates SimBGP results with RouteViews prefix counts.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -48,7 +49,11 @@ struct MonitorAccount {
     std::uint64_t path_len_sum{0};
     double fixed_share_sum{0.0};
   };
-  std::unordered_map<Prefix, PerOrigin> per_origin;
+  /// Ordered: monthly_bgp_bytes()/monthly_bgpsec_bytes() accumulate
+  /// doubles over this map, and float addition is not associative — an
+  /// unordered container would make the reported bytes depend on hash
+  /// iteration order.
+  std::map<Prefix, PerOrigin> per_origin;
   std::uint64_t raw_messages{0};
   std::uint64_t raw_bytes{0};
 };

@@ -1,6 +1,7 @@
 #include "bgp/policy.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace scion::bgp {
 
@@ -19,7 +20,7 @@ const char* to_string(Relationship r) {
 Relationship classify(const topo::Topology& topo, topo::LinkIndex link,
                       topo::AsIndex self) {
   const topo::Link& l = topo.link(link);
-  assert(l.a == self || l.b == self);
+  SCION_CHECK(l.a == self || l.b == self, "AS is not a link endpoint");
   switch (l.type) {
     case topo::LinkType::kProviderCustomer:
       return l.a == self ? Relationship::kCustomer : Relationship::kProvider;

@@ -1,8 +1,10 @@
 #include "bgp/speaker.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
+#include <unordered_map>
+
+#include "util/check.hpp"
 
 namespace scion::bgp {
 
@@ -38,7 +40,7 @@ Speaker::Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
       send_{std::move(send)},
       schedule_{std::move(schedule)},
       rng_{seed} {
-  assert(send_ && schedule_);
+  SCION_CHECK(send_ && schedule_, "speaker needs send and schedule hooks");
   neighbors_.reserve(neighbors.size());
   for (const NeighborInfo& info : neighbors) {
     neighbor_index_.emplace(info.as, neighbors_.size());
@@ -48,7 +50,7 @@ Speaker::Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
 
 std::size_t Speaker::index_of(topo::AsIndex neighbor) const {
   const auto it = neighbor_index_.find(neighbor);
-  assert(it != neighbor_index_.end() && "unknown neighbor");
+  SCION_CHECK(it != neighbor_index_.end(), "unknown neighbor");
   return it->second;
 }
 
@@ -121,6 +123,12 @@ void Speaker::reevaluate(Prefix p) {
   if (!changed) return;
 
   ++best_changes_;
+  // Loc-RIB consistency: the winning route must be self-originated or
+  // learned over a session that is still up (session_down flushes its
+  // Adj-RIB-In slots before re-deciding).
+  SCION_DCHECK(
+      !best || best->neighbor == self_ || neighbors_[index_of(best->neighbor)].up,
+      "best route learned from a session that is down");
   if (best) {
     loc_rib_[p] = *best;
   } else {
@@ -147,11 +155,13 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
   }
 
   if (!msg.announced.empty()) {
-    assert(msg.path);
+    SCION_CHECK(msg.path, "announcement without an AS path");
     if (contains(msg.path, self_)) return;  // AS-path loop, discard
     for (Prefix p : msg.announced) {
       auto [it, inserted] = rib_in_.try_emplace(p);
       if (inserted) it->second.resize(neighbors_.size());
+      SCION_DCHECK(it->second.size() == neighbors_.size(),
+                   "Adj-RIB-In slot table out of sync with neighbor set");
       it->second[idx] = Route{msg.path, n.info.rel, from};
       reevaluate(p);
     }
@@ -239,14 +249,23 @@ void Speaker::flush(std::size_t idx) {
 
   // Aggregate: announcements sharing an AS path go into one UPDATE;
   // withdrawals ride along with the first message (RFC 4271 allows both in
-  // one UPDATE) or form their own if there is nothing to announce.
-  std::map<const std::vector<topo::AsIndex>*, BgpUpdateMsg> grouped;
+  // one UPDATE) or form their own if there is nothing to announce. Groups
+  // are kept in first-seen order over the prefix-ordered pending map, so
+  // the UPDATE sequence is a pure function of the pending set — keying the
+  // groups by path pointer would let heap addresses order the messages.
+  std::vector<BgpUpdateMsg> grouped;
+  std::unordered_map<const void*, std::size_t> group_of_path;  // lookup only
   std::vector<Prefix> withdrawals;
   for (const auto& [p, path] : n.pending) {
     if (path) {
-      BgpUpdateMsg& msg = grouped[path.get()];
-      msg.path = path;
-      msg.announced.push_back(p);
+      const auto [it, inserted] =
+          group_of_path.try_emplace(path.get(), grouped.size());
+      if (inserted) {
+        grouped.emplace_back();
+        grouped.back().path = path;
+      }
+      // Prefixes arrive in ascending order from the ordered pending map.
+      grouped[it->second].announced.push_back(p);
     } else {
       withdrawals.push_back(p);
     }
@@ -254,9 +273,8 @@ void Speaker::flush(std::size_t idx) {
   n.pending.clear();
 
   if (!withdrawals.empty()) {
-    std::sort(withdrawals.begin(), withdrawals.end());
     if (!grouped.empty()) {
-      grouped.begin()->second.withdrawn = std::move(withdrawals);
+      grouped.front().withdrawn = std::move(withdrawals);
     } else {
       BgpUpdateMsg msg;
       msg.withdrawn = std::move(withdrawals);
@@ -264,8 +282,7 @@ void Speaker::flush(std::size_t idx) {
       send_(n.info.as, msg);
     }
   }
-  for (auto& [key, msg] : grouped) {
-    std::sort(msg.announced.begin(), msg.announced.end());
+  for (BgpUpdateMsg& msg : grouped) {
     ++updates_sent_;
     send_(n.info.as, msg);
   }

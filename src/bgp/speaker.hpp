@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -84,10 +85,12 @@ class Speaker {
     NeighborInfo info;
     bool up{true};
     bool mrai_armed{false};
-    /// prefix -> advertised path (what the neighbor believes).
+    /// prefix -> advertised path (what the neighbor believes). Lookup-only,
+    /// so the unordered container cannot leak iteration order into output.
     std::unordered_map<Prefix, AsPath> rib_out;
     /// prefix -> path to announce (null = withdraw), flushed on MRAI fire.
-    std::unordered_map<Prefix, AsPath> pending;
+    /// Ordered: flush() iterates it, and that order decides UPDATE packing.
+    std::map<Prefix, AsPath> pending;
   };
 
   std::size_t index_of(topo::AsIndex neighbor) const;
@@ -109,9 +112,12 @@ class Speaker {
 
   std::vector<NeighborState> neighbors_;
   std::unordered_map<topo::AsIndex, std::size_t> neighbor_index_;
-  /// prefix -> per-neighbor-slot route (empty path = no route).
-  std::unordered_map<Prefix, std::vector<Route>> rib_in_;
-  std::unordered_map<Prefix, Route> loc_rib_;
+  /// prefix -> per-neighbor-slot route (empty path = no route). Ordered:
+  /// session_down() re-decides every prefix in iteration order, which feeds
+  /// the MRAI jitter RNG and therefore the message sequence.
+  std::map<Prefix, std::vector<Route>> rib_in_;
+  /// Ordered: session_up() replays it as the full-table export.
+  std::map<Prefix, Route> loc_rib_;
   std::vector<Prefix> own_prefixes_;
 
   std::uint64_t updates_sent_{0};

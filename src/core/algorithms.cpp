@@ -1,7 +1,6 @@
 #include "core/algorithms.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace scion::ctrl {
 
@@ -62,6 +61,8 @@ LinkHistoryTable& DiversityState::history(topo::IsdAsId origin,
 }
 
 void DiversityState::expire(TimePoint now) {
+  // Erase-only sweep; remove_path decrements commute, so visit order is
+  // irrelevant. simlint:allow(unordered-iter)
   for (auto it = sent_.begin(); it != sent_.end();) {
     if (it->second.instance_expiry <= now) {
       if (params_.decrement_on_expiry) {

@@ -1,8 +1,9 @@
 #include "core/beacon_server.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <map>
 
 namespace scion::ctrl {
@@ -34,7 +35,7 @@ BeaconServer::BeaconServer(const topo::Topology& topology, topo::AsIndex self,
           crypto::ForwardingKey::derive(self_id_.value(), key_domain_seed)},
       send_{std::move(send)},
       store_{config.storage_limit, config.store_policy} {
-  assert(send_);
+  SCION_CHECK(send_, "beacon server needs a send hook");
   if (config_.algorithm == AlgorithmKind::kDiversity) {
     diversity_ = std::make_unique<DiversityState>(
         config_.diversity, config_.diversity_link_canonicalizer);
@@ -97,7 +98,7 @@ std::vector<topo::LinkIndex> BeaconServer::resolve_links(
 
 void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
                               TimePoint now) {
-  assert(pcb && !pcb->entries().empty());
+  SCION_CHECK(pcb && !pcb->entries().empty(), "received PCB must be non-empty");
   ++stats_.pcbs_received;
   stats_.bytes_received += pcb->wire_size();
 

@@ -1,8 +1,9 @@
 #include "core/beacon_store.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
+
+#include "util/check.hpp"
 
 namespace scion::ctrl {
 
@@ -30,8 +31,10 @@ double redundancy(const StoredPcb& entry,
 }  // namespace
 
 BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
-  assert(entry.pcb && !entry.pcb->entries().empty());
-  assert(entry.links.size() == entry.pcb->hops());
+  SCION_CHECK(entry.pcb && !entry.pcb->entries().empty(),
+              "stored PCB must be non-empty");
+  SCION_CHECK(entry.links.size() == entry.pcb->hops(),
+              "resolved link sequence must cover every hop");
   auto& bucket = buckets_[entry.pcb->origin()];
 
   // Same path already stored? Keep the newest instance only.
@@ -47,8 +50,12 @@ BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
 
   if (limit_ == 0 || bucket.size() < limit_) {
     bucket.push_back(std::move(entry));
+    SCION_DCHECK(limit_ == 0 || bucket.size() <= limit_,
+                 "bucket grew past the per-origin storage limit");
     return InsertOutcome::kInserted;
   }
+  SCION_DCHECK(bucket.size() == limit_,
+               "a full bucket must hold exactly the storage limit");
 
   bool candidate_wins = false;
   const std::size_t victim = pick_victim(bucket, entry, candidate_wins);
@@ -60,7 +67,7 @@ BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
 std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
                                      const StoredPcb& candidate,
                                      bool& candidate_wins) const {
-  assert(!bucket.empty());
+  SCION_CHECK(!bucket.empty(), "victim selection needs a non-empty bucket");
   // Replacement requires a *strictly better path*. Freshness must not break
   // ties between different paths: fresh instances arrive every beaconing
   // interval, and letting them rotate equal-quality paths through a full
@@ -107,6 +114,8 @@ std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
 }
 
 void BeaconStore::expire(TimePoint now) {
+  // Erase-only sweep; no cross-bucket state, order-insensitive.
+  // simlint:allow(unordered-iter)
   for (auto it = buckets_.begin(); it != buckets_.end();) {
     auto& bucket = it->second;
     std::erase_if(bucket, [now](const StoredPcb& e) { return e.pcb->expired(now); });
@@ -127,6 +136,7 @@ const std::vector<StoredPcb>& BeaconStore::for_origin(IsdAsId origin) const {
 std::vector<IsdAsId> BeaconStore::origins() const {
   std::vector<IsdAsId> out;
   out.reserve(buckets_.size());
+  // Collection order is erased by the sort below. simlint:allow(unordered-iter)
   for (const auto& [origin, bucket] : buckets_) {
     if (!bucket.empty()) out.push_back(origin);
   }
@@ -136,6 +146,7 @@ std::vector<IsdAsId> BeaconStore::origins() const {
 
 std::size_t BeaconStore::total_stored() const {
   std::size_t n = 0;
+  // Commutative integer sum. simlint:allow(unordered-iter)
   for (const auto& [origin, bucket] : buckets_) n += bucket.size();
   return n;
 }

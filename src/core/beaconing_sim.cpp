@@ -1,6 +1,7 @@
 #include "core/beaconing_sim.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 #include "crypto/signature.hpp"
 
@@ -29,7 +30,7 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
     const auto latency = util::Duration::nanoseconds(rng.uniform_int(
         config_.min_latency.ns(), config_.max_latency.ns()));
     const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
-    assert(ch == l);
+    SCION_CHECK(ch == l, "channel ids must mirror link indices");
     (void)ch;
   }
 
@@ -74,7 +75,7 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
 }
 
 void BeaconingSim::run() {
-  assert(!ran_ && "run() is single-shot");
+  SCION_CHECK(!ran_, "run() is single-shot");
   ran_ = true;
   if (config_.warmup > util::Duration::zero()) {
     sim_.run_until(util::TimePoint::origin() + config_.warmup);

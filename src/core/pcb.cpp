@@ -1,6 +1,6 @@
 #include "core/pcb.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace scion::ctrl {
 
@@ -30,7 +30,7 @@ std::uint32_t expiry_unix(TimePoint expiry) {
 Pcb Pcb::originate(IsdAsId origin, IfId out_if, TimePoint timestamp,
                    Duration lifetime, const crypto::SigningKey& signing_key,
                    const crypto::ForwardingKey& forwarding_key) {
-  assert(lifetime > Duration::zero());
+  SCION_CHECK(lifetime > Duration::zero(), "PCB lifetime must be positive");
   Pcb pcb{timestamp, timestamp + lifetime};
   AsEntry entry;
   entry.isd_as = origin;
@@ -45,7 +45,7 @@ Pcb Pcb::originate(IsdAsId origin, IfId out_if, TimePoint timestamp,
 
 Pcb Pcb::originate_unsigned(IsdAsId origin, IfId out_if, TimePoint timestamp,
                             Duration lifetime) {
-  assert(lifetime > Duration::zero());
+  SCION_CHECK(lifetime > Duration::zero(), "PCB lifetime must be positive");
   Pcb pcb{timestamp, timestamp + lifetime};
   AsEntry entry;
   entry.isd_as = origin;
@@ -58,7 +58,7 @@ Pcb Pcb::originate_unsigned(IsdAsId origin, IfId out_if, TimePoint timestamp,
 Pcb Pcb::extend_unsigned(IsdAsId as, IfId in_if, IfId out_if,
                          std::vector<PeerEntry> peers,
                          std::uint32_t ingress_latency_us) const {
-  assert(!entries_.empty());
+  SCION_CHECK(!entries_.empty(), "cannot extend an empty PCB");
   AsEntry entry;
   entry.isd_as = as;
   entry.in_if = in_if;
@@ -92,7 +92,10 @@ std::uint64_t Pcb::total_latency_us() const {
 }
 
 Pcb Pcb::extend(AsEntry next) const {
-  assert(!entries_.empty());
+  SCION_CHECK(!entries_.empty(), "cannot extend an empty PCB");
+  // Propagation must filter looping PCBs before extending; a loop here
+  // would invalidate the hop-field chain downstream.
+  SCION_DCHECK(!contains_as(next.isd_as), "AS already on the PCB path");
   Pcb out{timestamp_, expiry_};
   out.carries_latency_ = carries_latency_;
   out.entries_ = entries_;
@@ -120,7 +123,7 @@ Pcb Pcb::extend_signed(IsdAsId as, IfId in_if, IfId out_if,
                        const crypto::SigningKey& signing_key,
                        const crypto::ForwardingKey& forwarding_key,
                        std::uint32_t ingress_latency_us) const {
-  assert(!entries_.empty());
+  SCION_CHECK(!entries_.empty(), "cannot extend an empty PCB");
   AsEntry entry;
   entry.isd_as = as;
   entry.in_if = in_if;

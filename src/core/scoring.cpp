@@ -1,7 +1,8 @@
 #include "core/scoring.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace scion::ctrl {
@@ -38,14 +39,15 @@ double LinkHistoryTable::geometric_mean(
 double diversity_score(const LinkHistoryTable& history,
                        std::span<const topo::LinkIndex> path_links,
                        const DiversityParams& params) {
-  assert(params.max_geometric_mean > 0.0);
+  SCION_CHECK(params.max_geometric_mean > 0.0,
+              "diversity normalization needs a positive maximum");
   const double gm = history.geometric_mean(path_links);
   return 1.0 - std::min(1.0, gm / params.max_geometric_mean);
 }
 
 double score_fresh(double diversity, Duration age, Duration lifetime,
                    const DiversityParams& params) {
-  assert(lifetime > Duration::zero());
+  SCION_CHECK(lifetime > Duration::zero(), "PCB lifetime must be positive");
   diversity = std::clamp(diversity, 0.0, 1.0);
   // Zero diversity means the path is at/beyond the acceptable redundancy;
   // it must never be sent (std::pow(0, 0) == 1 would say otherwise for a

@@ -1,7 +1,8 @@
 #include "scion/control_plane_sim.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 
 namespace scion::svc {
 
@@ -26,7 +27,7 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
     const auto latency =
         util::Duration::milliseconds(rng_.uniform_int(2, 30));
     const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
-    assert(ch == l);
+    SCION_CHECK(ch == l, "channel ids must mirror link indices");
     (void)ch;
   }
 
@@ -150,7 +151,7 @@ void ControlPlaneSim::record_service_message(const char* comp,
 topo::AsIndex ControlPlaneSim::core_of_isd(topo::IsdId isd,
                                            std::size_t salt) const {
   const auto& cores = cores_by_isd_[isd - 1];
-  assert(!cores.empty());
+  SCION_CHECK(!cores.empty(), "control plane needs at least one core AS");
   return cores[salt % cores.size()];
 }
 
@@ -374,7 +375,7 @@ void ControlPlaneSim::schedule_next_failure() {
 }
 
 void ControlPlaneSim::run() {
-  assert(!ran_);
+  SCION_CHECK(!ran_, "run() is single-shot");
   ran_ = true;
   // Let beaconing populate stores before the workload starts.
   const util::Duration warmup = config_.beacon_interval * 2;

@@ -1,6 +1,7 @@
 #include "scion/dataplane.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace scion::svc {
 
@@ -47,7 +48,8 @@ bool DataPlane::verify_peer_hop(const PathSegment& seg,
                                 topo::LinkIndex peer_link,
                                 std::string* error) const {
   const auto& entries = seg.pcb->entries();
-  assert(entry_index > 0 && entry_index < entries.size());
+  SCION_CHECK(entry_index > 0 && entry_index < entries.size(),
+              "hop entry index out of path range");
   const ctrl::AsEntry& e = entries[entry_index];
   const topo::AsIndex self = seg.ases[entry_index];
   const topo::IfId peer_if = topology_.interface_of(peer_link, self);
@@ -76,7 +78,7 @@ bool DataPlane::verify(const EndToEndPath& path, std::string* error) const {
     if (seg != nullptr && !verify_segment_chain(*seg, error)) return false;
   }
   if (path.kind == EndToEndPath::Kind::kPeering) {
-    assert(path.peer_link.has_value());
+    SCION_CHECK(path.peer_link.has_value(), "peering path carries no peer link");
     if (!verify_peer_hop(*path.up, path.up_cut, *path.peer_link, error)) {
       return false;
     }

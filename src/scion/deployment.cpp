@@ -1,7 +1,8 @@
 #include "scion/deployment.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 
 #include "analysis/maxflow.hpp"
 #include "util/rng.hpp"
@@ -36,7 +37,8 @@ std::size_t DeployedLink::wire_bytes(std::size_t scion_packet_bytes) const {
 
 double DeployedLink::scion_goodput_mbps(double offered_scion_mbps,
                                         double hostile_ip_load) const {
-  assert(hostile_ip_load >= 0.0 && hostile_ip_load <= 1.0);
+  SCION_CHECK(hostile_ip_load >= 0.0 && hostile_ip_load <= 1.0,
+              "hostile IP load is a fraction");
   const double capacity = config_.capacity_mbps;
   if (config_.model == InterIspModel::kNativeCrossConnect) {
     return std::min(offered_scion_mbps, capacity);
@@ -84,7 +86,7 @@ const char* to_string(IxpModel m) {
 }
 
 topo::Topology build_ixp_fabric(IxpModel model, const IxpConfig& config) {
-  assert(config.members >= 2);
+  SCION_CHECK(config.members >= 2, "IXP model needs at least two members");
   topo::Topology fabric;
   util::Rng rng{config.seed};
 
@@ -107,7 +109,8 @@ topo::Topology build_ixp_fabric(IxpModel model, const IxpConfig& config) {
 
   // Enhanced model: IXP sites are SCION ASes; sites form a ring with
   // redundant parallel links, members home onto several sites.
-  assert(config.sites >= 2 && config.member_homing >= 1);
+  SCION_CHECK(config.sites >= 2 && config.member_homing >= 1,
+              "multi-site IXP needs two sites and homing >= 1");
   std::vector<topo::AsIndex> sites;
   for (std::size_t s = 0; s < config.sites; ++s) {
     sites.push_back(

@@ -1,7 +1,8 @@
 #include "scion/path_combiner.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
 
 #include "crypto/sha256.hpp"
@@ -80,8 +81,10 @@ std::vector<EndToEndPath> combine_segments(
 
   auto consider = [&](EndToEndPath&& path) {
     if (!loop_free(path)) return;
-    assert(path.ases.size() == path.links.size() + 1);
-    assert(path.ases.front() == src && path.ases.back() == dst);
+    SCION_DCHECK(path.ases.size() == path.links.size() + 1,
+                 "combined path must alternate AS, link, AS");
+    SCION_DCHECK(path.ases.front() == src && path.ases.back() == dst,
+                 "combined path must run from src to dst");
     out.push_back(std::move(path));
   };
 

@@ -110,6 +110,8 @@ std::size_t PathServer::revoke_link(topo::LinkIndex link) {
   auto contains = [link](const PathSegment& s) {
     return std::find(s.links.begin(), s.links.end(), link) != s.links.end();
   };
+  // Per-bucket erase_if with a commutative integer total; visit order is
+  // irrelevant. simlint:allow(unordered-iter)
   for (auto* map : {&down_by_leaf_, &core_by_origin_}) {
     for (auto& [key, bucket] : *map) {
       dropped += static_cast<std::size_t>(std::erase_if(bucket, contains));

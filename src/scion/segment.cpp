@@ -1,6 +1,7 @@
 #include "scion/segment.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 
 namespace scion::svc {
 
@@ -21,7 +22,8 @@ PathSegment make_segment(const topo::Topology& topology,
                          SegmentType type, const crypto::SigningKey& sign_key,
                          const crypto::ForwardingKey& fwd_key,
                          bool include_peers) {
-  assert(stored.pcb && !stored.links.empty());
+  SCION_CHECK(stored.pcb && !stored.links.empty(),
+              "segment conversion needs a resolved stored PCB");
 
   std::vector<ctrl::PeerEntry> peers;
   if (include_peers) {
@@ -44,11 +46,12 @@ PathSegment make_segment(const topo::Topology& topology,
   seg.ases.reserve(seg.pcb->entries().size());
   for (const ctrl::AsEntry& e : seg.pcb->entries()) {
     const auto idx = topology.find(e.isd_as);
-    assert(idx.has_value());
+    SCION_CHECK(idx.has_value(), "segment AS missing from topology");
     seg.ases.push_back(*idx);
   }
-  assert(seg.ases.size() == seg.links.size() + 1);
-  assert(seg.ases.back() == owner);
+  SCION_DCHECK(seg.ases.size() == seg.links.size() + 1,
+               "segment must alternate AS, link, AS");
+  SCION_DCHECK(seg.ases.back() == owner, "segment must end at its owner");
   return seg;
 }
 

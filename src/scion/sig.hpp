@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "scion/control_plane_sim.hpp"
@@ -110,7 +110,9 @@ class Sig {
   ControlPlaneSim& control_plane_;
   topo::AsIndex local_as_;
   AsMapTable asmap_;
-  std::unordered_map<topo::AsIndex, PathManager> path_cache_;
+  /// Ordered: handle_revocation()/handle_restoration() walk every manager
+  /// and mutate failover state, so iteration order is output-relevant.
+  std::map<topo::AsIndex, PathManager> path_cache_;
   SigStats stats_;
 };
 

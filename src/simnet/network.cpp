@@ -1,7 +1,8 @@
 #include "simnet/network.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace scion::sim {
 
@@ -11,32 +12,33 @@ NodeId Network::add_node(std::string name) {
 }
 
 void Network::set_handler(NodeId node, Handler handler) {
-  assert(node < nodes_.size());
+  SCION_CHECK(node < nodes_.size(), "node id out of range");
   nodes_[node].handler = std::move(handler);
 }
 
 ChannelId Network::add_channel(NodeId a, NodeId b, Duration latency) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
-  assert(latency >= Duration::zero());
+  SCION_CHECK(a < nodes_.size() && b < nodes_.size() && a != b,
+              "channel endpoints must be distinct existing nodes");
+  SCION_CHECK(latency >= Duration::zero(), "negative channel latency");
   channels_.push_back(ChannelState{a, b, latency, true, {}, {}});
   return static_cast<ChannelId>(channels_.size() - 1);
 }
 
 void Network::set_channel_up(ChannelId ch, bool up) {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   channels_[ch].up = up;
 }
 
 bool Network::channel_up(ChannelId ch) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   return channels_[ch].up;
 }
 
 void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
                    std::any payload) {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   ChannelState& c = channels_[ch];
-  assert(from == c.a || from == c.b);
+  SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
   if (!c.up) return;  // link failure: message lost
   const NodeId to = (from == c.a) ? c.b : c.a;
   DirectionStats& dir = (from == c.a) ? c.a_to_b : c.b_to_a;
@@ -53,41 +55,41 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
 }
 
 const std::string& Network::node_name(NodeId node) const {
-  assert(node < nodes_.size());
+  SCION_CHECK(node < nodes_.size(), "node id out of range");
   return nodes_[node].name;
 }
 
 NodeId Network::peer(ChannelId ch, NodeId self) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   const ChannelState& c = channels_[ch];
-  assert(self == c.a || self == c.b);
+  SCION_CHECK(self == c.a || self == c.b, "node is not a channel endpoint");
   return self == c.a ? c.b : c.a;
 }
 
 NodeId Network::endpoint_a(ChannelId ch) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   return channels_[ch].a;
 }
 
 NodeId Network::endpoint_b(ChannelId ch) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   return channels_[ch].b;
 }
 
 Duration Network::latency(ChannelId ch) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   return channels_[ch].latency;
 }
 
 const DirectionStats& Network::stats_from(ChannelId ch, NodeId from) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   const ChannelState& c = channels_[ch];
-  assert(from == c.a || from == c.b);
+  SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
   return from == c.a ? c.a_to_b : c.b_to_a;
 }
 
 std::uint64_t Network::total_bytes(ChannelId ch) const {
-  assert(ch < channels_.size());
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
   return channels_[ch].a_to_b.bytes + channels_[ch].b_to_a.bytes;
 }
 

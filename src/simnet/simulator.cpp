@@ -1,23 +1,24 @@
 #include "simnet/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace scion::sim {
 
 void Simulator::schedule_at(TimePoint t, Callback fn) {
-  assert(t >= now_ && "cannot schedule events in the past");
+  SCION_CHECK(t >= now_, "cannot schedule events in the past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_after(Duration d, Callback fn) {
-  assert(d >= Duration::zero());
+  SCION_CHECK(d >= Duration::zero(), "negative delay");
   schedule_at(now_ + d, std::move(fn));
 }
 
 std::uint64_t Simulator::schedule_periodic(TimePoint first, Duration period,
                                            Callback fn) {
-  assert(period > Duration::zero());
+  SCION_CHECK(period > Duration::zero(), "periodic event needs a positive period");
   const auto id = static_cast<std::uint64_t>(periodics_.size());
   periodics_.push_back(Periodic{period, std::move(fn), false});
   schedule_at(first, [this, id, first] { fire_periodic(id, first); });
@@ -33,13 +34,16 @@ void Simulator::fire_periodic(std::uint64_t id, TimePoint when) {
 }
 
 void Simulator::cancel_periodic(std::uint64_t id) {
-  assert(id < periodics_.size());
+  SCION_CHECK(id < periodics_.size(), "unknown periodic event id");
   periodics_[id].cancelled = true;
 }
 
 void Simulator::pop_and_run() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
+  // The queue invariant every determinism claim rests on: virtual time only
+  // moves forward, so same-time events run in scheduling (seq) order.
+  SCION_CHECK(ev.time >= now_, "event queue time went backwards");
   now_ = ev.time;
   ++processed_;
   ev.fn();

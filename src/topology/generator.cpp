@@ -1,7 +1,8 @@
 #include "topology/generator.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
@@ -51,8 +52,8 @@ AsIndex preferential_pick(const Topology& topo, Rng& rng, AsIndex limit) {
 }  // namespace
 
 Topology generate_hierarchy(const HierarchyConfig& config) {
-  assert(config.n_roots >= 1);
-  assert(config.n_ases >= config.n_roots);
+  SCION_CHECK(config.n_roots >= 1, "hierarchy needs at least one root");
+  SCION_CHECK(config.n_ases >= config.n_roots, "fewer ASes than roots");
   Rng rng{config.seed};
   Topology topo;
 
@@ -112,7 +113,7 @@ Topology generate_hierarchy(const HierarchyConfig& config) {
 
 Topology make_core_network(const Topology& internet, std::size_t n_core,
                            std::size_t n_isds) {
-  assert(n_isds >= 1);
+  SCION_CHECK(n_isds >= 1, "need at least one ISD");
   const std::size_t total = internet.as_count();
   n_core = std::min(n_core, total);
 
@@ -215,7 +216,7 @@ Topology with_all_core_links(const Topology& topo) {
 }
 
 Topology generate_scionlab(const ScionLabConfig& config) {
-  assert(config.n_cores >= 2);
+  SCION_CHECK(config.n_cores >= 2, "SCIONLab topology needs two cores");
   Rng rng{config.seed};
   Topology topo;
   for (std::size_t i = 0; i < config.n_cores; ++i) {
@@ -245,8 +246,10 @@ Topology generate_scionlab(const ScionLabConfig& config) {
 }
 
 Topology generate_multi_isd(const MultiIsdConfig& config) {
-  assert(config.n_isds >= 1 && config.cores_per_isd >= 1);
-  assert(config.ases_per_isd >= config.cores_per_isd);
+  SCION_CHECK(config.n_isds >= 1 && config.cores_per_isd >= 1,
+              "need at least one ISD with one core");
+  SCION_CHECK(config.ases_per_isd >= config.cores_per_isd,
+              "fewer ASes per ISD than cores");
   Rng rng{config.seed};
   Topology topo;
 

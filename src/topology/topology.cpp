@@ -1,7 +1,8 @@
 #include "topology/topology.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <charconv>
 #include <cstdio>
 #include <unordered_set>
@@ -40,8 +41,8 @@ const char* to_string(LinkType t) {
 }
 
 AsIndex Topology::add_as(IsdAsId id, bool is_core) {
-  assert(id.valid());
-  assert(!index_.contains(id) && "duplicate AS id");
+  SCION_CHECK(id.valid(), "AS id must be valid");
+  SCION_CHECK(!index_.contains(id), "duplicate AS id");
   const auto idx = static_cast<AsIndex>(ases_.size());
   ases_.push_back(AsState{id, is_core, 1, {}});
   index_.emplace(id, idx);
@@ -49,7 +50,8 @@ AsIndex Topology::add_as(IsdAsId id, bool is_core) {
 }
 
 LinkIndex Topology::add_link(AsIndex a, AsIndex b, LinkType type) {
-  assert(a < ases_.size() && b < ases_.size() && a != b);
+  SCION_CHECK(a < ases_.size() && b < ases_.size() && a != b,
+              "link endpoints must be distinct existing ASes");
   const auto l = static_cast<LinkIndex>(links_.size());
   links_.push_back(Link{a, b, ases_[a].next_if++, ases_[b].next_if++, type});
   ases_[a].links.push_back(l);
@@ -64,19 +66,19 @@ std::optional<AsIndex> Topology::find(IsdAsId id) const {
 }
 
 std::span<const LinkIndex> Topology::links_of(AsIndex idx) const {
-  assert(idx < ases_.size());
+  SCION_CHECK(idx < ases_.size(), "AS index out of range");
   return ases_[idx].links;
 }
 
 AsIndex Topology::neighbor(LinkIndex l, AsIndex self) const {
   const Link& link = links_[l];
-  assert(self == link.a || self == link.b);
+  SCION_CHECK(self == link.a || self == link.b, "AS is not a link endpoint");
   return self == link.a ? link.b : link.a;
 }
 
 IfId Topology::interface_of(LinkIndex l, AsIndex self) const {
   const Link& link = links_[l];
-  assert(self == link.a || self == link.b);
+  SCION_CHECK(self == link.a || self == link.b, "AS is not a link endpoint");
   return self == link.a ? link.if_a : link.if_b;
 }
 
@@ -143,7 +145,7 @@ std::vector<LinkIndex> Topology::links_between(AsIndex x, AsIndex y) const {
 
 std::optional<LinkIndex> Topology::link_by_interface(AsIndex self,
                                                      IfId ifid) const {
-  assert(self < ases_.size());
+  SCION_CHECK(self < ases_.size(), "AS index out of range");
   for (LinkIndex l : ases_[self].links) {
     if (interface_of(l, self) == ifid) return l;
   }
@@ -176,7 +178,7 @@ Topology Topology::induced_subgraph(std::span<const AsIndex> keep) const {
   std::unordered_map<AsIndex, AsIndex> remap;
   remap.reserve(keep.size());
   for (AsIndex old : keep) {
-    assert(old < ases_.size());
+    SCION_CHECK(old < ases_.size(), "subgraph keeps an unknown AS");
     remap.emplace(old, out.add_as(ases_[old].id, ases_[old].is_core));
   }
   for (const Link& link : links_) {

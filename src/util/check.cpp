@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scion::util {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s — %s\n", file, line, expr,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scion::util

@@ -1,0 +1,62 @@
+// Checked invariants.
+//
+// SCION_CHECK(expr, msg) and SCION_DCHECK(expr, msg) replace raw assert()
+// across the simulator core. Unlike assert they carry a human-readable
+// message and their activation is controlled by the build mode, not only by
+// NDEBUG:
+//
+//  - SCION_CHECK: cheap invariants (preconditions, index bounds, monotonic
+//    time). Active in debug builds and whenever the build defines
+//    SCION_MPR_CHECKED (the `checked`, `asan-ubsan` and `tsan` presets).
+//    Compiled out — expression not evaluated — in plain Release.
+//  - SCION_DCHECK: expensive invariants (full-structure consistency walks).
+//    Active only under SCION_MPR_CHECKED, so even debug builds stay fast.
+//
+// A failing check prints "<file>:<line>: CHECK failed: <expr> — <msg>" to
+// stderr and aborts, which both gtest death tests and sanitizer CI observe.
+#pragma once
+
+namespace scion::util {
+
+/// Reports a failed check and aborts. Never returns.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const char* msg);
+
+}  // namespace scion::util
+
+#if defined(SCION_MPR_CHECKED) || !defined(NDEBUG)
+#define SCION_CHECK_ENABLED 1
+#else
+#define SCION_CHECK_ENABLED 0
+#endif
+
+#if defined(SCION_MPR_CHECKED)
+#define SCION_DCHECK_ENABLED 1
+#else
+#define SCION_DCHECK_ENABLED 0
+#endif
+
+// The disabled form keeps the expression type-checked (so checked-only code
+// cannot rot) but generates no code and evaluates nothing.
+#define SCION_CHECK_IMPL_OFF(expr)                  \
+  do {                                              \
+    if (false) static_cast<void>(expr);             \
+  } while (false)
+
+#if SCION_CHECK_ENABLED
+#define SCION_CHECK(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) ::scion::util::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (false)
+#else
+#define SCION_CHECK(expr, msg) SCION_CHECK_IMPL_OFF(expr)
+#endif
+
+#if SCION_DCHECK_ENABLED
+#define SCION_DCHECK(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) ::scion::util::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (false)
+#else
+#define SCION_DCHECK(expr, msg) SCION_CHECK_IMPL_OFF(expr)
+#endif

@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
+
 #include <cmath>
 
 namespace scion::util {
@@ -39,7 +40,7 @@ std::uint64_t Rng::operator()() {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  SCION_CHECK(lo <= hi, "uniform_int needs lo <= hi");
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
   // Rejection sampling to avoid modulo bias.
@@ -52,7 +53,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 std::size_t Rng::index(std::size_t n) {
-  assert(n > 0);
+  SCION_CHECK(n > 0, "index needs a non-empty range");
   return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
 }
 
@@ -70,7 +71,7 @@ bool Rng::bernoulli(double p) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0);
+  SCION_CHECK(mean > 0, "exponential needs a positive mean");
   double u;
   do {
     u = uniform();
@@ -79,7 +80,7 @@ double Rng::exponential(double mean) {
 }
 
 double Rng::pareto(double x_min, double alpha) {
-  assert(x_min > 0 && alpha > 0);
+  SCION_CHECK(x_min > 0 && alpha > 0, "pareto needs positive scale and shape");
   double u;
   do {
     u = uniform();
@@ -88,7 +89,7 @@ double Rng::pareto(double x_min, double alpha) {
 }
 
 std::uint64_t Rng::zipf(std::uint64_t n, double s) {
-  assert(n >= 1);
+  SCION_CHECK(n >= 1, "zipf needs n >= 1");
   // Rejection-inversion sampling (W. Hormann, G. Derflinger 1996) for the
   // Zipf distribution, valid for any s >= 0.
   if (n == 1) return 1;

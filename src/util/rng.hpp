@@ -20,8 +20,10 @@ class Rng {
   using result_type = std::uint64_t;
 
   /// Seeds the full 256-bit state from the 64-bit seed via splitmix64, as
-  /// recommended by the xoshiro authors.
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  /// recommended by the xoshiro authors. There is deliberately no default
+  /// seed: every randomness consumer must receive its seed explicitly so
+  /// experiment reproducibility is auditable end to end.
+  explicit Rng(std::uint64_t seed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

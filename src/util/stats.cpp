@@ -1,7 +1,8 @@
 #include "util/stats.hpp"
 
+#include "util/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -47,7 +48,7 @@ void EmpiricalCdf::ensure_sorted() const {
 }
 
 double EmpiricalCdf::quantile(double p) const {
-  assert(!values_.empty());
+  SCION_CHECK(!values_.empty(), "statistic needs at least one sample");
   ensure_sorted();
   p = std::clamp(p, 0.0, 1.0);
   if (values_.size() == 1) return values_.front();
@@ -59,19 +60,23 @@ double EmpiricalCdf::quantile(double p) const {
 }
 
 double EmpiricalCdf::min() const {
-  assert(!values_.empty());
+  SCION_CHECK(!values_.empty(), "statistic needs at least one sample");
   ensure_sorted();
   return values_.front();
 }
 
 double EmpiricalCdf::max() const {
-  assert(!values_.empty());
+  SCION_CHECK(!values_.empty(), "statistic needs at least one sample");
   ensure_sorted();
   return values_.back();
 }
 
 double EmpiricalCdf::mean() const {
   if (values_.empty()) return 0.0;
+  // Sum over the sorted samples so the floating-point total (and thus the
+  // mean) is a pure function of the multiset of values, not insertion order.
+  ensure_sorted();
+  // simlint:allow(float-accum) — ascending-order sum, canonical per multiset.
   return std::accumulate(values_.begin(), values_.end(), 0.0) /
          static_cast<double>(values_.size());
 }
@@ -120,7 +125,7 @@ double geometric_mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double log_sum = 0.0;
   for (double x : xs) {
-    assert(x >= 0.0);
+    SCION_CHECK(x >= 0.0, "log-scale statistic needs non-negative samples");
     if (x == 0.0) return 0.0;
     log_sum += std::log(x);
   }

@@ -1,0 +1,64 @@
+// Tests for the SCION_CHECK / SCION_DCHECK invariant macros: pass-through
+// on success, abort with a diagnostic on failure (death test, only when the
+// build enables the check), and compiled-out-but-type-checked behavior in
+// builds where a tier is disabled.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace {
+
+TEST(Check, TrueConditionPasses) {
+  SCION_CHECK(1 + 1 == 2, "arithmetic holds");
+  SCION_DCHECK(true, "trivially true");
+  SUCCEED();
+}
+
+TEST(Check, ConditionEvaluationMatchesBuildMode) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  SCION_CHECK(probe(), "probe");
+#if SCION_CHECK_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Disabled checks must not evaluate their condition...
+  EXPECT_EQ(evaluations, 0);
+#endif
+  // ...but the expression stays type-checked either way (this file
+  // compiling with the lambda above is the test).
+}
+
+TEST(Check, DcheckEvaluationMatchesBuildMode) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  SCION_DCHECK(probe(), "probe");
+#if SCION_DCHECK_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if SCION_CHECK_ENABLED
+TEST(CheckDeathTest, FailureAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(SCION_CHECK(2 + 2 == 5, "arithmetic is broken"),
+               "CHECK failed: 2 \\+ 2 == 5.*arithmetic is broken");
+}
+#endif
+
+#if SCION_DCHECK_ENABLED
+TEST(CheckDeathTest, DcheckFailureAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(SCION_DCHECK(false, "invariant violated"),
+               "CHECK failed: false.*invariant violated");
+}
+#endif
+
+}  // namespace

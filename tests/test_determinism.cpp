@@ -1,0 +1,150 @@
+// Same-seed reproducibility gate.
+//
+// Two independent runs of the same configuration must produce byte-identical
+// serialized output: resolved path sets, the overhead ledger, and the BGP
+// monitor byte counts. This is the end-to-end check behind the simlint
+// rules — any wall-clock read, unseeded RNG, or hash-order-dependent
+// aggregation in the pipeline shows up here as a diff.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bgp/bgp_sim.hpp"
+#include "scion/control_plane_sim.hpp"
+#include "topology/generator.hpp"
+
+namespace scion {
+namespace {
+
+using util::Duration;
+
+topo::Topology make_world() {
+  topo::MultiIsdConfig config;
+  config.n_isds = 2;
+  config.cores_per_isd = 2;
+  config.ases_per_isd = 8;
+  config.seed = 77;
+  return topo::generate_multi_isd(config);
+}
+
+// --- SCION control plane -----------------------------------------------------
+
+svc::ControlPlaneSimConfig scion_config() {
+  svc::ControlPlaneSimConfig config;
+  config.sim_duration = Duration::minutes(30);
+  config.lookups_per_second = 0.5;
+  config.link_failures_per_hour = 4.0;
+  config.registration_interval = Duration::minutes(15);
+  config.seed = 5;
+  return config;
+}
+
+/// Serializes everything observable about a control-plane run: every
+/// resolved path set between every ordered leaf pair, plus the full
+/// overhead ledger.
+std::string scion_transcript(const topo::Topology& world) {
+  svc::ControlPlaneSim sim{world, scion_config()};
+  sim.run();
+
+  std::ostringstream out;
+  const auto& leaves = sim.leaves();
+  for (const topo::AsIndex src : leaves) {
+    for (const topo::AsIndex dst : leaves) {
+      if (src == dst) continue;
+      out << "pair " << src << "->" << dst << "\n";
+      for (const auto& path : sim.resolve_paths(src, dst)) {
+        out << "  " << svc::to_string(path.kind) << " ases";
+        for (const topo::AsIndex as : path.ases) out << ' ' << as;
+        out << " links";
+        for (const topo::LinkIndex l : path.links) out << ' ' << l;
+        out << "\n";
+      }
+    }
+  }
+  for (const auto& row : sim.ledger().rows()) {
+    out << row.component << ' ' << row.messages << ' ' << row.operations
+        << ' ' << row.bytes << ' ' << row.messages_by_scope[0] << ' '
+        << row.messages_by_scope[1] << ' ' << row.messages_by_scope[2]
+        << "\n";
+  }
+  out << "lookups " << sim.lookups_performed() << " resolved "
+      << sim.paths_resolved() << "\n";
+  return std::move(out).str();
+}
+
+TEST(Determinism, ControlPlaneRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+  const std::string first = scion_transcript(world);
+  const std::string second = scion_transcript(world);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, TopologyGenerationIsSeedDeterministic) {
+  const topo::Topology a = make_world();
+  const topo::Topology b = make_world();
+  ASSERT_EQ(a.as_count(), b.as_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (topo::LinkIndex l = 0; l < a.link_count(); ++l) {
+    EXPECT_EQ(a.link(l).a, b.link(l).a);
+    EXPECT_EQ(a.link(l).b, b.link(l).b);
+    EXPECT_EQ(a.link(l).type, b.link(l).type);
+  }
+}
+
+// --- BGP ---------------------------------------------------------------------
+
+bgp::BgpSimConfig bgp_config() {
+  bgp::BgpSimConfig config;
+  config.convergence_window = Duration::minutes(10);
+  config.churn_window = Duration::minutes(30);
+  config.flaps_per_adjacency_per_day = 4.0;
+  config.seed = 9;
+  return config;
+}
+
+/// Serializes a BGP run: update totals, the monitor's per-origin account,
+/// the extrapolated monthly byte counts, and the multipath link-path sets
+/// from the monitor towards every origin.
+std::string bgp_transcript(const topo::Topology& world) {
+  bgp::BgpSim sim{world, bgp_config()};
+  const topo::AsIndex monitor = 0;
+  sim.add_monitor(monitor);
+  sim.run();
+
+  std::ostringstream out;
+  out << "updates " << sim.total_updates_sent() << "\n";
+  const bgp::MonitorAccount& account = sim.monitor(monitor);
+  out << "raw " << account.raw_messages << ' ' << account.raw_bytes << "\n";
+  for (const auto& [origin, per] : account.per_origin) {
+    out << "origin " << origin << ' ' << per.announce_events << ' '
+        << per.withdraw_events << ' ' << per.path_len_sum << ' '
+        << per.fixed_share_sum << "\n";
+  }
+  const std::vector<std::uint32_t> prefix_counts(world.as_count(), 3);
+  // hexfloat: bit-exact comparison, not printf rounding.
+  out << std::hexfloat << "bgp " << sim.monthly_bgp_bytes(monitor, prefix_counts)
+      << " bgpsec " << sim.monthly_bgpsec_bytes(monitor, prefix_counts) << "\n";
+  for (const bgp::Prefix origin : sim.origins()) {
+    if (origin == monitor) continue;
+    out << "paths to " << origin << "\n";
+    for (const auto& path : sim.bgp_link_paths(monitor, origin)) {
+      out << " ";
+      for (const topo::LinkIndex l : path) out << ' ' << l;
+      out << "\n";
+    }
+  }
+  return std::move(out).str();
+}
+
+TEST(Determinism, BgpRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+  const std::string first = bgp_transcript(world);
+  const std::string second = bgp_transcript(world);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace scion

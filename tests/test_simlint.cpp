@@ -1,0 +1,281 @@
+// Unit tests for the simlint rule engine (tools/simlint_core.hpp): each
+// rule's positive case, the idiomatic patterns that must stay clean, and
+// the simlint:allow escape hatch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/simlint_core.hpp"
+
+namespace scion::lint {
+namespace {
+
+std::vector<Finding> lint_one(const std::string& content,
+                              const std::string& name = "src/x.cpp") {
+  Linter linter;
+  linter.add_file(name, content);
+  return linter.run();
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+// --- wall-clock --------------------------------------------------------------
+
+TEST(SimlintWallClock, FlagsChronoClocks) {
+  const auto f = lint_one("auto t = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(lint_one("auto t = std::chrono::steady_clock::now();")[0].rule,
+            "wall-clock");
+  EXPECT_EQ(
+      lint_one("auto t = std::chrono::high_resolution_clock::now();")[0].rule,
+      "wall-clock");
+}
+
+TEST(SimlintWallClock, FlagsCTimeSources) {
+  EXPECT_EQ(rules_of(lint_one("time_t t = time(nullptr);")),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of(lint_one("time_t t = time(NULL);")),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of(lint_one("gettimeofday(&tv, nullptr);")),
+            std::vector<std::string>{"wall-clock"});
+  EXPECT_EQ(rules_of(lint_one("clock_gettime(CLOCK_MONOTONIC, &ts);")),
+            std::vector<std::string>{"wall-clock"});
+}
+
+TEST(SimlintWallClock, SimulationTimeIsClean) {
+  EXPECT_TRUE(lint_one("util::TimePoint now = sim.now();\n"
+                       "auto later = now + util::Duration::seconds(5);\n")
+                  .empty());
+  // chrono duration arithmetic without a clock is fine.
+  EXPECT_TRUE(lint_one("std::chrono::nanoseconds d{5};").empty());
+  // An identifier merely containing "time" is not the C time() call.
+  EXPECT_TRUE(lint_one("auto x = runtime();").empty());
+}
+
+// --- std-rng -----------------------------------------------------------------
+
+TEST(SimlintStdRng, FlagsStandardEngines) {
+  EXPECT_EQ(rules_of(lint_one("std::mt19937 gen;")),
+            std::vector<std::string>{"std-rng"});
+  EXPECT_EQ(rules_of(lint_one("std::mt19937_64 gen{seed};")),
+            std::vector<std::string>{"std-rng"});
+  EXPECT_EQ(rules_of(lint_one("std::default_random_engine e;")),
+            std::vector<std::string>{"std-rng"});
+  EXPECT_EQ(rules_of(lint_one("std::random_device rd;")),
+            std::vector<std::string>{"std-rng"});
+  EXPECT_EQ(rules_of(lint_one("int x = std::rand();")),
+            std::vector<std::string>{"std-rng"});
+  EXPECT_EQ(rules_of(lint_one("srand(42);")),
+            std::vector<std::string>{"std-rng"});
+}
+
+TEST(SimlintStdRng, SeededUtilRngIsClean) {
+  EXPECT_TRUE(lint_one("util::Rng rng{config.seed};\n"
+                       "double u = rng.uniform();\n")
+                  .empty());
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+TEST(SimlintUnorderedIter, FlagsRangeForOverUnordered) {
+  const auto f = lint_one(
+      "std::unordered_map<int, int> counts;\n"
+      "for (const auto& [k, v] : counts) {\n"
+      "  out << k << v;\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(SimlintUnorderedIter, FlagsIteratorWalk) {
+  const auto f = lint_one(
+      "std::unordered_set<int> seen;\n"
+      "for (auto it = seen.begin(); it != seen.end(); ++it) {}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+}
+
+TEST(SimlintUnorderedIter, LookupsAreClean) {
+  EXPECT_TRUE(
+      lint_one("std::unordered_map<int, int> counts;\n"
+               "auto it = counts.find(k);\n"
+               "if (it != counts.end()) use(it->second);\n"
+               "counts[k] = 3;\n"
+               "counts.erase(k);\n")
+          .empty());
+}
+
+TEST(SimlintUnorderedIter, OrderedContainersAreClean) {
+  EXPECT_TRUE(lint_one("std::map<int, int> counts;\n"
+                       "for (const auto& [k, v] : counts) use(k, v);\n")
+                  .empty());
+}
+
+TEST(SimlintUnorderedIter, ResolvesDeclarationsAcrossStemGroup) {
+  // Member declared in the header, iterated in the companion .cpp.
+  Linter linter;
+  linter.add_file("src/foo.hpp",
+                  "struct S { std::unordered_map<int, int> table; };\n");
+  linter.add_file("src/foo.cpp", "for (const auto& [k, v] : table) use(k);\n");
+  // Same local name in an unrelated file must NOT inherit the type.
+  linter.add_file("src/bar.cpp", "for (const auto& e : table) use(e);\n");
+  const auto f = linter.run();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].file, "src/foo.cpp");
+}
+
+TEST(SimlintUnorderedIter, TrailingUnderscoreMembersAreGlobal) {
+  Linter linter;
+  linter.add_file("src/foo.hpp",
+                  "class C { std::unordered_map<int, int> cache_; };\n");
+  linter.add_file("src/other.cpp",
+                  "for (const auto& [k, v] : cache_) use(k);\n");
+  const auto f = linter.run();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].file, "src/other.cpp");
+}
+
+TEST(SimlintUnorderedIter, ResolvesUnorderedTypeAliases) {
+  const auto f = lint_one(
+      "using Table = std::unordered_map<int, int>;\n"
+      "Table table;\n"
+      "for (const auto& [k, v] : table) use(k);\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(SimlintUnorderedIter, MultilineDeclarationIsResolved) {
+  const auto f = lint_one(
+      "std::unordered_map<std::string,\n"
+      "                   std::vector<int>>\n"
+      "    buckets;\n"
+      "for (auto& [k, v] : buckets) use(v);\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+// --- float-accum -------------------------------------------------------------
+
+TEST(SimlintFloatAccum, FlagsAccumulateWithFloatInit) {
+  const auto f = lint_one(
+      "double mean = std::accumulate(v.begin(), v.end(), 0.0) / n;\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "float-accum");
+}
+
+TEST(SimlintFloatAccum, IntegerAccumulateIsClean) {
+  EXPECT_TRUE(
+      lint_one("long total = std::accumulate(v.begin(), v.end(), 0L);\n")
+          .empty());
+}
+
+TEST(SimlintFloatAccum, FlagsFloatSumInsideUnorderedLoop) {
+  const auto f = lint_one(
+      "std::unordered_map<int, double> weights;\n"
+      "double total = 0.0;\n"
+      "for (const auto& [k, w] : weights) {\n"
+      "  total += w;\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 2u);  // the loop itself + the accumulation
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[1].rule, "float-accum");
+  EXPECT_EQ(f[1].line, 4);
+}
+
+TEST(SimlintFloatAccum, IntegerSumInsideUnorderedLoopIsOnlyIterFlagged) {
+  const auto f = lint_one(
+      "std::unordered_map<int, int> counts;\n"
+      "std::size_t n = 0;\n"
+      "for (const auto& [k, c] : counts) {\n"
+      "  n += c;\n"
+      "}\n");
+  EXPECT_EQ(rules_of(f), std::vector<std::string>{"unordered-iter"});
+}
+
+TEST(SimlintFloatAccum, LoopBodyContextEndsAtCloseBrace) {
+  const auto f = lint_one(
+      "std::unordered_map<int, double> weights;\n"
+      "double total = 0.0;\n"
+      "for (const auto& [k, w] : weights) {\n"  // flagged
+      "  use(k);\n"
+      "}\n"
+      "total += 1.0;\n");  // outside the loop: clean
+  EXPECT_EQ(rules_of(f), std::vector<std::string>{"unordered-iter"});
+}
+
+// --- allow directive ---------------------------------------------------------
+
+TEST(SimlintAllow, SameLineDirectiveSuppresses) {
+  EXPECT_TRUE(
+      lint_one("std::unordered_map<int, int> counts;\n"
+               "for (const auto& [k, v] : counts) {}  "
+               "// simlint:allow(unordered-iter)\n")
+          .empty());
+}
+
+TEST(SimlintAllow, PreviousLineDirectiveSuppresses) {
+  EXPECT_TRUE(
+      lint_one("std::unordered_map<int, int> counts;\n"
+               "// commutative count, order-insensitive. "
+               "simlint:allow(unordered-iter)\n"
+               "for (const auto& [k, v] : counts) {}\n")
+          .empty());
+}
+
+TEST(SimlintAllow, DirectiveDoesNotReachFurtherLines) {
+  const auto f = lint_one(
+      "std::unordered_map<int, int> counts;\n"
+      "// simlint:allow(unordered-iter)\n"
+      "use(counts.size());\n"
+      "for (const auto& [k, v] : counts) {}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(SimlintAllow, OnlySuppressesTheNamedRule) {
+  const auto f = lint_one(
+      "// simlint:allow(wall-clock)\n"
+      "std::random_device rd;\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "std-rng");
+}
+
+TEST(SimlintAllow, SuppressesMultipleCommaSeparatedRules) {
+  EXPECT_TRUE(
+      lint_one("std::unordered_map<int, double> w;\n"
+               "double t = 0.0;\n"
+               "// simlint:allow(unordered-iter)\n"
+               "for (const auto& [k, v] : w) {\n"
+               "  t += v;  // simlint:allow(float-accum)\n"
+               "}\n")
+          .empty());
+}
+
+// --- comment handling --------------------------------------------------------
+
+TEST(SimlintComments, HazardsInCommentsAreIgnored) {
+  EXPECT_TRUE(
+      lint_one("// std::rand() would break reproducibility here\n"
+               "/* std::chrono::system_clock is also banned */\n"
+               "int x = 1;\n")
+          .empty());
+  EXPECT_TRUE(
+      lint_one("/*\n"
+               " * for (auto& e : some_unordered_thing) — example only\n"
+               " * std::mt19937 gen;\n"
+               " */\n"
+               "int y = 2;\n")
+          .empty());
+}
+
+}  // namespace
+}  // namespace scion::lint

@@ -1,11 +1,25 @@
 #!/bin/sh
 # Runs every bench binary, headline figures first, capturing combined output.
-# Usage: tools/run_benches.sh [output-file]
+# Usage: tools/run_benches.sh [--checked] [output-file]
+#
+# --checked runs the binaries from the build-checked tree (CMake preset
+# `checked`, SCION_MPR_CHECKED=ON) so every SCION_CHECK/SCION_DCHECK
+# invariant is live during the benchmark workloads — slower, but a full
+# soak of the hot-path assertions over realistic inputs.
+build_dir="build"
+if [ "$1" = "--checked" ]; then
+  build_dir="build-checked"
+  shift
+  if [ ! -d "$build_dir/bench" ]; then
+    echo "error: $build_dir not built; run: cmake --preset checked && cmake --build --preset checked" >&2
+    exit 1
+  fi
+fi
 out="${1:-bench_output.txt}"
 : > "$out"
 ordered="bench_table1_overhead_scope bench_fig5_overhead bench_fig6a_resilience bench_fig6b_capacity bench_fig7_scionlab_resilience bench_fig8_scionlab_capacity bench_fig9_scionlab_bandwidth bench_micro bench_ablation_scoring bench_ablation_sweeps bench_ext_latency"
 for name in $ordered; do
-  b="build/bench/$name"
+  b="$build_dir/bench/$name"
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "=== $b ===" >> "$out"
     "$b" >> "$out" 2>&1
@@ -13,7 +27,7 @@ for name in $ordered; do
   fi
 done
 # Catch any bench not in the explicit list.
-for b in build/bench/*; do
+for b in "$build_dir"/bench/*; do
   case " $ordered " in
     *" $(basename "$b") "*) continue ;;
   esac

@@ -1,0 +1,87 @@
+// simlint driver: lints the given files / directories (recursively, *.hpp
+// *.cpp *.h) and reports determinism hazards. See simlint_core.hpp for the
+// rule set and the `// simlint:allow(<rule>)` escape hatch.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// Registered as a ctest (`ctest -R simlint`) over src/, so tier-1 keeps the
+// tree hazard-free.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/simlint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool add_path(scion::lint::Linter& linter, const fs::path& path) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "simlint: cannot walk %s: %s\n",
+                   path.string().c_str(), ec.message().c_str());
+      return false;
+    }
+    // Deterministic report order regardless of directory enumeration.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) {
+      if (!add_path(linter, f)) return false;
+    }
+    return true;
+  }
+
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "simlint: cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  linter.add_file(path.generic_string(), std::move(buf).str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: simlint <file-or-dir>...\n"
+                 "rules: wall-clock std-rng unordered-iter float-accum\n"
+                 "suppress with // simlint:allow(<rule>) on or above the "
+                 "offending line\n");
+    return 2;
+  }
+
+  scion::lint::Linter linter;
+  for (int i = 1; i < argc; ++i) {
+    if (!add_path(linter, argv[i])) return 2;
+  }
+
+  const std::vector<scion::lint::Finding> findings = linter.run();
+  for (const scion::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "simlint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
