@@ -7,7 +7,6 @@
 //                  alternative the paper rejects because it wastes the
 //                  resilience of parallel links
 // For each variant: control-plane bytes and fraction-of-optimal capacity.
-#include <cstdio>
 #include <vector>
 
 #include "analysis/path_quality.hpp"
@@ -104,19 +103,35 @@ void BM_AblationScoring(benchmark::State& state) {
 }
 BENCHMARK(BM_AblationScoring)->Unit(benchmark::kSecond)->Iterations(1);
 
+obs::Table ablation_table() {
+  obs::Table t{"Scoring-function ablation (diversity algorithm variants)",
+               {obs::Column{"variant", obs::Align::kLeft, 28},
+                obs::Column{"bytes", obs::Align::kRight, 14},
+                obs::Column{"PCBs", obs::Align::kRight, 10},
+                obs::Column{"capacity/optimal", obs::Align::kRight, 18}}};
+  for (const auto& r : g_results) {
+    t.row({r.name, obs::fmt_u64(r.bytes), obs::fmt_u64(r.pcbs),
+           obs::fmt_f(r.fraction_of_optimal, 3)});
+  }
+  return t;
+}
+
 }  // namespace
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    std::printf("\nScoring-function ablation (diversity algorithm variants)\n");
-    std::printf("  %-28s %14s %10s %18s\n", "variant", "bytes", "PCBs",
-                "capacity/optimal");
-    for (const auto& r : scion::exp::g_results) {
-      std::printf("  %-28s %14llu %10llu %18.3f\n", r.name.c_str(),
-                  static_cast<unsigned long long>(r.bytes),
-                  static_cast<unsigned long long>(r.pcbs),
-                  r.fraction_of_optimal);
-    }
-  });
+  return scion::exp::bench_main(
+      "ablation_scoring", argc, argv,
+      [] {
+        scion::obs::print_line("");
+        scion::obs::print(scion::exp::ablation_table().to_text());
+      },
+      [](scion::exp::BenchReport& report) {
+        report.table(scion::exp::ablation_table());
+        for (const auto& r : scion::exp::g_results) {
+          report.scalar("capacity_of_optimal:" + r.name,
+                        r.fraction_of_optimal);
+          report.scalar("bytes:" + r.name, static_cast<double>(r.bytes));
+        }
+      });
 }

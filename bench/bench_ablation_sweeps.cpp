@@ -8,6 +8,7 @@
 #include "analysis/path_quality.hpp"
 #include "bench/bench_common.hpp"
 #include "core/beaconing_sim.hpp"
+// (<cstdio> stays for the snprintf label formatting in the sweep loops.)
 
 namespace scion::exp {
 namespace {
@@ -86,18 +87,34 @@ void BM_AblationSweeps(benchmark::State& state) {
 }
 BENCHMARK(BM_AblationSweeps)->Unit(benchmark::kSecond)->Iterations(1);
 
+obs::Table sweep_table() {
+  obs::Table t{"Dissemination-limit and interval sweeps",
+               {obs::Column{"configuration", obs::Align::kLeft, 28},
+                obs::Column{"bytes", obs::Align::kRight, 14},
+                obs::Column{"capacity/optimal", obs::Align::kRight, 18}}};
+  for (const auto& r : g_rows) {
+    t.row({r.label, obs::fmt_u64(r.bytes),
+           obs::fmt_f(r.fraction_of_optimal, 3)});
+  }
+  return t;
+}
+
 }  // namespace
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    std::printf("\nDissemination-limit and interval sweeps\n");
-    std::printf("  %-28s %14s %18s\n", "configuration", "bytes",
-                "capacity/optimal");
-    for (const auto& r : scion::exp::g_rows) {
-      std::printf("  %-28s %14llu %18.3f\n", r.label.c_str(),
-                  static_cast<unsigned long long>(r.bytes),
-                  r.fraction_of_optimal);
-    }
-  });
+  return scion::exp::bench_main(
+      "ablation_sweeps", argc, argv,
+      [] {
+        scion::obs::print_line("");
+        scion::obs::print(scion::exp::sweep_table().to_text());
+      },
+      [](scion::exp::BenchReport& report) {
+        report.table(scion::exp::sweep_table());
+        for (const auto& r : scion::exp::g_rows) {
+          report.scalar("capacity_of_optimal:" + r.label,
+                        r.fraction_of_optimal);
+          report.scalar("bytes:" + r.label, static_cast<double>(r.bytes));
+        }
+      });
 }

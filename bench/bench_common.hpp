@@ -5,14 +5,32 @@
 // variables) plus google-benchmark's own flags. The experiment executes
 // once inside a single-iteration google-benchmark (so the suite reports its
 // wall time), and the figure's series are printed afterwards.
+//
+// Telemetry: every bench owns an obs::ObsSession, so the common flags
+// --metrics-out / --trace-out / --trace-filter work on all of them, and a
+// machine-readable report BENCH_<name>.json (manifest + metrics + phase
+// profile + per-figure data) is written after the run:
+//   --bench-out=FILE   report path (default BENCH_<name>.json; "none"
+//                      disables the report)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "experiments/scale.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/session.hpp"
 #include "util/flags.hpp"
+#include "util/stats.hpp"
 
 namespace scion::exp {
 
@@ -23,13 +41,92 @@ inline util::Flags& bench_flags() {
 
 inline Scale bench_scale() { return Scale::from_flags(bench_flags()); }
 
-/// Runs benchmark initialization + the registered benchmarks, then `print`.
-inline int bench_main(int argc, char** argv, const std::function<void()>& print) {
+/// Per-figure data a bench binary contributes to its BENCH_<name>.json:
+/// headline scalars, CDF series, and rendered tables.
+class BenchReport {
+ public:
+  void scalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+  }
+
+  void cdf(const std::string& name, const util::EmpiricalCdf& c,
+           std::size_t points) {
+    obs::JsonWriter w;
+    obs::append_cdf_json(w, c, points);
+    series_.emplace_back(name, std::move(w).take());
+  }
+
+  void table(const obs::Table& t) {
+    obs::JsonWriter w;
+    t.append_json(w);
+    tables_.push_back(std::move(w).take());
+  }
+
+  /// Appends the "scalars", "series" and "tables" members to an open object.
+  void append_json(obs::JsonWriter& w) const {
+    w.key("scalars").begin_object();
+    for (const auto& [name, value] : scalars_) w.kv(name, value);
+    w.end_object();
+    w.key("series").begin_object();
+    for (const auto& [name, json] : series_) w.key(name).value_raw(json);
+    w.end_object();
+    w.key("tables").begin_array();
+    for (const std::string& json : tables_) w.value_raw(json);
+    w.end_array();
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> series_;
+  std::vector<std::string> tables_;
+};
+
+/// {"schema": "scion-mpr-bench-v1", "name": ..., "manifest": {...},
+///  "metrics": {...}, "phases": [...], "scalars": {...}, "series": {...},
+///  "tables": [...]}
+inline std::string bench_report_json(const std::string& name,
+                                     const obs::ObsSession& session,
+                                     const BenchReport& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "scion-mpr-bench-v1");
+  w.kv("name", name);
+  w.key("manifest").begin_object();
+  session.manifest().append_fields(w);
+  w.end_object();
+  w.key("metrics").value_raw(obs::MetricsRegistry::global().to_json());
+  w.key("phases").value_raw(obs::PhaseProfiler::global().to_json());
+  report.append_json(w);
+  w.end_object();
+  return std::move(w).take();
+}
+
+/// Runs benchmark initialization + the registered benchmarks, then `print`,
+/// then (unless --bench-out=none) writes the JSON report; `fill` populates
+/// the report's per-figure data from the bench's result.
+inline int bench_main(const std::string& name, int argc, char** argv,
+                      const std::function<void()>& print,
+                      const std::function<void(BenchReport&)>& fill = {}) {
   bench_flags() = util::Flags{argc, argv};
+  obs::ObsSession session{"bench_" + name, bench_flags(), bench_scale().seed};
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print();
+  if (print) print();
+
+  const std::string path =
+      bench_flags().get("bench-out", "BENCH_" + name + ".json");
+  if (path != "none") {
+    BenchReport report;
+    if (fill) fill(report);
+    std::ofstream out{path};
+    if (!out) {
+      std::cerr << "bench: cannot open --bench-out file " << path << '\n';
+      return 1;
+    }
+    out << bench_report_json(name, session, report) << '\n';
+  }
+  session.finish();
   return 0;
 }
 

@@ -5,7 +5,6 @@
 // the diversity algorithm with and without the latency extension, reporting
 // (a) the metadata's wire-size cost and (b) the latency of the disseminated
 // paths endpoints end up with.
-#include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -83,30 +82,56 @@ void BM_LatencyExtension(benchmark::State& state) {
 }
 BENCHMARK(BM_LatencyExtension)->Unit(benchmark::kSecond)->Iterations(1);
 
+obs::Table latency_table() {
+  obs::Table t{"Latency-optimization extension (Section 4.2 future work)",
+               {obs::Column{"variant", obs::Align::kLeft, 28},
+                obs::Column{"bytes", obs::Align::kRight, 14},
+                obs::Column{"best path (ms)", obs::Align::kRight, 18},
+                obs::Column{"all paths (ms)", obs::Align::kRight, 18}}};
+  for (const auto& r : g_results) {
+    t.row({r.name, obs::fmt_u64(r.bytes), obs::fmt_f(r.mean_best_latency_ms, 2),
+           obs::fmt_f(r.mean_path_latency_ms, 2)});
+  }
+  return t;
+}
+
+double metadata_cost_percent() {
+  if (g_results.size() < 3) return 0.0;
+  return 100.0 * (static_cast<double>(g_results[0].bytes) /
+                      static_cast<double>(g_results[2].bytes) -
+                  1.0);
+}
+
+double latency_shift_ms() {
+  if (g_results.size() < 3) return 0.0;
+  return g_results[1].mean_path_latency_ms - g_results[0].mean_path_latency_ms;
+}
+
 }  // namespace
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    std::printf("\nLatency-optimization extension (Section 4.2 future work)\n");
-    std::printf("  %-28s %14s %18s %18s\n", "variant", "bytes",
-                "best path (ms)", "all paths (ms)");
-    for (const auto& r : scion::exp::g_results) {
-      std::printf("  %-28s %14llu %18.2f %18.2f\n", r.name.c_str(),
-                  static_cast<unsigned long long>(r.bytes),
-                  r.mean_best_latency_ms, r.mean_path_latency_ms);
-    }
-    if (scion::exp::g_results.size() >= 3) {
-      const auto& blind = scion::exp::g_results[0];
-      const auto& opt = scion::exp::g_results[1];
-      const auto& bare = scion::exp::g_results[2];
-      std::printf("\n  metadata wire cost: %+.2f%% bytes; latency-aware "
-                  "selection shifts the disseminated set by %+.1f ms on "
-                  "average\n",
-                  100.0 * (static_cast<double>(blind.bytes) /
-                               static_cast<double>(bare.bytes) -
-                           1.0),
-                  opt.mean_path_latency_ms - blind.mean_path_latency_ms);
-    }
-  });
+  return scion::exp::bench_main(
+      "ext_latency", argc, argv,
+      [] {
+        scion::obs::print_line("");
+        scion::obs::print(scion::exp::latency_table().to_text());
+        if (scion::exp::g_results.size() >= 3) {
+          scion::obs::print_line(
+              "\n  metadata wire cost: " +
+              scion::obs::fmt_f(scion::exp::metadata_cost_percent(), 2) +
+              "% bytes; latency-aware selection shifts the disseminated set "
+              "by " +
+              scion::obs::fmt_f(scion::exp::latency_shift_ms(), 1) +
+              " ms on average");
+        }
+      },
+      [](scion::exp::BenchReport& report) {
+        report.table(scion::exp::latency_table());
+        if (scion::exp::g_results.size() >= 3) {
+          report.scalar("metadata_cost_percent",
+                        scion::exp::metadata_cost_percent());
+          report.scalar("latency_shift_ms", scion::exp::latency_shift_ms());
+        }
+      });
 }

@@ -34,9 +34,25 @@ BENCHMARK(BM_Fig5Overhead)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      scion::exp::print_overhead_result(*scion::exp::g_result);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig5_overhead", argc, argv,
+      [] {
+        if (g_result) scion::exp::print_overhead_result(*g_result);
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.cdf("bgpsec_rel", g_result->bgpsec_rel, 8);
+        report.cdf("core_baseline_rel", g_result->core_baseline_rel, 8);
+        report.cdf("core_diversity_rel", g_result->core_diversity_rel, 8);
+        report.cdf("intra_rel", g_result->intra_rel, 8);
+        report.scalar("per_path_bgp", g_result->per_path_bgp);
+        report.scalar("per_path_bgpsec", g_result->per_path_bgpsec);
+        report.scalar("per_path_core_baseline",
+                      g_result->per_path_core_baseline);
+        report.scalar("per_path_core_diversity",
+                      g_result->per_path_core_diversity);
+        report.scalar("diversity_paths_per_origin",
+                      g_result->diversity_paths_per_origin);
+      });
 }

@@ -39,10 +39,22 @@ BENCHMARK(BM_Fig6aResilience)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      std::printf("\nFig. 6a — link failure resilience (core network)\n");
-      scion::exp::print_resilience(*scion::exp::g_result, 15);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig6a_resilience", argc, argv,
+      [] {
+        if (g_result) {
+          scion::obs::print_line(
+              "\nFig. 6a — link failure resilience (core network)");
+          scion::exp::print_resilience(*g_result, 15);
+        }
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.table(scion::exp::resilience_table(*g_result, 15));
+        for (const scion::exp::QualitySeries& s : g_result->series) {
+          report.scalar("opt_frac:" + s.name,
+                        g_result->fraction_of_optimal(s));
+        }
+      });
 }

@@ -38,10 +38,21 @@ BENCHMARK(BM_Fig6bCapacity)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      std::printf("\nFig. 6b — maximum capacity (core network)\n");
-      scion::exp::print_capacity(*scion::exp::g_result);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig6b_capacity", argc, argv,
+      [] {
+        if (g_result) {
+          scion::obs::print_line("\nFig. 6b — maximum capacity (core network)");
+          scion::exp::print_capacity(*g_result);
+        }
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.table(scion::exp::capacity_table(*g_result));
+        for (const scion::exp::QualitySeries& s : g_result->series) {
+          report.scalar("opt_frac:" + s.name,
+                        g_result->fraction_of_optimal(s));
+        }
+      });
 }

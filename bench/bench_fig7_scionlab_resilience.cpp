@@ -23,23 +23,35 @@ BENCHMARK(BM_Fig7ScionLabResilience)->Unit(benchmark::kSecond)->Iterations(1);
 
 /// Paper comparison: fraction of pairs where each diversity configuration
 /// strictly beats the deployed (baseline-5) selection.
-void print_beats_measurement(const QualityResult& r) {
+std::vector<std::pair<std::string, double>> beats_measurement(
+    const QualityResult& r) {
+  std::vector<std::pair<std::string, double>> out;
   const QualitySeries* measurement = nullptr;
   for (const QualitySeries& s : r.series) {
     if (s.name.find("Baseline (5)") != std::string::npos) measurement = &s;
   }
-  if (measurement == nullptr) return;
-  std::printf("\n  fraction of pairs where diversity beats the deployed "
-              "selection:\n");
+  if (measurement == nullptr) return out;
   for (const QualitySeries& s : r.series) {
     if (s.name.find("Diversity") == std::string::npos) continue;
     std::size_t better = 0;
     for (std::size_t i = 0; i < s.values.size(); ++i) {
       better += s.values[i] > measurement->values[i];
     }
-    std::printf("    %-24s %.2f\n", s.name.c_str(),
-                static_cast<double>(better) /
-                    static_cast<double>(s.values.size()));
+    out.emplace_back(s.name, static_cast<double>(better) /
+                                 static_cast<double>(s.values.size()));
+  }
+  return out;
+}
+
+void print_beats_measurement(const QualityResult& r) {
+  const auto beats = beats_measurement(r);
+  if (beats.empty()) return;
+  obs::print_line("\n  fraction of pairs where diversity beats the deployed "
+                  "selection:");
+  for (const auto& [name, fraction] : beats) {
+    std::string line = "    " + name;
+    if (name.size() < 24) line.append(24 - name.size(), ' ');
+    obs::print_line(line + " " + obs::fmt_f(fraction, 2));
   }
 }
 
@@ -47,11 +59,23 @@ void print_beats_measurement(const QualityResult& r) {
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      std::printf("\nFig. 7 — link failure resilience (SCIONLab testbed)\n");
-      scion::exp::print_resilience(scion::exp::g_result->quality, 6);
-      scion::exp::print_beats_measurement(scion::exp::g_result->quality);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig7_scionlab_resilience", argc, argv,
+      [] {
+        if (g_result) {
+          scion::obs::print_line(
+              "\nFig. 7 — link failure resilience (SCIONLab testbed)");
+          scion::exp::print_resilience(g_result->quality, 6);
+          scion::exp::print_beats_measurement(g_result->quality);
+        }
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.table(scion::exp::resilience_table(g_result->quality, 6));
+        for (const auto& [name, fraction] :
+             scion::exp::beats_measurement(g_result->quality)) {
+          report.scalar("beats_measurement:" + name, fraction);
+        }
+      });
 }

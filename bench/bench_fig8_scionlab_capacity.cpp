@@ -28,10 +28,22 @@ BENCHMARK(BM_Fig8ScionLabCapacity)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      std::printf("\nFig. 8 — maximum capacity (SCIONLab testbed)\n");
-      scion::exp::print_capacity(scion::exp::g_result->quality);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig8_scionlab_capacity", argc, argv,
+      [] {
+        if (g_result) {
+          scion::obs::print_line(
+              "\nFig. 8 — maximum capacity (SCIONLab testbed)");
+          scion::exp::print_capacity(g_result->quality);
+        }
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.table(scion::exp::capacity_table(g_result->quality));
+        for (const scion::exp::QualitySeries& s : g_result->quality.series) {
+          report.scalar("opt_frac:" + s.name,
+                        g_result->quality.fraction_of_optimal(s));
+        }
+      });
 }

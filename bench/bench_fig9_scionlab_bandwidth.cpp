@@ -29,9 +29,16 @@ BENCHMARK(BM_Fig9ScionLabBandwidth)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) {
-      scion::exp::print_scionlab_bandwidth(*scion::exp::g_result);
-    }
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "fig9_scionlab_bandwidth", argc, argv,
+      [] {
+        if (g_result) scion::exp::print_scionlab_bandwidth(*g_result);
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.cdf("interface_bandwidth_Bps", g_result->bandwidth, 10);
+        report.scalar("fraction_below_4kbps", g_result->fraction_below_4kbps);
+        report.scalar("median_Bps", g_result->bandwidth.median());
+      });
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/maxflow.hpp"
+#include "bench/bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "core/pcb.hpp"
 #include "crypto/sha256.hpp"
@@ -193,4 +194,7 @@ BENCHMARK(BM_MaxFlowCoreTopology)->Arg(400)->Arg(800);
 }  // namespace
 }  // namespace scion
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // No per-figure series; the report still carries manifest + metrics.
+  return scion::exp::bench_main("micro", argc, argv, {});
+}

@@ -47,7 +47,21 @@ BENCHMARK(BM_Table1ControlPlane)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace scion::exp
 
 int main(int argc, char** argv) {
-  return scion::exp::bench_main(argc, argv, [] {
-    if (scion::exp::g_result) scion::exp::print_table1(*scion::exp::g_result);
-  });
+  using scion::exp::g_result;
+  return scion::exp::bench_main(
+      "table1_overhead_scope", argc, argv,
+      [] {
+        if (g_result) scion::exp::print_table1(*g_result);
+      },
+      [](scion::exp::BenchReport& report) {
+        if (!g_result) return;
+        report.table(g_result->ledger.table("SCION control-plane components",
+                                            g_result->window,
+                                            g_result->participants));
+        report.scalar("lookups", static_cast<double>(g_result->lookups));
+        report.scalar("paths_resolved",
+                      static_cast<double>(g_result->paths_resolved));
+        report.scalar("total_bytes",
+                      static_cast<double>(g_result->ledger.total_bytes()));
+      });
 }

@@ -4,6 +4,14 @@
 # sanitizers, and lint the simulator sources with simlint. Any sanitizer
 # report, failed test, warning, or determinism hazard fails the script.
 #
+# The test suite includes the telemetry smoke gate (obs_smoke_bench +
+# obs_smoke_check fixtures): one small bench runs with --metrics-out,
+# --trace-out, --trace-filter, and --bench-out, and tools/obs_check
+# validates the emitted artifacts against their schemas. As a second,
+# independent check this script runs a telemetry-instrumented
+# bench_fig5_overhead (the acceptance figure) and validates its artifacts
+# too.
+#
 # Usage: ./ci.sh [preset]   (default: asan-ubsan; try `tsan` or `checked`)
 set -eu
 
@@ -21,4 +29,18 @@ case "$preset" in
 esac
 "$build_dir/tools/simlint" src
 
-echo "ci: $preset build, tests, and simlint all green"
+obs_dir="$build_dir/obs_ci"
+mkdir -p "$obs_dir"
+# --scale keeps the sanitizer-instrumented run (and its trace) small; the
+# schema checks are scale-independent.
+"$build_dir/bench/bench_fig5_overhead" --scale=0.2 --churn-minutes=120 \
+  --metrics-out="$obs_dir/metrics.json" \
+  --trace-out="$obs_dir/trace.jsonl" \
+  --trace-filter=bgp,beacon \
+  --bench-out="$obs_dir/bench.json" > "$obs_dir/stdout.txt"
+"$build_dir/tools/obs_check" \
+  --metrics="$obs_dir/metrics.json" \
+  --trace="$obs_dir/trace.jsonl" --expect-cat=bgp,beacon \
+  --bench="$obs_dir/bench.json"
+
+echo "ci: $preset build, tests, simlint, and telemetry artifacts all green"

@@ -1,8 +1,7 @@
 #include "analysis/overhead.hpp"
 
+#include "obs/report.hpp"
 #include "util/check.hpp"
-
-#include <cstdio>
 
 namespace scion::analysis {
 
@@ -79,20 +78,27 @@ std::uint64_t OverheadLedger::total_bytes() const {
   return total;
 }
 
+obs::Table OverheadLedger::table(const std::string& title,
+                                 util::Duration window,
+                                 std::uint64_t participants) const {
+  obs::Table t{title + " (window " + window.to_string() + ", " +
+                   std::to_string(participants) + " participants)",
+               {obs::Column{"Component", obs::Align::kLeft, 28},
+                obs::Column{"Scope", obs::Align::kLeft, 7},
+                obs::Column{"Freq", obs::Align::kLeft, 8},
+                obs::Column{"Messages", obs::Align::kRight, 12},
+                obs::Column{"Bytes", obs::Align::kRight, 14}}};
+  for (const Row& row : rows()) {
+    t.row({row.component, to_string(row.scope()),
+           to_string(row.frequency(window, participants)),
+           obs::fmt_u64(row.messages), obs::fmt_u64(row.bytes)});
+  }
+  return t;
+}
+
 void OverheadLedger::print(const std::string& title, util::Duration window,
                            std::uint64_t participants) const {
-  std::printf("%s (window %s, %llu participants)\n", title.c_str(),
-              window.to_string().c_str(),
-              static_cast<unsigned long long>(participants));
-  std::printf("  %-28s %-7s %-8s %12s %14s\n", "Component", "Scope",
-              "Freq", "Messages", "Bytes");
-  for (const Row& row : rows()) {
-    std::printf("  %-28s %-7s %-8s %12llu %14llu\n", row.component.c_str(),
-                to_string(row.scope()),
-                to_string(row.frequency(window, participants)),
-                static_cast<unsigned long long>(row.messages),
-                static_cast<unsigned long long>(row.bytes));
-  }
+  obs::print(table(title, window, participants).to_text());
 }
 
 double extrapolate_to_month(std::uint64_t bytes, util::Duration window) {

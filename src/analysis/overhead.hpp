@@ -15,6 +15,10 @@
 
 #include "util/time.hpp"
 
+namespace scion::obs {
+class Table;
+}
+
 namespace scion::analysis {
 
 /// How far a control-plane message travels (Table 1 "Scope").
@@ -55,6 +59,10 @@ class OverheadLedger {
 
   std::vector<Row> rows() const;
   std::uint64_t total_bytes() const;
+
+  /// The measured scope/frequency table, ready for text or JSON rendering.
+  obs::Table table(const std::string& title, util::Duration window,
+                   std::uint64_t participants) const;
 
   /// Prints the measured scope/frequency table.
   void print(const std::string& title, util::Duration window,

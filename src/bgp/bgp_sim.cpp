@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace scion::bgp {
@@ -90,7 +92,11 @@ void BgpSim::deliver(topo::AsIndex to, const sim::Message& msg) {
   busy_until_[to] = start;
   const auto update = std::any_cast<BgpUpdateMsg>(msg.payload);
   const topo::AsIndex from = msg.from;
+  SCION_METRIC_OBSERVE("bgp.update_wire_bytes", update_wire_size(update));
   sim_.schedule_at(start, [this, to, from, update] {
+    SCION_TRACE(obs::Category::kBgp, sim_.now(), "update", {"to", to},
+                {"from", from}, {"announced", update.announced.size()},
+                {"withdrawn", update.withdrawn.size()});
     if (measuring_) {
       const auto it = monitors_.find(to);
       if (it != monitors_.end()) {
@@ -137,6 +143,9 @@ void BgpSim::schedule_next_flap() {
   sim_.schedule_after(gap, [this] {
     const Adjacency& adj = adjacencies_[rng_.index(adjacencies_.size())];
     if (speakers_[adj.a]->session_is_up(adj.b)) {
+      SCION_METRIC_COUNT("bgp.session_flaps", 1);
+      SCION_TRACE(obs::Category::kBgp, sim_.now(), "flap", {"a", adj.a},
+                  {"b", adj.b});
       speakers_[adj.a]->session_down(adj.b);
       speakers_[adj.b]->session_down(adj.a);
       net_.set_channel_up(adj.channel, false);
@@ -164,6 +173,9 @@ void BgpSim::run() {
     sim_.schedule_after(offset, [this, p] { speakers_[p]->originate(p); });
   }
   sim_.run_until(util::TimePoint::origin() + config_.convergence_window);
+  SCION_TRACE(obs::Category::kBgp, sim_.now(), "converged",
+              {"updates_sent", total_updates_sent()},
+              {"origins", origins_.size()});
 
   // Measurement window with churn.
   measuring_ = true;

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace scion::bgp {
@@ -146,6 +147,9 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
   NeighborState& n = neighbors_[idx];
   if (!n.up) return;
   ++updates_received_;
+  SCION_METRIC_COUNT("bgp.updates_received", 1);
+  SCION_METRIC_COUNT("bgp.prefixes_withdrawn", msg.withdrawn.size());
+  SCION_METRIC_COUNT("bgp.prefixes_announced", msg.announced.size());
 
   for (Prefix p : msg.withdrawn) {
     const auto it = rib_in_.find(p);
@@ -166,6 +170,8 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
       reevaluate(p);
     }
   }
+  SCION_METRIC_GAUGE_MAX("bgp.loc_rib_routes", loc_rib_.size());
+  SCION_METRIC_GAUGE_MAX("bgp.rib_in_prefixes", rib_in_.size());
 }
 
 void Speaker::session_down(topo::AsIndex neighbor) {
@@ -279,11 +285,13 @@ void Speaker::flush(std::size_t idx) {
       BgpUpdateMsg msg;
       msg.withdrawn = std::move(withdrawals);
       ++updates_sent_;
+      SCION_METRIC_COUNT("bgp.updates_sent", 1);
       send_(n.info.as, msg);
     }
   }
   for (BgpUpdateMsg& msg : grouped) {
     ++updates_sent_;
+    SCION_METRIC_COUNT("bgp.updates_sent", 1);
     send_(n.info.as, msg);
   }
 }

@@ -1,5 +1,7 @@
 #include "core/beacon_server.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 #include <algorithm>
@@ -101,20 +103,24 @@ void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
   SCION_CHECK(pcb && !pcb->entries().empty(), "received PCB must be non-empty");
   ++stats_.pcbs_received;
   stats_.bytes_received += pcb->wire_size();
+  SCION_METRIC_COUNT("beacon.pcbs_received", 1);
 
   if (pcb->expired(now)) return;
   if (pcb->contains_as(self_id_)) {
     ++stats_.loops_dropped;
+    SCION_METRIC_COUNT("beacon.loops_dropped", 1);
     return;
   }
   if (config_.compute_crypto && config_.verify_signatures &&
       !pcb->verify(keys_)) {
     ++stats_.verify_failures;
+    SCION_METRIC_COUNT("beacon.verify_failures", 1);
     return;
   }
   std::vector<topo::LinkIndex> links = resolve_links(*pcb, ingress);
   if (links.empty()) {
     ++stats_.resolve_failures;
+    SCION_METRIC_COUNT("beacon.resolve_failures", 1);
     return;
   }
 
@@ -127,11 +133,18 @@ void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
   if (outcome == BeaconStore::InsertOutcome::kRejected ||
       outcome == BeaconStore::InsertOutcome::kStale) {
     ++stats_.store_rejected;
+    SCION_METRIC_COUNT("beacon.store_rejected", 1);
   }
 }
 
 void BeaconServer::on_interval(TimePoint now) {
-  store_.expire(now);
+  const std::size_t expired = store_.expire(now);
+  if (expired > 0) {
+    SCION_METRIC_COUNT("beacon.pcbs_expired", expired);
+    SCION_TRACE(obs::Category::kBeacon, now, "expire",
+                {"as", self_id_.to_string()}, {"expired", expired});
+  }
+  SCION_METRIC_GAUGE_MAX("beacon.store_occupancy", store_.total_stored());
   if (diversity_) diversity_->expire(now);
   originate(now);
   propagate(now);
@@ -166,6 +179,11 @@ void BeaconServer::send_origin_pcb(topo::LinkIndex egress, TimePoint now) {
   ++stats_.pcbs_originated;
   ++stats_.pcbs_sent;
   stats_.bytes_sent += pcb->wire_size();
+  SCION_METRIC_COUNT("beacon.pcbs_originated", 1);
+  SCION_METRIC_COUNT("beacon.pcbs_sent", 1);
+  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size());
+  SCION_TRACE(obs::Category::kBeacon, now, "originate",
+              {"as", self_id_.to_string()}, {"egress_if", out_if});
   send_(egress, pcb);
 }
 
@@ -230,7 +248,7 @@ void BeaconServer::originate_diversity(TimePoint now) {
 }
 
 void BeaconServer::send_extended(const StoredPcb& stored,
-                                 topo::LinkIndex egress) {
+                                 topo::LinkIndex egress, TimePoint now) {
   const topo::IfId in_if = topology_.interface_of(stored.links.back(), self_);
   const topo::IfId out_if = topology_.interface_of(egress, self_);
   std::uint32_t ingress_latency_us = 0;
@@ -246,6 +264,12 @@ void BeaconServer::send_extended(const StoredPcb& stored,
                                         peer_entries(), ingress_latency_us));
   ++stats_.pcbs_sent;
   stats_.bytes_sent += pcb->wire_size();
+  SCION_METRIC_COUNT("beacon.pcbs_sent", 1);
+  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size());
+  SCION_TRACE(obs::Category::kBeacon, now, "propagate",
+              {"as", self_id_.to_string()},
+              {"origin", stored.pcb->origin().to_string()},
+              {"hops", pcb->hops()}, {"egress_if", out_if});
   send_(egress, pcb);
 }
 
@@ -261,12 +285,12 @@ void BeaconServer::propagate(TimePoint now) {
         const std::vector<Candidate> selected = diversity_->select_and_commit(
             bucket, origin, group.neighbor_id, group.links,
             config_.dissemination_limit, t);
-        for (const Candidate& c : selected) send_extended(*c.stored, c.egress);
+        for (const Candidate& c : selected) send_extended(*c.stored, c.egress, t);
       } else {
         for (topo::LinkIndex l : group.links) {
           const std::vector<Candidate> selected = baseline_select(
               bucket, group.neighbor_id, l, config_.dissemination_limit, t);
-          for (const Candidate& c : selected) send_extended(*c.stored, c.egress);
+          for (const Candidate& c : selected) send_extended(*c.stored, c.egress, t);
         }
       }
     }

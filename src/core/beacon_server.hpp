@@ -114,7 +114,8 @@ class BeaconServer {
   void originate(TimePoint now);
   void originate_diversity(TimePoint now);
   void propagate(TimePoint now);
-  void send_extended(const StoredPcb& stored, topo::LinkIndex egress);
+  void send_extended(const StoredPcb& stored, topo::LinkIndex egress,
+                     TimePoint now);
   void send_origin_pcb(topo::LinkIndex egress, TimePoint now);
   std::vector<PeerEntry> peer_entries() const;
 

@@ -113,18 +113,22 @@ std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
   return worst;
 }
 
-void BeaconStore::expire(TimePoint now) {
-  // Erase-only sweep; no cross-bucket state, order-insensitive.
+std::size_t BeaconStore::expire(TimePoint now) {
+  std::size_t expired = 0;
+  // Erase-only sweep; no cross-bucket state, order-insensitive (the count
+  // is a pure function of the multiset of entries).
   // simlint:allow(unordered-iter)
   for (auto it = buckets_.begin(); it != buckets_.end();) {
     auto& bucket = it->second;
-    std::erase_if(bucket, [now](const StoredPcb& e) { return e.pcb->expired(now); });
+    expired += std::erase_if(
+        bucket, [now](const StoredPcb& e) { return e.pcb->expired(now); });
     if (bucket.empty()) {
       it = buckets_.erase(it);
     } else {
       ++it;
     }
   }
+  return expired;
 }
 
 const std::vector<StoredPcb>& BeaconStore::for_origin(IsdAsId origin) const {

@@ -48,8 +48,8 @@ class BeaconStore {
 
   InsertOutcome insert(StoredPcb entry);
 
-  /// Drops expired PCBs everywhere.
-  void expire(TimePoint now);
+  /// Drops expired PCBs everywhere; returns how many were dropped.
+  std::size_t expire(TimePoint now);
 
   /// Stored PCBs for one origin (possibly empty). Pointers/references are
   /// invalidated by insert/expire.

@@ -1,5 +1,6 @@
 #include "core/beaconing_sim.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 
@@ -84,6 +85,7 @@ void BeaconingSim::run() {
   }
   sim_.run_until(util::TimePoint::origin() + config_.warmup +
                  config_.sim_duration);
+  SCION_METRIC_GAUGE_MAX("beacon.total_pcbs_sent", total_pcbs_sent());
 }
 
 std::vector<InterfaceUsage> BeaconingSim::interface_usage() const {

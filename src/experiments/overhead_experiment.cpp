@@ -1,11 +1,12 @@
 #include "experiments/overhead_experiment.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "analysis/overhead.hpp"
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 
 namespace scion::exp {
 
@@ -69,6 +70,7 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
   OverheadResult r;
 
   // --- Internet topology, monitors, prefix counts -------------------------
+  obs::ProfilePhase topology_phase{"overhead.topology"};
   const topo::Topology internet = build_internet(scale);
   const std::vector<topo::AsIndex> monitors =
       pick_monitors(internet, scale.monitors);
@@ -77,6 +79,7 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
     monitor_as_numbers.push_back(internet.as_id(m).as_number());
   }
   const std::vector<std::uint32_t> prefixes = prefix_counts(internet, scale.seed);
+  topology_phase.stop();
 
   // --- BGP / BGPsec on the full topology ----------------------------------
   bgp::BgpSimConfig bgp_config;
@@ -85,7 +88,10 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
   bgp_config.seed = scale.seed;
   bgp::BgpSim bgp_sim{internet, bgp_config};
   for (const topo::AsIndex m : monitors) bgp_sim.add_monitor(m);
-  bgp_sim.run();
+  {
+    obs::ProfilePhase phase{"overhead.bgp"};
+    bgp_sim.run();
+  }
   for (const topo::AsIndex m : monitors) {
     r.bgp.push_back(bgp_sim.monthly_bgp_bytes(m, prefixes));
     r.bgpsec.push_back(bgp_sim.monthly_bgpsec_bytes(m, prefixes));
@@ -93,6 +99,7 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
 
   // --- SCION core beaconing (baseline and diversity) ----------------------
   const CoreNetworks nets = build_core_networks(scale, internet);
+  obs::ProfilePhase beaconing_phase{"overhead.beaconing"};
   const CoreRun baseline = run_core(nets.scion_view,
                                     ctrl::AlgorithmKind::kBaseline, scale,
                                     monitor_as_numbers);
@@ -105,6 +112,7 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
 
   // --- SCION intra-ISD beaconing (baseline) -------------------------------
   {
+    obs::ProfilePhase phase{"overhead.intra_isd"};
     topo::IsdConfig isd_config;
     isd_config.n_cores = scale.isd_cores;
     isd_config.n_ases = scale.isd_ases;
@@ -133,8 +141,10 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
           sim.server(idx).stats().bytes_received, scale.beaconing_duration));
     }
   }
+  beaconing_phase.stop();
 
   // --- Relative-to-BGP CDFs ------------------------------------------------
+  obs::ProfilePhase analysis_phase{"overhead.analysis"};
   for (std::size_t i = 0; i < r.bgp.size(); ++i) {
     if (r.bgp[i] <= 0) continue;
     r.bgpsec_rel.add(r.bgpsec[i] / r.bgp[i]);
@@ -179,24 +189,27 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
 }
 
 void print_overhead_result(const OverheadResult& r) {
-  std::printf("\nFig. 5 — monthly control-plane overhead relative to BGP "
-              "(CDF over monitors)\n");
-  util::print_cdf("BGPsec / BGP", r.bgpsec_rel, 8);
-  util::print_cdf("SCION core baseline / BGP", r.core_baseline_rel, 8);
-  util::print_cdf("SCION core diversity / BGP", r.core_diversity_rel, 8);
-  util::print_cdf("SCION intra-ISD baseline / BGP", r.intra_rel, 8);
+  obs::print_line(
+      "\nFig. 5 — monthly control-plane overhead relative to BGP "
+      "(CDF over monitors)");
+  obs::print_cdf("BGPsec / BGP", r.bgpsec_rel, 8);
+  obs::print_cdf("SCION core baseline / BGP", r.core_baseline_rel, 8);
+  obs::print_cdf("SCION core diversity / BGP", r.core_diversity_rel, 8);
+  obs::print_cdf("SCION intra-ISD baseline / BGP", r.intra_rel, 8);
 
-  std::printf("\nSection 5.2 — medians across monitors\n");
-  std::printf("  monthly bytes: BGP=%.3g BGPsec=%.3g core-baseline=%.3g "
-              "core-diversity=%.3g intra=%.3g\n",
-              median(r.bgp), median(r.bgpsec), median(r.core_baseline),
-              median(r.core_diversity), median(r.intra_baseline));
-  std::printf("  per-path overhead (bytes/month/path): BGP=%.3g BGPsec=%.3g "
-              "core-baseline=%.3g core-diversity=%.3g\n",
-              r.per_path_bgp, r.per_path_bgpsec, r.per_path_core_baseline,
-              r.per_path_core_diversity);
-  std::printf("  diversity paths stored per origin at monitors: %.1f\n",
-              r.diversity_paths_per_origin);
+  obs::print_line("\nSection 5.2 — medians across monitors");
+  obs::print_line("  monthly bytes: BGP=" + obs::fmt_g(median(r.bgp), 3) +
+                  " BGPsec=" + obs::fmt_g(median(r.bgpsec), 3) +
+                  " core-baseline=" + obs::fmt_g(median(r.core_baseline), 3) +
+                  " core-diversity=" + obs::fmt_g(median(r.core_diversity), 3) +
+                  " intra=" + obs::fmt_g(median(r.intra_baseline), 3));
+  obs::print_line("  per-path overhead (bytes/month/path): BGP=" +
+                  obs::fmt_g(r.per_path_bgp, 3) +
+                  " BGPsec=" + obs::fmt_g(r.per_path_bgpsec, 3) +
+                  " core-baseline=" + obs::fmt_g(r.per_path_core_baseline, 3) +
+                  " core-diversity=" + obs::fmt_g(r.per_path_core_diversity, 3));
+  obs::print_line("  diversity paths stored per origin at monitors: " +
+                  obs::fmt_f(r.diversity_paths_per_origin, 1));
 }
 
 }  // namespace scion::exp

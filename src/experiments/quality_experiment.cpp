@@ -1,11 +1,12 @@
 #include "experiments/quality_experiment.hpp"
 
-#include <cstdio>
 #include <memory>
 
 #include "analysis/path_quality.hpp"
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "util/stats.hpp"
 
 namespace scion::exp {
@@ -86,6 +87,7 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
     result.series.push_back(std::move(series));
   };
 
+  obs::ProfilePhase beaconing_phase{"quality.beaconing"};
   for (const std::size_t limit : config.baseline_storage_limits) {
     auto sim = run_beaconing(scion_view, ctrl::AlgorithmKind::kBaseline,
                              limit, config);
@@ -96,8 +98,10 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
                              limit, config);
     evaluate_sim(*sim, "SCION Diversity (" + limit_name(limit) + ")");
   }
+  beaconing_phase.stop();
 
   if (config.include_bgp) {
+    obs::ProfilePhase phase{"quality.bgp"};
     bgp::BgpSimConfig bc;
     bc.seed = config.seed;
     // Only convergence matters for path quality; skip churn.
@@ -120,12 +124,15 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
   return result;
 }
 
-void print_resilience(const QualityResult& r, int max_optimum) {
-  std::printf("\nResilience: average min #failing links disconnecting a pair, "
-              "grouped by the pair's optimum\n");
-  std::printf("  %-10s %8s", "optimum", "#pairs");
-  for (const QualitySeries& s : r.series) std::printf(" %22s", s.name.c_str());
-  std::printf("\n");
+obs::Table resilience_table(const QualityResult& r, int max_optimum) {
+  std::vector<obs::Column> columns{obs::Column{"optimum", obs::Align::kLeft, 10},
+                                   obs::Column{"#pairs", obs::Align::kRight, 8}};
+  for (const QualitySeries& s : r.series) {
+    columns.push_back(obs::Column{s.name, obs::Align::kRight, 22});
+  }
+  obs::Table t{"Resilience: average min #failing links disconnecting a pair, "
+               "grouped by the pair's optimum",
+               columns};
   for (int v = 1; v <= max_optimum; ++v) {
     std::size_t count = 0;
     std::vector<double> sums(r.series.size(), 0.0);
@@ -137,26 +144,39 @@ void print_resilience(const QualityResult& r, int max_optimum) {
       }
     }
     if (count == 0) continue;
-    std::printf("  %-10d %8zu", v, count);
+    std::vector<std::string> cells{std::to_string(v), obs::fmt_u64(count)};
     for (const double sum : sums) {
-      std::printf(" %22.2f", sum / static_cast<double>(count));
+      cells.push_back(obs::fmt_f(sum / static_cast<double>(count), 2));
     }
-    std::printf("\n");
+    t.row(cells);
   }
+  return t;
 }
 
-void print_capacity(const QualityResult& r) {
-  std::printf("\nCapacity in multiples of inter-AS links (CDF over pairs)\n");
-  util::EmpiricalCdf optimum_cdf;
-  for (const int v : r.optimum) optimum_cdf.add(v);
+void print_resilience(const QualityResult& r, int max_optimum) {
+  obs::print_line("");
+  obs::print(resilience_table(r, max_optimum).to_text());
+}
+
+obs::Table capacity_table(const QualityResult& r) {
+  obs::Table t{"Capacity in multiples of inter-AS links (CDF over pairs)",
+               {obs::Column{"Series", obs::Align::kLeft, 28},
+                obs::Column{"Distribution", obs::Align::kLeft, 36},
+                obs::Column{"Fraction of optimal", obs::Align::kRight, 19}}};
   for (const QualitySeries& s : r.series) {
     util::EmpiricalCdf cdf;
     for (const int v : s.values) cdf.add(v);
-    std::printf("  %-28s %s  | fraction of optimal: %.3f\n", s.name.c_str(),
-                cdf.summary().c_str(),
-                r.fraction_of_optimal(s));
+    t.row({s.name, cdf.summary(), obs::fmt_f(r.fraction_of_optimal(s), 3)});
   }
-  std::printf("  %-28s %s\n", "All Paths (optimum)", optimum_cdf.summary().c_str());
+  util::EmpiricalCdf optimum_cdf;
+  for (const int v : r.optimum) optimum_cdf.add(v);
+  t.row({"All Paths (optimum)", optimum_cdf.summary(), ""});
+  return t;
+}
+
+void print_capacity(const QualityResult& r) {
+  obs::print_line("");
+  obs::print(capacity_table(r).to_text());
 }
 
 }  // namespace scion::exp

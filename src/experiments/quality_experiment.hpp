@@ -9,6 +9,10 @@
 #include "core/algorithms.hpp"
 #include "experiments/scale.hpp"
 
+namespace scion::obs {
+class Table;
+}
+
 namespace scion::exp {
 
 struct QualityConfig {
@@ -47,11 +51,13 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
                                      const topo::Topology& scion_view,
                                      const QualityConfig& config);
 
-/// Fig. 6a/7 rendering: per optimum value, the pair count and each series'
+/// Fig. 6a/7 table: per optimum value, the pair count and each series'
 /// average achieved resilience.
+obs::Table resilience_table(const QualityResult& r, int max_optimum);
 void print_resilience(const QualityResult& r, int max_optimum);
 
-/// Fig. 6b/8 rendering: capacity CDFs per series plus fraction of optimal.
+/// Fig. 6b/8 table: capacity CDFs per series plus fraction of optimal.
+obs::Table capacity_table(const QualityResult& r);
 void print_capacity(const QualityResult& r);
 
 }  // namespace scion::exp

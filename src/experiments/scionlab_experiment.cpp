@@ -1,8 +1,8 @@
 #include "experiments/scionlab_experiment.hpp"
 
-#include <cstdio>
-
 #include "core/beaconing_sim.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 
 namespace scion::exp {
 
@@ -30,6 +30,7 @@ ScionLabResult run_scionlab_experiment(const Scale& scale) {
   // Fig. 9: per-interface bandwidth of baseline core beaconing. Real
   // crypto enabled — the testbed numbers include full-size signed PCBs and
   // the topology is small.
+  obs::ProfilePhase bandwidth_phase{"scionlab.bandwidth"};
   ctrl::BeaconingSimConfig c;
   c.server.algorithm = ctrl::AlgorithmKind::kBaseline;
   c.server.mode = ctrl::BeaconingMode::kCore;
@@ -47,10 +48,10 @@ ScionLabResult run_scionlab_experiment(const Scale& scale) {
 }
 
 void print_scionlab_bandwidth(const ScionLabResult& r) {
-  std::printf("\nFig. 9 — core beaconing bandwidth per interface (B/s)\n");
-  util::print_cdf("SCIONLab baseline", r.bandwidth, 10);
-  std::printf("  fraction of interfaces below 4 KB/s: %.2f\n",
-              r.fraction_below_4kbps);
+  obs::print_line("\nFig. 9 — core beaconing bandwidth per interface (B/s)");
+  obs::print_cdf("SCIONLab baseline", r.bandwidth, 10);
+  obs::print_line("  fraction of interfaces below 4 KB/s: " +
+                  obs::fmt_f(r.fraction_below_4kbps, 2));
 }
 
 }  // namespace scion::exp

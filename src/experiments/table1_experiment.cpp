@@ -1,14 +1,17 @@
 #include "experiments/table1_experiment.hpp"
 
-#include <cstdio>
-
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "scion/control_plane_sim.hpp"
 
 namespace scion::exp {
 
 Table1Result run_table1_experiment(const Table1Config& config) {
+  obs::ProfilePhase topology_phase{"table1.topology"};
   const topo::Topology world = topo::generate_multi_isd(config.topology);
+  topology_phase.stop();
 
+  obs::ProfilePhase sim_phase{"table1.control_plane"};
   svc::ControlPlaneSimConfig c;
   c.sim_duration = config.sim_duration;
   c.lookups_per_second = config.lookups_per_second;
@@ -27,12 +30,12 @@ Table1Result run_table1_experiment(const Table1Config& config) {
 }
 
 void print_table1(const Table1Result& r) {
-  std::printf("\nTable 1 — path management overhead comparison (measured)\n");
+  obs::print_line("\nTable 1 — path management overhead comparison (measured)");
   r.ledger.print("  SCION control-plane components", r.window,
                  r.participants);
-  std::printf("  workload: %llu endpoint lookups resolved %llu paths\n",
-              static_cast<unsigned long long>(r.lookups),
-              static_cast<unsigned long long>(r.paths_resolved));
+  obs::print_line("  workload: " + obs::fmt_u64(r.lookups) +
+                  " endpoint lookups resolved " +
+                  obs::fmt_u64(r.paths_resolved) + " paths");
 }
 
 }  // namespace scion::exp

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace scion::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_{std::move(upper_bounds)}, counts_(bounds_.size() + 1, 0) {
+  SCION_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be increasing");
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 65536.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counter_map_.find(name);
+  if (it != counter_map_.end()) return it->second;
+  return counter_map_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauge_map_.find(name);
+  if (it != gauge_map_.end()) return it->second;
+  return gauge_map_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const auto it = histogram_map_.find(name);
+  if (it != histogram_map_.end()) return it->second;
+  return histogram_map_.emplace(std::string{name}, Histogram{std::move(bounds)})
+      .first->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counter_map_) c.reset();
+  for (auto& [name, g] : gauge_map_) g.reset();
+  for (auto& [name, h] : histogram_map_) h.reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counter_map_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauge_map_) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histogram_map_) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("bucket_counts").begin_array();
+    for (const std::uint64_t c : h.bucket_counts()) w.value(c);
+    w.end_array();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).take();
+}
+
+}  // namespace scion::obs

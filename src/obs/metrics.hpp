@@ -1,0 +1,173 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// This is the write-only half of the telemetry layer (the Contrail-style
+// registry-of-counters pattern): simulation code records through the
+// SCION_METRIC_* macros below, and nothing in the simulation ever reads a
+// metric back, so recording cannot perturb simulation state — the
+// determinism property test_determinism proves end to end. When the build
+// sets SCION_MPR_OBS=OFF the macros expand to empty statements and their
+// argument expressions are not evaluated at all.
+//
+// Instances live in the process-wide registry (MetricsRegistry::global()).
+// Names are dotted paths, subsystem first ("beacon.pcbs_sent"); the macro
+// caches the resolved handle per call site, so steady-state recording is a
+// single add on a 64-bit slot. reset() zeroes values but never removes a
+// registration, which keeps cached handles valid. Single-threaded by
+// design, like the simulator itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scion::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// A last-written-wins (set) or high-water (set_max) instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void set_max(std::int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_{0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+/// with total count and sum (Prometheus-style cumulative export).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Power-of-two bounds 1, 2, 4, ... 65536 — a serviceable default for
+  /// message sizes, queue depths, and path lengths.
+  static std::vector<double> default_bounds();
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count per bucket; [bounds().size()] is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the SCION_METRIC_* macros.
+  static MetricsRegistry& global();
+
+  /// Finds or creates. References stay valid for the registry's lifetime
+  /// (std::map nodes are stable; reset() keeps registrations).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counter_map_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauge_map_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histogram_map_;
+  }
+
+  /// Zeroes every value; registrations (and handles) survive.
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
+  /// name order.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counter_map_;
+  std::map<std::string, Gauge, std::less<>> gauge_map_;
+  std::map<std::string, Histogram, std::less<>> histogram_map_;
+};
+
+}  // namespace scion::obs
+
+// --- recording macros --------------------------------------------------------
+//
+// `name` must be a string literal (it keys the per-call-site handle cache).
+#ifdef SCION_MPR_OBS_ENABLED
+
+#define SCION_METRIC_COUNT(name, delta)                                        \
+  do {                                                                         \
+    static ::scion::obs::Counter& scion_metric_handle_ =                       \
+        ::scion::obs::MetricsRegistry::global().counter(name);                 \
+    scion_metric_handle_.add(static_cast<std::uint64_t>(delta));               \
+  } while (0)
+
+#define SCION_METRIC_GAUGE_SET(name, v)                                        \
+  do {                                                                         \
+    static ::scion::obs::Gauge& scion_metric_handle_ =                         \
+        ::scion::obs::MetricsRegistry::global().gauge(name);                   \
+    scion_metric_handle_.set(static_cast<std::int64_t>(v));                    \
+  } while (0)
+
+#define SCION_METRIC_GAUGE_MAX(name, v)                                        \
+  do {                                                                         \
+    static ::scion::obs::Gauge& scion_metric_handle_ =                         \
+        ::scion::obs::MetricsRegistry::global().gauge(name);                   \
+    scion_metric_handle_.set_max(static_cast<std::int64_t>(v));                \
+  } while (0)
+
+#define SCION_METRIC_OBSERVE(name, v)                                         \
+  do {                                                                         \
+    static ::scion::obs::Histogram& scion_metric_handle_ =                     \
+        ::scion::obs::MetricsRegistry::global().histogram(name);               \
+    scion_metric_handle_.observe(static_cast<double>(v));                      \
+  } while (0)
+
+#else  // telemetry compiled out: no-ops, arguments never evaluated
+       // (sizeof keeps them type-checked and their operands "used" without
+       // generating any code)
+
+#define SCION_METRIC_COUNT(name, delta) \
+  do {                                  \
+    (void)sizeof(name);                 \
+    (void)sizeof(delta);                \
+  } while (0)
+#define SCION_METRIC_GAUGE_SET(name, v) \
+  do {                                  \
+    (void)sizeof(name);                 \
+    (void)sizeof(v);                    \
+  } while (0)
+#define SCION_METRIC_GAUGE_MAX(name, v) \
+  do {                                  \
+    (void)sizeof(name);                 \
+    (void)sizeof(v);                    \
+  } while (0)
+#define SCION_METRIC_OBSERVE(name, v) \
+  do {                                \
+    (void)sizeof(name);               \
+    (void)sizeof(v);                  \
+  } while (0)
+
+#endif  // SCION_MPR_OBS_ENABLED

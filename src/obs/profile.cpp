@@ -1,0 +1,66 @@
+#include "obs/profile.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace scion::obs {
+
+PhaseProfiler& PhaseProfiler::global() {
+  static PhaseProfiler profiler;
+  return profiler;
+}
+
+void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns) {
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string{name}, Phase{}).first;
+  }
+  ++it->second.calls;
+  it->second.wall_ns += wall_ns;
+}
+
+std::string PhaseProfiler::to_json() const {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& [name, p] : phases_) {
+    w.begin_object();
+    w.kv("phase", std::string_view{name});
+    w.kv("calls", p.calls);
+    w.kv("wall_ns", p.wall_ns);
+    w.kv("wall_s", static_cast<double>(p.wall_ns) / 1e9);
+    w.end_object();
+  }
+  w.end_array();
+  return std::move(w).take();
+}
+
+#ifdef SCION_MPR_OBS_ENABLED
+
+namespace {
+
+// The single sanctioned wall-clock read in the tree. Safe for determinism:
+// the value only ever flows into PhaseProfiler accumulators, which nothing
+// in the simulation reads back (see the header comment for the full proof).
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(  // simlint:allow(wall-clock)
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProfilePhase::ProfilePhase(std::string_view name)
+    : name_{name}, start_ns_{wall_now_ns()} {}
+
+void ProfilePhase::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  PhaseProfiler::global().record(name_, wall_now_ns() - start_ns_);
+}
+
+ProfilePhase::~ProfilePhase() { stop(); }
+
+#endif  // SCION_MPR_OBS_ENABLED
+
+}  // namespace scion::obs

@@ -1,0 +1,78 @@
+// Wall-clock phase profiling: where does a run's real time go?
+//
+// ProfilePhase is an RAII scope around one pipeline stage (topology
+// generation, beaconing, BGP, analysis). On destruction the elapsed wall
+// time is accumulated into the process-wide PhaseProfiler under the phase's
+// name; the ObsSession / bench report dumps the table as JSON.
+//
+// This file's .cpp is the ONLY sanctioned wall-clock site in the tree (one
+// simlint:allow(wall-clock) on the single steady_clock read). Determinism
+// proof: wall-clock values flow exclusively into PhaseProfiler's own
+// accumulators and from there into emitted reports; no simulation code ever
+// reads PhaseProfiler state, virtual time never depends on it, and with
+// SCION_MPR_OBS=OFF the clock is not read at all — same-seed simulation
+// output is byte-identical either way (test_determinism).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace scion::obs {
+
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::uint64_t calls{0};
+    std::int64_t wall_ns{0};
+  };
+
+  static PhaseProfiler& global();
+
+  void record(std::string_view name, std::int64_t wall_ns);
+  const std::map<std::string, Phase, std::less<>>& phases() const {
+    return phases_;
+  }
+  void reset() { phases_.clear(); }
+
+  /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...}, ...]
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Phase, std::less<>> phases_;
+};
+
+#ifdef SCION_MPR_OBS_ENABLED
+
+class ProfilePhase {
+ public:
+  explicit ProfilePhase(std::string_view name);
+  ~ProfilePhase();
+
+  /// Ends the phase early (before scope exit); idempotent.
+  void stop();
+
+  ProfilePhase(const ProfilePhase&) = delete;
+  ProfilePhase& operator=(const ProfilePhase&) = delete;
+
+ private:
+  std::string name_;
+  std::int64_t start_ns_;
+  bool stopped_{false};
+};
+
+#else
+
+/// Telemetry compiled out: no clock read, no state, guaranteed zero cost.
+class ProfilePhase {
+ public:
+  explicit ProfilePhase(std::string_view) {}
+  void stop() {}
+  ProfilePhase(const ProfilePhase&) = delete;
+  ProfilePhase& operator=(const ProfilePhase&) = delete;
+};
+
+#endif  // SCION_MPR_OBS_ENABLED
+
+}  // namespace scion::obs

@@ -1,0 +1,132 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace scion::obs {
+
+Table::Table(std::string title, std::vector<Column> columns)
+    : title_{std::move(title)}, columns_{std::move(columns)} {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  SCION_CHECK(cells.size() == columns_.size(),
+              "table row must match column count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = std::max<std::size_t>(
+        static_cast<std::size_t>(std::max(columns_[c].min_width, 0)),
+        columns_[c].header.size());
+    for (const auto& cells : rows_) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  const auto emit_row = [&](const auto& cell_of) {
+    std::string line = " ";  // two-space indent: " " + leading pad space
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = cell_of(c);
+      const std::size_t pad = widths[c] > cell.size() ? widths[c] - cell.size() : 0;
+      line += ' ';
+      if (columns_[c].align == Align::kRight) line.append(pad, ' ');
+      line += cell;
+      if (columns_[c].align == Align::kLeft) line.append(pad, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line;
+    out += '\n';
+  };
+  emit_row([&](std::size_t c) -> const std::string& { return columns_[c].header; });
+  for (const auto& cells : rows_) {
+    emit_row([&](std::size_t c) -> const std::string& { return cells[c]; });
+  }
+  return out;
+}
+
+void Table::append_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("title", std::string_view{title_});
+  w.key("columns").begin_array();
+  for (const Column& c : columns_) w.value(std::string_view{c.header});
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& cells : rows_) {
+    w.begin_object();
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      w.kv(columns_[c].header, std::string_view{cells[c]});
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_f(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_g(double v, int sig) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", sig, v);
+  return buf;
+}
+
+// The one place simulation-side code writes to stdout; everything routed
+// here is also available as structured JSON, so raw prints elsewhere in
+// src/ are flagged by simlint's raw-output rule.
+void print(std::string_view text) {
+  std::cout << text;  // simlint:allow(raw-output)
+}
+
+void print_line(std::string_view text) {
+  std::cout << text << '\n';  // simlint:allow(raw-output)
+}
+
+void print_cdf(std::string_view name, const util::EmpiricalCdf& cdf,
+               std::size_t points) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "  %-32s ", std::string{name}.c_str());
+  std::string out = buf;
+  out += cdf.summary();
+  out += '\n';
+  for (const auto& [x, f] : cdf.curve(points)) {
+    std::snprintf(buf, sizeof buf, "    x=%-14.6g F(x)=%.3f\n", x, f);
+    out += buf;
+  }
+  print(out);
+}
+
+void append_cdf_json(JsonWriter& w, const util::EmpiricalCdf& cdf,
+                     std::size_t points) {
+  w.begin_object();
+  w.kv("summary", cdf.summary());
+  w.key("curve").begin_array();
+  for (const auto& [x, f] : cdf.curve(points)) {
+    w.begin_array();
+    w.value(x);
+    w.value(f);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace scion::obs

@@ -1,0 +1,75 @@
+#include "obs/session.hpp"
+
+#include <iostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "util/flags.hpp"
+
+namespace scion::obs {
+
+ObsSession::ObsSession(std::string_view binary, const util::Flags& flags,
+                       std::uint64_t seed)
+    : manifest_{RunManifest::capture(binary, flags, seed)} {
+  MetricsRegistry::global().reset();
+  PhaseProfiler::global().reset();
+
+  metrics_path_ = flags.get("metrics-out", "");
+
+  const std::string trace_path = flags.get("trace-out", "");
+  if (!trace_path.empty()) {
+    trace_file_.open(trace_path);
+    if (!trace_file_) {
+      std::cerr << "obs: cannot open --trace-out file " << trace_path << '\n';
+    } else {
+      sink_ = std::make_unique<TraceSink>(trace_file_);
+      const std::string filter = flags.get("trace-filter", "all");
+      if (!sink_->set_filter(filter)) {
+        std::cerr << "obs: unknown category in --trace-filter=" << filter
+                  << " (known: simnet,beacon,bgp,scion,sig,experiment); "
+                     "tracing everything\n";
+        sink_->enable_all();
+      }
+      set_trace_sink(sink_.get());
+    }
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+std::string ObsSession::metrics_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "scion-mpr-metrics-v1");
+  w.key("manifest").begin_object();
+  manifest_.append_fields(w);
+  w.end_object();
+  w.key("metrics").value_raw(MetricsRegistry::global().to_json());
+  w.key("phases").value_raw(PhaseProfiler::global().to_json());
+  w.end_object();
+  return std::move(w).take();
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  if (!metrics_path_.empty()) {
+    std::ofstream out{metrics_path_};
+    if (!out) {
+      std::cerr << "obs: cannot open --metrics-out file " << metrics_path_
+                << '\n';
+    } else {
+      out << metrics_json() << '\n';
+    }
+  }
+
+  if (sink_) {
+    if (trace_sink() == sink_.get()) set_trace_sink(nullptr);
+    sink_.reset();
+    trace_file_.close();
+  }
+}
+
+}  // namespace scion::obs

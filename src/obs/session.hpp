@@ -1,0 +1,65 @@
+// ObsSession: one object that wires the whole telemetry layer into a
+// harness binary (benches, the CLI, examples).
+//
+//   util::Flags flags{argc, argv};
+//   obs::ObsSession session{"bench_fig5_overhead", flags, seed};
+//   ... run the experiment ...
+//   session.finish();   // also runs from the destructor
+//
+// Flags understood (all optional; telemetry stays silent without them):
+//   --metrics-out=FILE   write the metrics document (manifest + registry +
+//                        phase profile) as JSON on finish()
+//   --trace-out=FILE     stream structured events as JSONL during the run
+//   --trace-filter=CSV   category filter for the trace ("beacon,bgp";
+//                        default "all")
+//
+// The session resets the global metrics registry and phase profiler on
+// construction so each harness run starts from zero.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
+
+namespace scion::util {
+class Flags;
+}
+
+namespace scion::obs {
+
+class ObsSession {
+ public:
+  ObsSession(std::string_view binary, const util::Flags& flags,
+             std::uint64_t seed);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  const RunManifest& manifest() const { return manifest_; }
+  bool tracing() const { return sink_ != nullptr; }
+
+  /// The full metrics document as a JSON string:
+  /// {"schema": "scion-mpr-metrics-v1", "manifest": {...},
+  ///  "metrics": {...}, "phases": [...]}
+  std::string metrics_json() const;
+
+  /// Writes --metrics-out (if given), flushes and closes --trace-out, and
+  /// uninstalls the global trace sink. Idempotent; also invoked by the
+  /// destructor.
+  void finish();
+
+ private:
+  RunManifest manifest_;
+  std::string metrics_path_;
+  std::ofstream trace_file_;
+  std::unique_ptr<TraceSink> sink_;
+  bool finished_{false};
+};
+
+}  // namespace scion::obs

@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace scion::obs {
+
+namespace {
+
+constexpr std::uint32_t kAllMask =
+    (1u << static_cast<unsigned>(Category::kCount)) - 1;
+
+TraceSink* g_sink = nullptr;
+
+}  // namespace
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSimnet: return "simnet";
+    case Category::kBeacon: return "beacon";
+    case Category::kBgp: return "bgp";
+    case Category::kScion: return "scion";
+    case Category::kSig: return "sig";
+    case Category::kExperiment: return "experiment";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+std::optional<Category> category_from_string(std::string_view name) {
+  for (unsigned i = 0; i < static_cast<unsigned>(Category::kCount); ++i) {
+    const auto c = static_cast<Category>(i);
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+TraceSink::TraceSink(std::ostream& out) : out_{out}, mask_{kAllMask} {}
+
+void TraceSink::enable(Category c, bool on) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(c);
+  if (on) {
+    mask_ |= bit;
+  } else {
+    mask_ &= ~bit;
+  }
+}
+
+void TraceSink::enable_all() { mask_ = kAllMask; }
+void TraceSink::disable_all() { mask_ = 0; }
+
+bool TraceSink::set_filter(std::string_view csv) {
+  if (csv.empty() || csv == "all") {
+    enable_all();
+    return true;
+  }
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string_view::npos) end = csv.size();
+    const std::string_view name = csv.substr(start, end - start);
+    if (!name.empty()) {
+      const std::optional<Category> c = category_from_string(name);
+      if (!c) return false;
+      mask |= 1u << static_cast<unsigned>(*c);
+    }
+    start = end + 1;
+  }
+  mask_ = mask;
+  return true;
+}
+
+void TraceSink::event(util::TimePoint t, Category c, std::string_view name,
+                      std::initializer_list<TraceField> fields) {
+  if (!enabled(c)) return;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("t", t.ns());
+  w.kv("cat", std::string_view{to_string(c)});
+  w.kv("ev", name);
+  for (const TraceField& f : fields) {
+    w.key(f.key);
+    switch (f.kind) {
+      case TraceField::Kind::kInt: w.value(f.i); break;
+      case TraceField::Kind::kUint: w.value(f.u); break;
+      case TraceField::Kind::kDouble: w.value(f.d); break;
+      case TraceField::Kind::kBool: w.value(f.b); break;
+      case TraceField::Kind::kString: w.value(std::string_view{f.s}); break;
+    }
+  }
+  w.end_object();
+  out_ << w.str() << '\n';
+  ++events_written_;
+}
+
+TraceSink* trace_sink() { return g_sink; }
+void set_trace_sink(TraceSink* sink) { g_sink = sink; }
+
+}  // namespace scion::obs

@@ -1,5 +1,7 @@
 #include "scion/control_plane_sim.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 #include <algorithm>
@@ -306,12 +308,15 @@ std::vector<EndToEndPath> ControlPlaneSim::resolve_paths(topo::AsIndex src,
   record_service_message(component::kEndpointLookup, src, src,
                          segment_response_bytes(paths.size(), response_bytes));
   paths_resolved_ += paths.size();
+  SCION_METRIC_COUNT("scion.paths_resolved", paths.size());
+  SCION_METRIC_OBSERVE("scion.paths_per_resolution", paths.size());
   return paths;
 }
 
 void ControlPlaneSim::do_lookup() {
   if (leaves_.size() < 2) return;
   ++lookups_performed_;
+  SCION_METRIC_COUNT("scion.lookups_performed", 1);
   const topo::AsIndex src = leaves_[rng_.index(leaves_.size())];
   // Zipf-popular destinations (rank 1 = most popular), skipping src.
   topo::AsIndex dst = src;
@@ -338,6 +343,11 @@ void ControlPlaneSim::fail_link(topo::LinkIndex l, util::Duration downtime) {
   if (!net_.channel_up(l)) return;
   net_.set_channel_up(l, false);
   const topo::Link& link = topology_.link(l);
+  SCION_METRIC_COUNT("scion.link_failures", 1);
+  SCION_TRACE(obs::Category::kScion, sim_.now(), "link_failure", {"link", l},
+              {"a", topology_.as_id(link.a).to_string()},
+              {"b", topology_.as_id(link.b).to_string()},
+              {"downtime_ns", downtime.ns()});
 
   // The AS observing the failure revokes affected segments at the core
   // path servers of its ISD (intra-ISD operation) and they drop matching

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scion/dataplane.hpp"
 
 namespace scion::svc {
@@ -115,6 +117,11 @@ Sig::EncapResult Sig::send_ip_packet(std::uint32_t dst_ip,
     const std::uint64_t before = manager->failovers();
     if (manager->notify_revocation(*forwarded.failed_link)) {
       stats_.failovers += manager->failovers() - before;
+      SCION_METRIC_COUNT("sig.failovers", manager->failovers() - before);
+      SCION_TRACE(obs::Category::kSig, control_plane_.simulator().now(),
+                  "failover", {"remote", *remote},
+                  {"failed_link", *forwarded.failed_link},
+                  {"on_path", true});
       path = manager->active();
       forwarded = control_plane_.dataplane().forward(
           *path,
@@ -140,6 +147,12 @@ void Sig::handle_revocation(topo::LinkIndex failed_link) {
     const std::uint64_t before = manager.failovers();
     manager.notify_revocation(failed_link);
     stats_.failovers += manager.failovers() - before;
+    if (manager.failovers() != before) {
+      SCION_METRIC_COUNT("sig.failovers", manager.failovers() - before);
+      SCION_TRACE(obs::Category::kSig, control_plane_.simulator().now(),
+                  "failover", {"remote", remote},
+                  {"failed_link", failed_link}, {"on_path", false});
+    }
   }
 }
 

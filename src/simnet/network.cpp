@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace scion::sim {
@@ -39,11 +40,17 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
   SCION_CHECK(ch < channels_.size(), "channel id out of range");
   ChannelState& c = channels_[ch];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
-  if (!c.up) return;  // link failure: message lost
+  if (!c.up) {  // link failure: message lost
+    SCION_METRIC_COUNT("simnet.messages_dropped_link_down", 1);
+    return;
+  }
   const NodeId to = (from == c.a) ? c.b : c.a;
   DirectionStats& dir = (from == c.a) ? c.a_to_b : c.b_to_a;
   ++dir.messages;
   dir.bytes += bytes;
+  SCION_METRIC_COUNT("simnet.messages_sent", 1);
+  SCION_METRIC_COUNT("simnet.bytes_sent", bytes);
+  SCION_METRIC_OBSERVE("simnet.message_bytes", bytes);
   sim_.schedule_after(
       c.latency,
       [this, msg = Message{from, to, ch, bytes, std::move(payload)}]() mutable {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace scion::sim {
@@ -9,6 +10,7 @@ namespace scion::sim {
 void Simulator::schedule_at(TimePoint t, Callback fn) {
   SCION_CHECK(t >= now_, "cannot schedule events in the past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
 void Simulator::schedule_after(Duration d, Callback fn) {
@@ -46,16 +48,26 @@ void Simulator::pop_and_run() {
   SCION_CHECK(ev.time >= now_, "event queue time went backwards");
   now_ = ev.time;
   ++processed_;
+  SCION_METRIC_COUNT("simnet.events_processed", 1);
   ev.fn();
 }
 
 void Simulator::run() {
   while (!queue_.empty()) pop_and_run();
+  publish_metrics();
 }
 
 void Simulator::run_until(TimePoint end) {
   while (!queue_.empty() && queue_.top().time <= end) pop_and_run();
   now_ = std::max(now_, end);
+  publish_metrics();
+}
+
+// Write-only gauge export at the end of each run segment; never read back
+// by simulation code, so telemetry cannot influence event order.
+void Simulator::publish_metrics() const {
+  SCION_METRIC_GAUGE_MAX("simnet.queue_high_water", queue_high_water_);
+  SCION_METRIC_GAUGE_MAX("simnet.virtual_time_ns", now_.ns());
 }
 
 }  // namespace scion::sim

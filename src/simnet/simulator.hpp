@@ -51,6 +51,9 @@ class Simulator {
   /// Events currently pending.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Largest queue depth observed since construction.
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
  private:
   struct Event {
     TimePoint time;
@@ -72,10 +75,12 @@ class Simulator {
 
   void pop_and_run();
   void fire_periodic(std::uint64_t id, TimePoint when);
+  void publish_metrics() const;
 
   TimePoint now_{TimePoint::origin()};
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};
+  std::size_t queue_high_water_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Periodic> periodics_;
 };

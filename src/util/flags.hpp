@@ -29,6 +29,9 @@ class Flags {
 
   void set(const std::string& key, const std::string& value);
 
+  /// Every explicitly set flag, in key order (for run manifests).
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };

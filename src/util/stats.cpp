@@ -132,12 +132,4 @@ double geometric_mean(const std::vector<double>& xs) {
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-void print_cdf(const std::string& name, const EmpiricalCdf& cdf,
-               std::size_t points) {
-  std::printf("  %-32s %s\n", name.c_str(), cdf.summary().c_str());
-  for (const auto& [x, f] : cdf.curve(points)) {
-    std::printf("    x=%-14.6g F(x)=%.3f\n", x, f);
-  }
-}
-
 }  // namespace scion::util

@@ -78,9 +78,7 @@ class EmpiricalCdf {
 /// Computed in log space to avoid overflow on long paths.
 double geometric_mean(const std::vector<double>& xs);
 
-/// Prints a named CDF as aligned rows: one per curve() point. Used by the
-/// bench harnesses so every figure has a textual rendering.
-void print_cdf(const std::string& name, const EmpiricalCdf& cdf,
-               std::size_t points = 16);
+// CDF rendering lives in obs/report.hpp (obs::print_cdf): all result output
+// flows through the shared renderer so it is also available as JSON.
 
 }  // namespace scion::util

@@ -11,6 +11,9 @@
 #include <string>
 
 #include "bgp/bgp_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "scion/control_plane_sim.hpp"
 #include "topology/generator.hpp"
 
@@ -144,6 +147,66 @@ TEST(Determinism, BgpRunsAreByteIdentical) {
   const std::string second = bgp_transcript(world);
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+// The telemetry layer is write-only: recording metrics, streaming traces,
+// and profiling phases must not change a single byte of simulation output.
+// This is the ON/OFF half of the proof; the compiled-out half is the same
+// test run under SCION_MPR_OBS=OFF (where the macros expand to nothing).
+TEST(Determinism, TelemetryOnOffRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+
+  // Telemetry off: no sink installed, registry idle.
+  obs::set_trace_sink(nullptr);
+  obs::MetricsRegistry::global().reset();
+  obs::PhaseProfiler::global().reset();
+  const std::string plain = scion_transcript(world) + bgp_transcript(world);
+
+  // Telemetry fully on: every category traced, metrics recording.
+  std::ostringstream trace;
+  obs::TraceSink sink{trace};
+  sink.enable_all();
+  obs::set_trace_sink(&sink);
+  obs::MetricsRegistry::global().reset();
+  const std::string traced = scion_transcript(world) + bgp_transcript(world);
+  obs::set_trace_sink(nullptr);
+
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, traced);
+#ifdef SCION_MPR_OBS_ENABLED
+  // The instrumented run actually recorded telemetry (the comparison above
+  // is not vacuous).
+  EXPECT_GT(sink.events_written(), 0u);
+  EXPECT_FALSE(obs::MetricsRegistry::global().counters().empty());
+#endif
+  obs::MetricsRegistry::global().reset();
+}
+
+// Tracing must also be insensitive to the *filter*: dropping events cannot
+// change what the simulation computes.
+TEST(Determinism, TraceFilterDoesNotPerturbSimulation) {
+  const topo::Topology world = make_world();
+
+  std::ostringstream all_trace;
+  obs::TraceSink all_sink{all_trace};
+  all_sink.enable_all();
+  obs::set_trace_sink(&all_sink);
+  obs::MetricsRegistry::global().reset();
+  const std::string with_all = bgp_transcript(world);
+
+  std::ostringstream none_trace;
+  obs::TraceSink none_sink{none_trace};
+  none_sink.disable_all();
+  obs::set_trace_sink(&none_sink);
+  obs::MetricsRegistry::global().reset();
+  const std::string with_none = bgp_transcript(world);
+  obs::set_trace_sink(nullptr);
+
+  EXPECT_EQ(with_all, with_none);
+  EXPECT_EQ(none_sink.events_written(), 0u);
+  obs::MetricsRegistry::global().reset();
 }
 
 }  // namespace

@@ -1,0 +1,398 @@
+// Telemetry layer tests: metrics registry semantics, JSONL trace
+// round-trips and category filters, run-manifest completeness, the
+// recording macros (including argument evaluation when compiled out), phase
+// profiling, and the shared result renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "util/flags.hpp"
+
+namespace scion::obs {
+namespace {
+
+using util::TimePoint;
+
+// --- JSON writer / parser ----------------------------------------------------
+
+TEST(ObsJson, WriterProducesParseableDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "a \"quoted\"\nstring");
+  w.kv("count", std::uint64_t{42});
+  w.kv("delta", std::int64_t{-7});
+  w.kv("ratio", 0.5);
+  w.kv("on", true);
+  w.key("list").begin_array();
+  w.value(1);
+  w.value_null();
+  w.end_array();
+  w.end_object();
+
+  std::string error;
+  const auto doc = parse_json(std::move(w).take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("name")->as_string(), "a \"quoted\"\nstring");
+  EXPECT_EQ(doc->find("count")->as_number(), 42.0);
+  EXPECT_EQ(doc->find("delta")->as_number(), -7.0);
+  EXPECT_EQ(doc->find("ratio")->as_number(), 0.5);
+  EXPECT_TRUE(doc->find("on")->as_bool());
+  ASSERT_TRUE(doc->find("list")->is_array());
+  EXPECT_EQ(doc->find("list")->as_array().size(), 2u);
+  EXPECT_TRUE(doc->find("list")->as_array()[1].is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{\"a\": }").has_value());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(parse_json("").has_value());
+}
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeHistogramSemantics) {
+  Counter c;
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+
+  Gauge g;
+  g.set(10);
+  g.set_max(5);
+  EXPECT_EQ(g.value(), 10);
+  g.set_max(12);
+  EXPECT_EQ(g.value(), 12);
+
+  Histogram h{{1.0, 10.0}};
+  h.observe(0.5);   // bucket 0
+  h.observe(10.0);  // <= 10: bucket 1
+  h.observe(99.0);  // overflow
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 109.5);
+}
+
+TEST(ObsMetrics, RegistryFindsOrCreatesStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.a");
+  a.add(1);
+  // Same name -> same handle; creating others must not invalidate it.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("test.fill" + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.counter("test.a"), &a);
+  EXPECT_EQ(a.value(), 1u);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.c");
+  Gauge& g = registry.gauge("test.g");
+  Histogram& h = registry.histogram("test.h");
+  c.add(5);
+  g.set(5);
+  h.observe(5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  // The handles are still the registered objects.
+  EXPECT_EQ(&registry.counter("test.c"), &c);
+  c.add(2);
+  EXPECT_EQ(registry.counter("test.c").value(), 2u);
+}
+
+TEST(ObsMetrics, ToJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("n.events").add(3);
+  registry.gauge("n.depth").set(9);
+  registry.histogram("n.sizes", {8.0, 64.0}).observe(100.0);
+
+  std::string error;
+  const auto doc = parse_json(registry.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("counters")->find("n.events")->as_number(), 3.0);
+  EXPECT_EQ(doc->find("gauges")->find("n.depth")->as_number(), 9.0);
+  const JsonValue* h = doc->find("histograms")->find("n.sizes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->as_number(), 1.0);
+  EXPECT_EQ(h->find("bucket_counts")->as_array().back().as_number(), 1.0);
+}
+
+// --- recording macros --------------------------------------------------------
+
+TEST(ObsMetrics, MacrosRecordIntoTheGlobalRegistry) {
+  MetricsRegistry::global().reset();
+  int evaluations = 0;
+  const auto delta = [&] {
+    ++evaluations;
+    return 2;
+  };
+  SCION_METRIC_COUNT("test.macro_counter", delta());
+  SCION_METRIC_GAUGE_MAX("test.macro_gauge", 11);
+  SCION_METRIC_OBSERVE("test.macro_hist", 3.0);
+#ifdef SCION_MPR_OBS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(MetricsRegistry::global().counter("test.macro_counter").value(),
+            2u);
+  EXPECT_EQ(MetricsRegistry::global().gauge("test.macro_gauge").value(), 11);
+  EXPECT_EQ(MetricsRegistry::global().histogram("test.macro_hist").count(),
+            1u);
+#else
+  // Compiled out: the argument expression must not have been evaluated.
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(MetricsRegistry::global().counters().empty());
+#endif
+  MetricsRegistry::global().reset();
+}
+
+// --- tracing -----------------------------------------------------------------
+
+TEST(ObsTrace, EventsRoundTripThroughJsonl) {
+  std::ostringstream out;
+  TraceSink sink{out};
+  sink.event(TimePoint::origin() + util::Duration::seconds(2),
+             Category::kBeacon, "originate",
+             {{"as", "1-17"}, {"egress", 42u}, {"depth", -3}, {"ok", true},
+              {"ratio", 0.25}});
+  sink.event(TimePoint::origin(), Category::kBgp, "update", {});
+  EXPECT_EQ(sink.events_written(), 2u);
+
+  std::istringstream lines{out.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  std::string error;
+  auto doc = parse_json(line, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("t")->as_number(), 2e9);
+  EXPECT_EQ(doc->find("cat")->as_string(), "beacon");
+  EXPECT_EQ(doc->find("ev")->as_string(), "originate");
+  EXPECT_EQ(doc->find("as")->as_string(), "1-17");
+  EXPECT_EQ(doc->find("egress")->as_number(), 42.0);
+  EXPECT_EQ(doc->find("depth")->as_number(), -3.0);
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  EXPECT_EQ(doc->find("ratio")->as_number(), 0.25);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  doc = parse_json(line, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("cat")->as_string(), "bgp");
+  EXPECT_FALSE(std::getline(lines, line));  // exactly two lines
+}
+
+TEST(ObsTrace, CategoryFiltersDropDisabledEvents) {
+  std::ostringstream out;
+  TraceSink sink{out};
+  ASSERT_TRUE(sink.set_filter("beacon,bgp"));
+  EXPECT_TRUE(sink.enabled(Category::kBeacon));
+  EXPECT_TRUE(sink.enabled(Category::kBgp));
+  EXPECT_FALSE(sink.enabled(Category::kSimnet));
+  sink.event(TimePoint::origin(), Category::kSimnet, "drop", {});
+  EXPECT_EQ(sink.events_written(), 0u);
+  EXPECT_TRUE(out.str().empty());
+  sink.event(TimePoint::origin(), Category::kBeacon, "keep", {});
+  EXPECT_EQ(sink.events_written(), 1u);
+}
+
+TEST(ObsTrace, FilterRejectsUnknownCategories) {
+  std::ostringstream out;
+  TraceSink sink{out};
+  sink.disable_all();
+  EXPECT_FALSE(sink.set_filter("beacon,nonsense"));
+  // Unknown name changes nothing.
+  EXPECT_FALSE(sink.enabled(Category::kBeacon));
+  EXPECT_TRUE(sink.set_filter("all"));
+  EXPECT_TRUE(sink.enabled(Category::kSig));
+  EXPECT_TRUE(sink.set_filter(""));
+  EXPECT_TRUE(sink.enabled(Category::kExperiment));
+}
+
+TEST(ObsTrace, CategoryNamesRoundTrip) {
+  for (unsigned c = 0; c < static_cast<unsigned>(Category::kCount); ++c) {
+    const auto category = static_cast<Category>(c);
+    const auto parsed = category_from_string(to_string(category));
+    ASSERT_TRUE(parsed.has_value()) << to_string(category);
+    EXPECT_EQ(*parsed, category);
+  }
+  EXPECT_FALSE(category_from_string("bogus").has_value());
+}
+
+TEST(ObsTrace, MacroSkipsFieldEvaluationWhenOff) {
+  set_trace_sink(nullptr);
+  int evaluations = 0;
+  // maybe_unused: the OFF expansion of SCION_TRACE drops the field list.
+  [[maybe_unused]] const auto field_value = [&] {
+    ++evaluations;
+    return 1;
+  };
+  // No sink installed: fields must not be evaluated.
+  SCION_TRACE(Category::kBeacon, TimePoint::origin(), "e",
+              {"v", field_value()});
+  EXPECT_EQ(evaluations, 0);
+
+  std::ostringstream out;
+  TraceSink sink{out};
+  sink.set_filter("bgp");
+  set_trace_sink(&sink);
+  // Sink installed but category disabled: still not evaluated.
+  SCION_TRACE(Category::kBeacon, TimePoint::origin(), "e",
+              {"v", field_value()});
+  EXPECT_EQ(evaluations, 0);
+  SCION_TRACE(Category::kBgp, TimePoint::origin(), "e", {"v", field_value()});
+#ifdef SCION_MPR_OBS_ENABLED
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(sink.events_written(), 1u);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+  set_trace_sink(nullptr);
+}
+
+// --- phase profiling ---------------------------------------------------------
+
+TEST(ObsProfile, PhasesAccumulateAndStopIsIdempotent) {
+  PhaseProfiler::global().reset();
+  {
+    ProfilePhase phase{"test.phase"};
+    phase.stop();
+    phase.stop();  // idempotent: records exactly once
+  }                // destructor after stop(): still once
+  { ProfilePhase phase{"test.phase"}; }
+#ifdef SCION_MPR_OBS_ENABLED
+  const auto& phases = PhaseProfiler::global().phases();
+  const auto it = phases.find("test.phase");
+  ASSERT_NE(it, phases.end());
+  EXPECT_EQ(it->second.calls, 2u);
+  EXPECT_GE(it->second.wall_ns, 0);
+#else
+  EXPECT_TRUE(PhaseProfiler::global().phases().empty());
+#endif
+  PhaseProfiler::global().reset();
+}
+
+TEST(ObsProfile, ToJsonParses) {
+  PhaseProfiler profiler;
+  profiler.record("alpha", 1500000000);
+  profiler.record("alpha", 500000000);
+  std::string error;
+  const auto doc = parse_json(profiler.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->as_array().size(), 1u);
+  const JsonValue& p = doc->as_array()[0];
+  EXPECT_EQ(p.find("phase")->as_string(), "alpha");
+  EXPECT_EQ(p.find("calls")->as_number(), 2.0);
+  EXPECT_EQ(p.find("wall_s")->as_number(), 2.0);
+}
+
+// --- run manifest ------------------------------------------------------------
+
+TEST(ObsManifest, CaptureRecordsRunAndBuildContext) {
+  util::Flags flags;
+  flags.set("minutes", "10");
+  flags.set("isds", "2");
+  const RunManifest m = RunManifest::capture("bench_x", flags, 1234);
+  EXPECT_EQ(m.binary, "bench_x");
+  EXPECT_EQ(m.seed, 1234u);
+  EXPECT_EQ(m.flags.at("minutes"), "10");
+  EXPECT_FALSE(m.build_type.empty());
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.sanitizers.empty());
+
+  std::string error;
+  const auto doc = parse_json(m.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  for (const char* key : {"binary", "seed", "flags", "build_type", "git_sha",
+                          "sanitizers", "checked", "obs_enabled"}) {
+    EXPECT_NE(doc->find(key), nullptr) << key;
+  }
+  EXPECT_EQ(doc->find("seed")->as_number(), 1234.0);
+  EXPECT_EQ(doc->find("flags")->find("isds")->as_string(), "2");
+#ifdef SCION_MPR_OBS_ENABLED
+  EXPECT_TRUE(doc->find("obs_enabled")->as_bool());
+#else
+  EXPECT_FALSE(doc->find("obs_enabled")->as_bool());
+#endif
+}
+
+// --- session -----------------------------------------------------------------
+
+TEST(ObsSessionTest, MetricsDocumentHasTheFullSchema) {
+  util::Flags flags;
+  flags.set("seed", "7");
+  ObsSession session{"test_obs", flags, 7};
+  SCION_METRIC_COUNT("test.session_counter", 1);
+  { ProfilePhase phase{"test.session_phase"}; }
+
+  std::string error;
+  const auto doc = parse_json(session.metrics_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->as_string(), "scion-mpr-metrics-v1");
+  EXPECT_EQ(doc->find("manifest")->find("binary")->as_string(), "test_obs");
+  ASSERT_TRUE(doc->find("metrics")->is_object());
+  ASSERT_TRUE(doc->find("phases")->is_array());
+#ifdef SCION_MPR_OBS_ENABLED
+  EXPECT_EQ(doc->find("metrics")
+                ->find("counters")
+                ->find("test.session_counter")
+                ->as_number(),
+            1.0);
+#endif
+  session.finish();
+  MetricsRegistry::global().reset();
+  PhaseProfiler::global().reset();
+}
+
+// --- result renderer ---------------------------------------------------------
+
+TEST(ObsReport, TableAlignsAndTrims) {
+  Table t{"Title",
+          {Column{"name", Align::kLeft, 6}, Column{"n", Align::kRight, 4}}};
+  t.row({"a", "1"});
+  t.row({"longer", "1000"});
+  EXPECT_EQ(t.to_text(),
+            "Title\n"
+            "  name      n\n"
+            "  a         1\n"
+            "  longer 1000\n");
+}
+
+TEST(ObsReport, TableJsonKeysRowsByHeader) {
+  Table t{"T", {Column{"k", Align::kLeft, 0}, Column{"v", Align::kRight, 0}}};
+  t.row({"x", "1"});
+  JsonWriter w;
+  t.append_json(w);
+  std::string error;
+  const auto doc = parse_json(std::move(w).take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("title")->as_string(), "T");
+  ASSERT_EQ(doc->find("rows")->as_array().size(), 1u);
+  EXPECT_EQ(doc->find("rows")->as_array()[0].find("k")->as_string(), "x");
+  EXPECT_EQ(doc->find("rows")->as_array()[0].find("v")->as_string(), "1");
+}
+
+TEST(ObsReport, CdfJsonMatchesCurve) {
+  util::EmpiricalCdf cdf;
+  for (int i = 1; i <= 4; ++i) cdf.add(i);
+  JsonWriter w;
+  append_cdf_json(w, cdf, 4);
+  std::string error;
+  const auto doc = parse_json(std::move(w).take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_FALSE(doc->find("summary")->as_string().empty());
+  const auto& curve = doc->find("curve")->as_array();
+  ASSERT_EQ(curve.size(), cdf.curve(4).size());
+  EXPECT_EQ(curve.back().as_array()[1].as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace scion::obs

@@ -260,6 +260,46 @@ TEST(SimlintAllow, SuppressesMultipleCommaSeparatedRules) {
           .empty());
 }
 
+// --- raw-output --------------------------------------------------------------
+
+TEST(SimlintRawOutput, FlagsDirectStdoutWrites) {
+  EXPECT_EQ(rules_of(lint_one("std::cout << result << '\\n';")),
+            std::vector<std::string>{"raw-output"});
+  EXPECT_EQ(rules_of(lint_one("std::printf(\"%d\\n\", x);")),
+            std::vector<std::string>{"raw-output"});
+  EXPECT_EQ(rules_of(lint_one("printf(\"%d\\n\", x);")),
+            std::vector<std::string>{"raw-output"});
+  EXPECT_EQ(rules_of(lint_one("puts(\"done\");")),
+            std::vector<std::string>{"raw-output"});
+  EXPECT_EQ(rules_of(lint_one("fprintf(stdout, \"%d\\n\", x);")),
+            std::vector<std::string>{"raw-output"});
+}
+
+TEST(SimlintRawOutput, NonStdoutIoIsClean) {
+  // Diagnostics on stderr and in-memory formatting are not result output.
+  EXPECT_TRUE(lint_one("std::fprintf(stderr, \"oops\\n\");").empty());
+  EXPECT_TRUE(
+      lint_one("std::snprintf(buf, sizeof buf, \"%d\", x);").empty());
+  EXPECT_TRUE(lint_one("std::fputs(\"x\", f);").empty());
+  EXPECT_TRUE(lint_one("out << \"pair \" << src << '\\n';").empty());
+}
+
+TEST(SimlintRawOutput, ObsRendererFilesAreExempt) {
+  // The renderer itself is the sanctioned stdout site.
+  EXPECT_TRUE(
+      lint_one("std::cout << text;", "src/obs/report.cpp").empty());
+  EXPECT_TRUE(lint_one("std::cout << text;", "obs/report.cpp").empty());
+  // Non-obs files stay covered.
+  EXPECT_EQ(rules_of(lint_one("std::cout << text;", "src/core/scoring.cpp")),
+            std::vector<std::string>{"raw-output"});
+}
+
+TEST(SimlintRawOutput, AllowDirectiveSuppresses) {
+  EXPECT_TRUE(
+      lint_one("std::cout << banner;  // simlint:allow(raw-output)\n")
+          .empty());
+}
+
 // --- comment handling --------------------------------------------------------
 
 TEST(SimlintComments, HazardsInCommentsAreIgnored) {

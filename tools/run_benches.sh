@@ -1,6 +1,7 @@
 #!/bin/sh
-# Runs every bench binary, headline figures first, capturing combined output.
-# Usage: tools/run_benches.sh [--checked] [output-file]
+# Runs every bench binary, headline figures first, capturing combined output
+# and collecting each binary's BENCH_<name>.json report into one directory.
+# Usage: tools/run_benches.sh [--checked] [output-file] [json-dir]
 #
 # --checked runs the binaries from the build-checked tree (CMake preset
 # `checked`, SCION_MPR_CHECKED=ON) so every SCION_CHECK/SCION_DCHECK
@@ -16,14 +17,23 @@ if [ "$1" = "--checked" ]; then
   fi
 fi
 out="${1:-bench_output.txt}"
+json_dir="${2:-bench_out}"
+mkdir -p "$json_dir"
 : > "$out"
+
+run_bench() {
+  b="$1"
+  name="$(basename "$b")"
+  echo "=== $b ===" >> "$out"
+  "$b" "--bench-out=$json_dir/BENCH_${name#bench_}.json" >> "$out" 2>&1
+  echo >> "$out"
+}
+
 ordered="bench_table1_overhead_scope bench_fig5_overhead bench_fig6a_resilience bench_fig6b_capacity bench_fig7_scionlab_resilience bench_fig8_scionlab_capacity bench_fig9_scionlab_bandwidth bench_micro bench_ablation_scoring bench_ablation_sweeps bench_ext_latency"
 for name in $ordered; do
   b="$build_dir/bench/$name"
   if [ -x "$b" ] && [ -f "$b" ]; then
-    echo "=== $b ===" >> "$out"
-    "$b" >> "$out" 2>&1
-    echo >> "$out"
+    run_bench "$b"
   fi
 done
 # Catch any bench not in the explicit list.
@@ -32,9 +42,7 @@ for b in "$build_dir"/bench/*; do
     *" $(basename "$b") "*) continue ;;
   esac
   if [ -x "$b" ] && [ -f "$b" ]; then
-    echo "=== $b ===" >> "$out"
-    "$b" >> "$out" 2>&1
-    echo >> "$out"
+    run_bench "$b"
   fi
 done
-echo "bench suite complete: $out"
+echo "bench suite complete: $out (reports in $json_dir/)"

@@ -15,6 +15,7 @@
 #include "core/beaconing_sim.hpp"
 #include "experiments/scale.hpp"
 #include "experiments/table1_experiment.hpp"
+#include "obs/session.hpp"
 #include "topology/io.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
@@ -31,7 +32,12 @@ int usage() {
       "  beacon   --topology=FILE [--algorithm=baseline|diversity]\n"
       "           [--hours=N] [--warmup-hours=N] [--storage=N] [--limit=N]\n"
       "  quality  --topology=FILE [--pairs=N] [--hours=N]\n"
-      "  table1   [--isds=N] [--isd-size=N] [--minutes=N]\n";
+      "  table1   [--isds=N] [--isd-size=N] [--minutes=N]\n"
+      "telemetry (any command):\n"
+      "  --metrics-out=FILE   write metrics + run manifest as JSON\n"
+      "  --trace-out=FILE     stream structured events as JSONL\n"
+      "  --trace-filter=CSV   categories to trace (default all:\n"
+      "                       simnet,beacon,bgp,scion,sig,experiment)\n";
   return 2;
 }
 
@@ -189,6 +195,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Flags flags{argc, argv};
+  obs::ObsSession session{
+      "scion-mpr " + command, flags,
+      static_cast<std::uint64_t>(flags.get_int("seed", 1))};
   try {
     if (command == "gen") return cmd_gen(flags);
     if (command == "beacon") return cmd_beacon(flags);

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: simlint <file-or-dir>...\n"
-                 "rules: wall-clock std-rng unordered-iter float-accum\n"
+                 "rules: wall-clock std-rng unordered-iter float-accum "
+                 "raw-output\n"
                  "suppress with // simlint:allow(<rule>) on or above the "
                  "offending line\n");
     return 2;

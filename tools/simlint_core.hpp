@@ -19,6 +19,13 @@
 //                   iteration (float addition is not associative, so the
 //                   sum depends on hash order), and std::accumulate with a
 //                   floating-point init wherever it appears.
+//   raw-output      direct stdout writes (std::cout, printf, puts,
+//                   fprintf(stdout, ...)) in simulation code. Result output
+//                   must flow through the obs renderer (obs::print /
+//                   obs::Table) so it stays convertible to the JSON
+//                   telemetry outputs; files under an obs/ directory are
+//                   the renderer itself and are exempt. stderr diagnostics
+//                   and snprintf string formatting are not flagged.
 //
 // Provably order-insensitive iteration (pure counting, erase-only sweeps)
 // is silenced in place with `// simlint:allow(<rule>)` on the offending
@@ -53,7 +60,7 @@ struct Finding {
 
 inline const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames{
-      "wall-clock", "std-rng", "unordered-iter", "float-accum"};
+      "wall-clock", "std-rng", "unordered-iter", "float-accum", "raw-output"};
   return kNames;
 }
 
@@ -212,6 +219,10 @@ inline std::vector<Finding> Linter::run() const {
   static const std::regex kRangeFor{R"(for\s*\([^;()]*:\s*([^)]*))"};
   static const std::regex kAccumulateFloat{
       R"(std::accumulate\s*\([^;]*,\s*(?:0\.\d*f?|\d+\.\d*f?|(?:double|float)\s*[{(])\s*[,)])"};
+  // \b keeps snprintf/fputs/fprintf(stderr) out: only bare printf/puts and
+  // an explicit stdout stream count as terminal output.
+  static const std::regex kRawOutput{
+      R"(\bstd::cout\b|\bprintf\s*\(|\bputs\s*\(|\bfprintf\s*\(\s*stdout\b)"};
 
   // Pass 1a: alias names are corpus-global (a `using` in one header types
   // members everywhere).
@@ -246,6 +257,9 @@ inline std::vector<Finding> Linter::run() const {
   std::vector<Finding> findings;
   for (const auto& [name, content] : files_) {
     const std::string stem = stem_of(name);
+    // The obs renderer owns the sanctioned stdout sites.
+    const bool obs_exempt = name.find("/obs/") != std::string::npos ||
+                            name.rfind("obs/", 0) == 0;
     std::set<std::string> unordered = global_unordered;
     std::set<std::string> floats;
     for (const auto& [s, id] : local_unordered) {
@@ -320,6 +334,11 @@ inline std::vector<Finding> Linter::run() const {
       if (std::regex_search(code_str, kAccumulateFloat)) {
         report("float-accum",
                "std::accumulate over floats needs a documented ordering");
+      }
+      if (!obs_exempt && std::regex_search(code_str, kRawOutput)) {
+        report("raw-output",
+               "direct stdout write; route results through the obs renderer "
+               "(obs::print / obs::Table)");
       }
 
       bool flagged_iteration = false;
