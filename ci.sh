@@ -43,4 +43,23 @@ mkdir -p "$obs_dir"
   --trace="$obs_dir/trace.jsonl" --expect-cat=bgp,beacon \
   --bench="$obs_dir/bench.json"
 
-echo "ci: $preset build, tests, simlint, and telemetry artifacts all green"
+# Fault-injection smoke: the dynamic-resilience bench under the example
+# scenario (flaps, AS outage, ISD partition) with the fault category traced.
+# The ctest run above already exercises the fault_smoke fixtures; this is
+# the sanitizer-instrumented rerun with artifacts validated end to end.
+fault_dir="$build_dir/fault_ci"
+mkdir -p "$fault_dir"
+"$build_dir/bench/bench_dyn_resilience" \
+  --core-isds=3 --core-ases=12 --internet-ases=200 \
+  --sampled-pairs=20 --churn-minutes=10 \
+  --faults=examples/dyn_resilience.faults \
+  --metrics-out="$fault_dir/metrics.json" \
+  --trace-out="$fault_dir/trace.jsonl" \
+  --trace-filter=fault \
+  --bench-out="$fault_dir/bench.json" > "$fault_dir/stdout.txt"
+"$build_dir/tools/obs_check" \
+  --metrics="$fault_dir/metrics.json" \
+  --trace="$fault_dir/trace.jsonl" --expect-cat=fault \
+  --bench="$fault_dir/bench.json"
+
+echo "ci: $preset build, tests, simlint, fault smoke, and telemetry artifacts all green"

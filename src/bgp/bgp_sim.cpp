@@ -15,6 +15,10 @@ std::uint64_t pair_key(topo::AsIndex a, topo::AsIndex b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/// Decorrelates the injector's RNG stream from the simulation's own when
+/// both derive from the same config seed.
+constexpr std::uint64_t kFaultSeedMix = 0x9E3779B97F4A7C15ULL;
+
 }  // namespace
 
 BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
@@ -77,6 +81,59 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
     origins_.resize(config_.sampled_origins);
     std::sort(origins_.begin(), origins_.end());
   }
+
+  // Fault injection. The legacy per-adjacency churn knob becomes a flap
+  // process in the plan (aggregate rate preserved; the injector picks the
+  // failed *link*, and the session reacts only when its shared channel
+  // actually changes state, so parallel links keep the session alive).
+  faults::FaultPlan plan = config_.faults;
+  const bool legacy_only = config_.faults.empty();
+  const double flap_rate_per_hour = config_.flaps_per_adjacency_per_day *
+                                    static_cast<double>(adjacencies_.size()) /
+                                    24.0;
+  if (flap_rate_per_hour > 0.0) {
+    faults::FlapProcess flap;
+    flap.rate_per_hour = flap_rate_per_hour;
+    flap.downtime_min = config_.flap_downtime_min;
+    flap.downtime_max = config_.flap_downtime_max;
+    plan.flaps.push_back(flap);
+  }
+  if (legacy_only) plan.seed = config_.seed ^ kFaultSeedMix;
+  faults::FaultInjector::Hooks hooks;
+  hooks.on_link_down = [this](topo::LinkIndex l) { on_link_down(l); };
+  hooks.on_link_up = [this](topo::LinkIndex l) { on_link_up(l); };
+  hooks.channel_of_link = [this](topo::LinkIndex l) {
+    return session_channel(l);
+  };
+  injector_ = std::make_unique<faults::FaultInjector>(net_, std::move(plan),
+                                                      &topology_,
+                                                      std::move(hooks));
+}
+
+sim::ChannelId BgpSim::session_channel(topo::LinkIndex l) const {
+  const topo::Link& link = topology_.link(l);
+  return channel_by_pair_.at(pair_key(link.a, link.b));
+}
+
+void BgpSim::on_link_down(topo::LinkIndex l) {
+  const topo::Link& link = topology_.link(l);
+  // A parallel physical link may still carry the session; tear it down
+  // only when the shared channel itself went dark.
+  if (net_.channel_up(session_channel(l))) return;
+  if (!speakers_[link.a]->session_is_up(link.b)) return;
+  SCION_METRIC_COUNT("bgp.session_flaps", 1);
+  SCION_TRACE(obs::Category::kBgp, sim_.now(), "flap", {"a", link.a},
+              {"b", link.b});
+  speakers_[link.a]->session_down(link.b);
+  speakers_[link.b]->session_down(link.a);
+}
+
+void BgpSim::on_link_up(topo::LinkIndex l) {
+  const topo::Link& link = topology_.link(l);
+  if (!net_.channel_up(session_channel(l))) return;
+  if (speakers_[link.a]->session_is_up(link.b)) return;
+  speakers_[link.a]->session_up(link.b);
+  speakers_[link.b]->session_up(link.a);
 }
 
 void BgpSim::add_monitor(topo::AsIndex as) {
@@ -132,35 +189,6 @@ void BgpSim::account(topo::AsIndex monitor, const BgpUpdateMsg& msg) {
   }
 }
 
-void BgpSim::schedule_next_flap() {
-  const double rate_per_day =
-      config_.flaps_per_adjacency_per_day *
-      static_cast<double>(adjacencies_.size());
-  if (rate_per_day <= 0.0) return;
-  const double mean_gap_seconds = 86400.0 / rate_per_day;
-  const auto gap = util::Duration::nanoseconds(
-      static_cast<std::int64_t>(rng_.exponential(mean_gap_seconds) * 1e9));
-  sim_.schedule_after(gap, [this] {
-    const Adjacency& adj = adjacencies_[rng_.index(adjacencies_.size())];
-    if (speakers_[adj.a]->session_is_up(adj.b)) {
-      SCION_METRIC_COUNT("bgp.session_flaps", 1);
-      SCION_TRACE(obs::Category::kBgp, sim_.now(), "flap", {"a", adj.a},
-                  {"b", adj.b});
-      speakers_[adj.a]->session_down(adj.b);
-      speakers_[adj.b]->session_down(adj.a);
-      net_.set_channel_up(adj.channel, false);
-      const auto downtime = util::Duration::nanoseconds(rng_.uniform_int(
-          config_.flap_downtime_min.ns(), config_.flap_downtime_max.ns()));
-      sim_.schedule_after(downtime, [this, adj] {
-        net_.set_channel_up(adj.channel, true);
-        speakers_[adj.a]->session_up(adj.b);
-        speakers_[adj.b]->session_up(adj.a);
-      });
-    }
-    schedule_next_flap();
-  });
-}
-
 void BgpSim::run() {
   SCION_CHECK(!ran_, "BgpSim::run is single-shot");
   ran_ = true;
@@ -181,7 +209,7 @@ void BgpSim::run() {
   measuring_ = true;
   measure_start_ = sim_.now();
   net_.reset_stats();
-  schedule_next_flap();
+  injector_->arm(measure_start_ + config_.churn_window);
   sim_.run_until(measure_start_ + config_.churn_window);
   measuring_ = false;
 }
@@ -261,6 +289,24 @@ std::vector<std::vector<topo::LinkIndex>> BgpSim::bgp_link_paths(
     out.push_back(std::move(links));
   }
   return out;
+}
+
+bool BgpSim::has_live_route(topo::AsIndex src, Prefix t) const {
+  for (const Speaker::Route& route : speakers_[src]->multipath(t)) {
+    if (!route.path) return true;  // own prefix
+    bool live = true;
+    topo::AsIndex prev = src;
+    for (topo::AsIndex hop : *route.path) {
+      const auto it = channel_by_pair_.find(pair_key(prev, hop));
+      if (it == channel_by_pair_.end() || !net_.channel_up(it->second)) {
+        live = false;
+        break;
+      }
+      prev = hop;
+    }
+    if (live) return true;
+  }
+  return false;
 }
 
 std::uint64_t BgpSim::total_updates_sent() const {

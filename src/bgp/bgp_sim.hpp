@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bgp/speaker.hpp"
+#include "faults/fault_injector.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +39,11 @@ struct BgpSimConfig {
   util::Duration min_latency{util::Duration::milliseconds(2)};
   util::Duration max_latency{util::Duration::milliseconds(40)};
   std::uint64_t seed{1};
+  /// Additional fault scenario, armed when the measurement window starts.
+  /// When this is left empty, the injector (running the legacy churn
+  /// process above) is seeded from `seed`; an explicit scenario keeps its
+  /// own seed so scenario files replay identically across binaries.
+  faults::FaultPlan faults{};
 };
 
 /// Per-monitor, per-origin aggregates sufficient to reconstruct monthly BGP
@@ -91,13 +97,24 @@ class BgpSim {
   std::vector<std::vector<topo::LinkIndex>> bgp_link_paths(topo::AsIndex src,
                                                            Prefix t) const;
 
+  /// True if `src`'s RIB holds a route to `t` every hop of which rides a
+  /// currently-up session channel (the dynamic-resilience connectivity
+  /// probe: a stale route through a dead session does not count).
+  bool has_live_route(topo::AsIndex src, Prefix t) const;
+
   std::uint64_t total_updates_sent() const;
   sim::Simulator& simulator() { return sim_; }
+  const sim::Network& network() const { return net_; }
+
+  /// The fault injector driving session churn (always present).
+  const faults::FaultInjector& injector() const { return *injector_; }
 
  private:
   void deliver(topo::AsIndex to, const sim::Message& msg);
   void account(topo::AsIndex monitor, const BgpUpdateMsg& msg);
-  void schedule_next_flap();
+  void on_link_down(topo::LinkIndex l);
+  void on_link_up(topo::LinkIndex l);
+  sim::ChannelId session_channel(topo::LinkIndex l) const;
   double accounting_scale() const;
 
   const topo::Topology& topology_;
@@ -114,6 +131,7 @@ class BgpSim {
   };
   std::vector<Adjacency> adjacencies_;
   std::unordered_map<std::uint64_t, sim::ChannelId> channel_by_pair_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::vector<Prefix> origins_;
   std::unordered_map<topo::AsIndex, MonitorAccount> monitors_;
   std::vector<util::TimePoint> busy_until_;

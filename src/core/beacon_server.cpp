@@ -150,6 +150,16 @@ void BeaconServer::on_interval(TimePoint now) {
   propagate(now);
 }
 
+void BeaconServer::on_link_down(topo::LinkIndex link, TimePoint now) {
+  const std::size_t revoked = store_.drop_link(link);
+  if (revoked == 0) return;
+  stats_.pcbs_revoked += revoked;
+  SCION_METRIC_COUNT("beacon.pcbs_revoked", revoked);
+  SCION_TRACE(obs::Category::kBeacon, now, "revoke",
+              {"as", self_id_.to_string()}, {"link", link},
+              {"revoked", revoked});
+}
+
 std::vector<PeerEntry> BeaconServer::peer_entries() const {
   std::vector<PeerEntry> peers;
   if (!config_.include_peer_entries) return peers;

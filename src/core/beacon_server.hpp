@@ -74,6 +74,8 @@ struct BeaconServerStats {
   std::uint64_t verify_failures{0};
   std::uint64_t resolve_failures{0};
   std::uint64_t store_rejected{0};
+  /// Stored PCBs evicted because a link they traverse was revoked.
+  std::uint64_t pcbs_revoked{0};
 };
 
 class BeaconServer {
@@ -90,6 +92,12 @@ class BeaconServer {
 
   /// Runs one beaconing interval at time `now`.
   void on_interval(TimePoint now);
+
+  /// Reacts to `link` going down (this AS saw an interface fail, or an
+  /// SCMP revocation for it arrived): every stored PCB traversing the link
+  /// is evicted so it is neither registered nor propagated further, and the
+  /// diversity history no longer credits it.
+  void on_link_down(topo::LinkIndex link, TimePoint now);
 
   topo::AsIndex self() const { return self_; }
   topo::IsdAsId self_id() const { return self_id_; }

@@ -131,6 +131,25 @@ std::size_t BeaconStore::expire(TimePoint now) {
   return expired;
 }
 
+std::size_t BeaconStore::drop_link(topo::LinkIndex link) {
+  std::size_t dropped = 0;
+  // Erase-only sweep; no cross-bucket state, order-insensitive (the count
+  // is a pure function of the multiset of entries).
+  // simlint:allow(unordered-iter)
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    auto& bucket = it->second;
+    dropped += std::erase_if(bucket, [link](const StoredPcb& e) {
+      return std::find(e.links.begin(), e.links.end(), link) != e.links.end();
+    });
+    if (bucket.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 const std::vector<StoredPcb>& BeaconStore::for_origin(IsdAsId origin) const {
   static const std::vector<StoredPcb> kEmpty;
   const auto it = buckets_.find(origin);

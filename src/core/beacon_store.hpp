@@ -51,6 +51,11 @@ class BeaconStore {
   /// Drops expired PCBs everywhere; returns how many were dropped.
   std::size_t expire(TimePoint now);
 
+  /// Drops every stored PCB whose link sequence traverses `link` (the
+  /// SCMP-revocation reaction to an interface going down); returns how many
+  /// were dropped.
+  std::size_t drop_link(topo::LinkIndex link);
+
   /// Stored PCBs for one origin (possibly empty). Pointers/references are
   /// invalidated by insert/expire.
   const std::vector<StoredPcb>& for_origin(IsdAsId origin) const;

@@ -73,6 +73,20 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
         util::TimePoint::origin() + offset, config_.server.interval,
         [this, i] { servers_[i]->on_interval(sim_.now()); });
   }
+
+  // Fault scenario: a downed link stops carrying PCBs (the network drops
+  // them) and both endpoint ASes evict every stored PCB that traverses it,
+  // standing in for the SCMP revocation flood of Section 2.2.
+  if (!config_.faults.empty()) {
+    faults::FaultInjector::Hooks hooks;
+    hooks.on_link_down = [this](topo::LinkIndex l) {
+      const topo::Link& link = topology_.link(l);
+      servers_[link.a]->on_link_down(l, sim_.now());
+      servers_[link.b]->on_link_down(l, sim_.now());
+    };
+    injector_ = std::make_unique<faults::FaultInjector>(
+        net_, config_.faults, &topology_, std::move(hooks));
+  }
 }
 
 void BeaconingSim::run() {
@@ -83,8 +97,10 @@ void BeaconingSim::run() {
     net_.reset_stats();
     for (const auto& server : servers_) server->reset_stats();
   }
-  sim_.run_until(util::TimePoint::origin() + config_.warmup +
-                 config_.sim_duration);
+  const util::TimePoint end =
+      util::TimePoint::origin() + config_.warmup + config_.sim_duration;
+  if (injector_) injector_->arm(end);
+  sim_.run_until(end);
   SCION_METRIC_GAUGE_MAX("beacon.total_pcbs_sent", total_pcbs_sent());
 }
 
@@ -121,6 +137,7 @@ BeaconServerStats BeaconingSim::aggregate_stats() const {
     agg.verify_failures += st.verify_failures;
     agg.resolve_failures += st.resolve_failures;
     agg.store_rejected += st.store_rejected;
+    agg.pcbs_revoked += st.pcbs_revoked;
   }
   return agg;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/beacon_server.hpp"
+#include "faults/fault_injector.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +28,9 @@ struct BeaconingSimConfig {
   util::Duration min_latency{util::Duration::milliseconds(2)};
   util::Duration max_latency{util::Duration::milliseconds(40)};
   std::uint64_t seed{1};
+  /// Fault scenario, armed when the measurement window starts (event
+  /// offsets are relative to the end of warm-up). Empty = no faults.
+  faults::FaultPlan faults{};
 };
 
 /// Per-interface outbound usage (one row per link direction), the raw data
@@ -48,6 +52,11 @@ class BeaconingSim {
   const topo::Topology& topology() const { return topology_; }
   const BeaconServer& server(topo::AsIndex as) const { return *servers_[as]; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Network& network() const { return net_; }
+
+  /// The fault injector executing config.faults; null when the plan is
+  /// empty.
+  const faults::FaultInjector* injector() const { return injector_.get(); }
 
   /// Outbound usage of every interface (two rows per link).
   std::vector<InterfaceUsage> interface_usage() const;
@@ -73,6 +82,7 @@ class BeaconingSim {
   sim::Network net_;
   std::unique_ptr<crypto::KeyStore> keys_;
   std::vector<std::unique_ptr<BeaconServer>> servers_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   bool ran_{false};
 };
 

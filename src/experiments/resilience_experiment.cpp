@@ -1,0 +1,212 @@
+#include "experiments/resilience_experiment.hpp"
+
+#include <algorithm>
+
+#include "bgp/bgp_sim.hpp"
+#include "core/beaconing_sim.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "util/rng.hpp"
+
+namespace scion::exp {
+
+namespace {
+
+/// Per-pair connectivity state machine fed by the periodic probe.
+struct PairState {
+  bool seen{false};
+  bool up{false};
+  bool in_outage{false};
+  util::TimePoint down_since;
+};
+
+/// Feeds one probe round into the state machines. `pair_up(i)` answers
+/// whether sampled pair i currently has a live path.
+template <typename PairUpFn>
+void probe_round(DynResilienceSeries& series, std::vector<PairState>& states,
+                 util::TimePoint now, PairUpFn&& pair_up) {
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const bool up = pair_up(i);
+    ++series.probes;
+    if (up) ++series.probes_up;
+    PairState& st = states[i];
+    if (st.seen) {
+      if (st.up && !up) {
+        st.in_outage = true;
+        st.down_since = now;
+        ++series.outages;
+      } else if (!st.up && up && st.in_outage) {
+        series.recovery_seconds.add((now - st.down_since).as_seconds());
+        ++series.recovered;
+        st.in_outage = false;
+      }
+    }
+    st.seen = true;
+    st.up = up;
+  }
+}
+
+void finalize(DynResilienceSeries& series, const std::vector<PairState>& states) {
+  for (const PairState& st : states) {
+    if (st.in_outage) ++series.unrecovered;
+  }
+  series.availability =
+      series.probes > 0 ? static_cast<double>(series.probes_up) /
+                              static_cast<double>(series.probes)
+                        : 0.0;
+}
+
+/// One stored path is live iff every link it traverses is currently up.
+bool any_path_live(const std::vector<std::vector<topo::LinkIndex>>& paths,
+                   const sim::Network& net) {
+  for (const auto& path : paths) {
+    if (path.empty()) continue;
+    const bool live =
+        std::all_of(path.begin(), path.end(), [&net](topo::LinkIndex l) {
+          return net.channel_up(static_cast<sim::ChannelId>(l));
+        });
+    if (live) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DynResilienceResult run_dyn_resilience_experiment(
+    const topo::Topology& bgp_view, const topo::Topology& scion_view,
+    const DynResilienceConfig& config) {
+  DynResilienceResult result;
+  util::Rng rng{config.seed ^ 0xD15C0};
+
+  // Sampled distinct AS pairs (the probe population).
+  const std::size_t n = scion_view.as_count();
+  const std::size_t max_pairs = n * (n - 1) / 2;
+  const std::size_t want = std::min(config.sampled_pairs, max_pairs);
+  while (result.pairs.size() < want) {
+    const auto a = static_cast<topo::AsIndex>(rng.index(n));
+    const auto b = static_cast<topo::AsIndex>(rng.index(n));
+    if (a == b) continue;
+    result.pairs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+
+  // The shared scenario: both views have identical link indices, so every
+  // series sees the same faults at the same virtual times.
+  faults::FaultPlan plan = config.faults;
+  if (plan.empty() && config.default_flap_rate_per_hour > 0.0) {
+    faults::FlapProcess flap;
+    flap.rate_per_hour = config.default_flap_rate_per_hour;
+    flap.downtime_min = config.default_downtime_min;
+    flap.downtime_max = config.default_downtime_max;
+    plan.flaps.push_back(flap);
+    plan.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+  }
+
+  const auto run_scion = [&](ctrl::AlgorithmKind algorithm,
+                             const std::string& name) {
+    obs::ProfilePhase phase{"dyn_resilience." + name};
+    ctrl::BeaconingSimConfig c;
+    c.server.algorithm = algorithm;
+    c.server.mode = ctrl::BeaconingMode::kCore;
+    c.server.storage_limit = config.storage_limit;
+    c.server.dissemination_limit = config.dissemination_limit;
+    c.server.compute_crypto = false;
+    if (algorithm == ctrl::AlgorithmKind::kDiversity) {
+      c.server.store_policy = ctrl::StorePolicy::kDiversityAware;
+    }
+    c.sim_duration = config.sim_duration;
+    c.warmup = config.warmup;
+    c.seed = config.seed;
+    c.faults = plan;
+    ctrl::BeaconingSim sim{scion_view, c};
+
+    DynResilienceSeries series;
+    series.name = name;
+    std::vector<PairState> states(result.pairs.size());
+    const util::TimePoint measure_start =
+        util::TimePoint::origin() + config.warmup;
+    sim.simulator().schedule_periodic(
+        measure_start + config.probe_interval, config.probe_interval, [&] {
+          probe_round(series, states, sim.simulator().now(), [&](std::size_t i) {
+            const auto [s, t] = result.pairs[i];
+            std::vector<std::vector<topo::LinkIndex>> paths =
+                sim.paths_at(s, scion_view.as_id(t));
+            std::vector<std::vector<topo::LinkIndex>> reverse =
+                sim.paths_at(t, scion_view.as_id(s));
+            paths.insert(paths.end(), std::make_move_iterator(reverse.begin()),
+                         std::make_move_iterator(reverse.end()));
+            return any_path_live(paths, sim.network());
+          });
+        });
+    sim.run();
+    finalize(series, states);
+    if (sim.injector() != nullptr) series.fault_stats = sim.injector()->stats();
+    series.drops = sim.network().drop_stats();
+    series.pcbs_revoked = sim.aggregate_stats().pcbs_revoked;
+    result.series.push_back(std::move(series));
+  };
+
+  run_scion(ctrl::AlgorithmKind::kBaseline, "SCION Baseline");
+  run_scion(ctrl::AlgorithmKind::kDiversity, "SCION Diversity");
+
+  if (config.include_bgp) {
+    obs::ProfilePhase phase{"dyn_resilience.BGP"};
+    bgp::BgpSimConfig bc;
+    bc.seed = config.seed;
+    bc.convergence_window = config.warmup;
+    bc.churn_window = config.sim_duration;
+    bc.flaps_per_adjacency_per_day = 0.0;  // churn comes from the shared plan
+    bc.faults = plan;
+    bgp::BgpSim sim{bgp_view, bc};
+
+    DynResilienceSeries series;
+    series.name = "BGP";
+    std::vector<PairState> states(result.pairs.size());
+    const util::TimePoint measure_start =
+        util::TimePoint::origin() + config.warmup;
+    sim.simulator().schedule_periodic(
+        measure_start + config.probe_interval, config.probe_interval, [&] {
+          probe_round(series, states, sim.simulator().now(), [&](std::size_t i) {
+            const auto [s, t] = result.pairs[i];
+            return sim.has_live_route(s, t) && sim.has_live_route(t, s);
+          });
+        });
+    sim.run();
+    finalize(series, states);
+    series.fault_stats = sim.injector().stats();
+    series.drops = sim.network().drop_stats();
+    result.series.push_back(std::move(series));
+  }
+
+  return result;
+}
+
+obs::Table dyn_resilience_table(const DynResilienceResult& r) {
+  obs::Table t{
+      "Dynamic resilience: recovery time from pair outage to first live "
+      "path (probe-quantized), under the shared fault scenario",
+      {obs::Column{"Series", obs::Align::kLeft, 18},
+       obs::Column{"Recovery time [s]", obs::Align::kLeft, 40},
+       obs::Column{"Outages", obs::Align::kRight, 9},
+       obs::Column{"Recovered", obs::Align::kRight, 10},
+       obs::Column{"Stuck", obs::Align::kRight, 7},
+       obs::Column{"Availability", obs::Align::kRight, 13},
+       obs::Column{"Faults", obs::Align::kRight, 8},
+       obs::Column{"Revoked PCBs", obs::Align::kRight, 13}}};
+  for (const DynResilienceSeries& s : r.series) {
+    t.row({s.name,
+           s.recovery_seconds.empty() ? "(no recoveries)"
+                                      : s.recovery_seconds.summary(),
+           obs::fmt_u64(s.outages), obs::fmt_u64(s.recovered),
+           obs::fmt_u64(s.unrecovered), obs::fmt_f(s.availability, 4),
+           obs::fmt_u64(s.fault_stats.link_down_events),
+           obs::fmt_u64(s.pcbs_revoked)});
+  }
+  return t;
+}
+
+void print_dyn_resilience(const DynResilienceResult& r) {
+  obs::print_line("");
+  obs::print(dyn_resilience_table(r).to_text());
+}
+
+}  // namespace scion::exp

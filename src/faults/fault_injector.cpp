@@ -1,0 +1,251 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace scion::faults {
+
+using util::Duration;
+using util::TimePoint;
+
+FaultInjector::FaultInjector(sim::Network& net, FaultPlan plan,
+                             const topo::Topology* topology, Hooks hooks)
+    : net_{net},
+      plan_{std::move(plan)},
+      topology_{topology},
+      hooks_{std::move(hooks)},
+      rng_{plan_.seed} {
+  link_depth_.assign(link_count(), 0);
+  channel_depth_.assign(net_.channel_count(), 0);
+  node_depth_.assign(net_.node_count(), 0);
+  down_since_.assign(link_count(), util::TimePoint::origin());
+}
+
+std::size_t FaultInjector::link_count() const {
+  return topology_ != nullptr ? topology_->link_count() : net_.channel_count();
+}
+
+sim::ChannelId FaultInjector::channel_of(topo::LinkIndex link) const {
+  if (hooks_.channel_of_link) return hooks_.channel_of_link(link);
+  return static_cast<sim::ChannelId>(link);
+}
+
+void FaultInjector::arm(TimePoint until) {
+  SCION_CHECK(!armed_, "fault injector armed twice");
+  armed_ = true;
+  sim::Simulator& sim = net_.simulator();
+  if (plan_.loss_probability > 0.0 || plan_.jitter_max > Duration::zero() ||
+      !plan_.flaps.empty()) {
+    net_.set_fault_rng(&rng_);
+  }
+  for (sim::ChannelId ch = 0; ch < net_.channel_count(); ++ch) {
+    if (plan_.loss_probability > 0.0) {
+      net_.set_loss_probability(ch, plan_.loss_probability);
+    }
+    if (plan_.jitter_max > Duration::zero()) {
+      net_.set_jitter(ch, plan_.jitter_max);
+    }
+  }
+  SCION_TRACE(obs::Category::kFault, sim.now(), "armed",
+              {"events", plan_.events.size()}, {"flaps", plan_.flaps.size()},
+              {"loss", plan_.loss_probability},
+              {"jitter_ns", plan_.jitter_max.ns()});
+  for (const Event& ev : plan_.events) {
+    sim.schedule_at(sim.now() + ev.at, [this, ev] { run_event(ev); });
+  }
+  for (const FlapProcess& flap : plan_.flaps) {
+    start_flap_process(flap, until);
+  }
+}
+
+void FaultInjector::skip_event(const Event& ev) {
+  ++stats_.events_skipped;
+  SCION_METRIC_COUNT("faults.events_skipped", 1);
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "skipped",
+              {"kind", to_string(ev.kind)}, {"target", ev.target});
+}
+
+void FaultInjector::run_event(const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kLinkDown:
+      if (ev.target >= link_count()) return skip_event(ev);
+      inject_link_down(ev.target, ev.duration);
+      break;
+    case Event::Kind::kLinkUp:
+      if (ev.target >= link_count()) return skip_event(ev);
+      inject_link_up(ev.target);
+      break;
+    case Event::Kind::kNodeDown:
+      if (ev.target >= net_.node_count()) return skip_event(ev);
+      inject_node_down(ev.target, ev.duration);
+      break;
+    case Event::Kind::kNodeUp:
+      if (ev.target >= net_.node_count()) return skip_event(ev);
+      inject_node_up(ev.target);
+      break;
+    case Event::Kind::kIsdPartition:
+      partition_isd(ev.target, ev.duration);
+      break;
+  }
+}
+
+void FaultInjector::inject_link_down(topo::LinkIndex link, Duration downtime) {
+  SCION_CHECK(link < link_depth_.size(), "link index out of range");
+  ++stats_.link_down_events;
+  SCION_METRIC_COUNT("faults.link_down", 1);
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "link_down",
+              {"link", link}, {"downtime_ns", downtime.ns()});
+  link_down_ref(link);
+  if (downtime > Duration::zero()) {
+    net_.simulator().schedule_after(downtime,
+                                    [this, link] { link_down_unref(link); });
+  }
+}
+
+void FaultInjector::inject_link_up(topo::LinkIndex link) {
+  SCION_CHECK(link < link_depth_.size(), "link index out of range");
+  link_down_unref(link);
+}
+
+void FaultInjector::inject_node_down(sim::NodeId node, Duration downtime) {
+  SCION_CHECK(node < node_depth_.size(), "node id out of range");
+  ++stats_.node_down_events;
+  SCION_METRIC_COUNT("faults.node_down", 1);
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "node_down",
+              {"node", node}, {"downtime_ns", downtime.ns()});
+  node_down_ref(node);
+  if (downtime > Duration::zero()) {
+    net_.simulator().schedule_after(downtime,
+                                    [this, node] { node_down_unref(node); });
+  }
+}
+
+void FaultInjector::inject_node_up(sim::NodeId node) {
+  SCION_CHECK(node < node_depth_.size(), "node id out of range");
+  node_down_unref(node);
+}
+
+bool FaultInjector::link_up(topo::LinkIndex link) const {
+  SCION_CHECK(link < link_depth_.size(), "link index out of range");
+  return link_depth_[link] == 0;
+}
+
+void FaultInjector::partition_isd(std::uint32_t isd, Duration duration) {
+  SCION_CHECK(topology_ != nullptr,
+              "isd-partition requires a topology-aware injector");
+  ++stats_.partitions;
+  SCION_METRIC_COUNT("faults.partitions", 1);
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "isd_partition",
+              {"isd", isd}, {"duration_ns", duration.ns()});
+  // Cut every link with exactly one endpoint inside the target ISD.
+  for (topo::LinkIndex l = 0; l < topology_->link_count(); ++l) {
+    const topo::Link& link = topology_->link(l);
+    const bool a_in = topology_->as_id(link.a).isd() == isd;
+    const bool b_in = topology_->as_id(link.b).isd() == isd;
+    if (a_in == b_in) continue;
+    inject_link_down(l, duration);
+  }
+}
+
+void FaultInjector::start_flap_process(const FlapProcess& flap,
+                                       TimePoint until) {
+  SCION_CHECK(flap.rate_per_hour > 0.0, "flap process with zero rate");
+  SCION_CHECK(flap.downtime_min <= flap.downtime_max,
+              "flap downtime range inverted");
+  const std::size_t idx =
+      static_cast<std::size_t>(&flap - plan_.flaps.data());
+  const double gap_s = rng_.exponential(3600.0 / flap.rate_per_hour);
+  const Duration gap =
+      Duration::nanoseconds(static_cast<std::int64_t>(gap_s * 1e9));
+  const TimePoint at = net_.simulator().now() + gap;
+  if (at > until) return;
+  net_.simulator().schedule_at(at,
+                               [this, idx, until] { fire_flap(idx, until); });
+}
+
+void FaultInjector::fire_flap(std::size_t flap_idx, TimePoint until) {
+  const FlapProcess& flap = plan_.flaps[flap_idx];
+  const std::vector<topo::LinkIndex> candidates = flap_candidates(flap.links);
+  if (!candidates.empty()) {
+    const topo::LinkIndex link = candidates[rng_.index(candidates.size())];
+    const Duration downtime = Duration::nanoseconds(rng_.uniform_int(
+        flap.downtime_min.ns(), flap.downtime_max.ns()));
+    ++stats_.flaps;
+    SCION_METRIC_COUNT("faults.flaps", 1);
+    SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "flap",
+                {"link", link}, {"downtime_ns", downtime.ns()});
+    inject_link_down(link, downtime);
+  }
+  start_flap_process(flap, until);
+}
+
+std::vector<topo::LinkIndex> FaultInjector::flap_candidates(
+    LinkClass link_class) const {
+  std::vector<topo::LinkIndex> out;
+  const std::size_t n = link_count();
+  out.reserve(n);
+  for (topo::LinkIndex l = 0; l < n; ++l) {
+    if (link_depth_[l] != 0) continue;  // already down: flap something else
+    if (link_class != LinkClass::kAll) {
+      SCION_CHECK(topology_ != nullptr,
+                  "link-class flap filter requires a topology-aware injector");
+      const topo::LinkType type = topology_->link(l).type;
+      const bool match =
+          (link_class == LinkClass::kCore && type == topo::LinkType::kCore) ||
+          (link_class == LinkClass::kProviderCustomer &&
+           type == topo::LinkType::kProviderCustomer) ||
+          (link_class == LinkClass::kPeer && type == topo::LinkType::kPeer);
+      if (!match) continue;
+    }
+    out.push_back(l);
+  }
+  return out;
+}
+
+void FaultInjector::link_down_ref(topo::LinkIndex link) {
+  if (++link_depth_[link] != 1) return;  // already down via another outage
+  down_since_[link] = net_.simulator().now();
+  const sim::ChannelId ch = channel_of(link);
+  SCION_CHECK(ch < channel_depth_.size(), "channel id out of range");
+  if (++channel_depth_[ch] == 1) net_.set_channel_up(ch, false);
+  if (hooks_.on_link_down) hooks_.on_link_down(link);
+}
+
+void FaultInjector::link_down_unref(topo::LinkIndex link) {
+  if (link_depth_[link] == 0) return;  // saturating: spurious restore
+  if (--link_depth_[link] != 0) return;  // another outage still holds it
+  const sim::ChannelId ch = channel_of(link);
+  if (--channel_depth_[ch] == 0) net_.set_channel_up(ch, true);
+  ++stats_.link_up_events;
+  SCION_METRIC_COUNT("faults.link_up", 1);
+  // The realized blackout of this link across all overlapping outages.
+  SCION_METRIC_OBSERVE(
+      "faults.link_downtime_s",
+      (net_.simulator().now() - down_since_[link]).as_seconds());
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "link_up",
+              {"link", link},
+              {"downtime_ns", (net_.simulator().now() - down_since_[link]).ns()});
+  if (hooks_.on_link_up) hooks_.on_link_up(link);
+}
+
+void FaultInjector::node_down_ref(sim::NodeId node) {
+  if (++node_depth_[node] != 1) return;
+  net_.set_node_up(node, false);
+  if (hooks_.on_node_down) hooks_.on_node_down(node);
+}
+
+void FaultInjector::node_down_unref(sim::NodeId node) {
+  if (node_depth_[node] == 0) return;
+  if (--node_depth_[node] != 0) return;
+  net_.set_node_up(node, true);
+  ++stats_.node_up_events;
+  SCION_METRIC_COUNT("faults.node_up", 1);
+  SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "node_up",
+              {"node", node});
+  if (hooks_.on_node_up) hooks_.on_node_up(node);
+}
+
+}  // namespace scion::faults

@@ -1,0 +1,232 @@
+#include "faults/fault_plan.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace scion::faults {
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kAll: return "all";
+    case LinkClass::kCore: return "core";
+    case LinkClass::kProviderCustomer: return "provider-customer";
+    case LinkClass::kPeer: return "peer";
+  }
+  return "?";
+}
+
+const char* to_string(Event::Kind k) {
+  switch (k) {
+    case Event::Kind::kLinkDown: return "link-down";
+    case Event::Kind::kLinkUp: return "link-up";
+    case Event::Kind::kNodeDown: return "as-down";
+    case Event::Kind::kNodeUp: return "as-up";
+    case Event::Kind::kIsdPartition: return "isd-partition";
+  }
+  return "?";
+}
+
+bool parse_duration(const std::string& text, util::Duration* out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+    ++i;
+  }
+  if (i == 0 || i == text.size()) return false;
+  char* end = nullptr;
+  const std::string number = text.substr(0, i);
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value < 0.0) return false;
+  const std::string unit = text.substr(i);
+  double ns = 0.0;
+  if (unit == "ns") {
+    ns = value;
+  } else if (unit == "us") {
+    ns = value * 1e3;
+  } else if (unit == "ms") {
+    ns = value * 1e6;
+  } else if (unit == "s") {
+    ns = value * 1e9;
+  } else if (unit == "m") {
+    ns = value * 60e9;
+  } else if (unit == "h") {
+    ns = value * 3600e9;
+  } else if (unit == "d") {
+    ns = value * 86400e9;
+  } else {
+    return false;
+  }
+  *out = util::Duration::nanoseconds(static_cast<std::int64_t>(std::llround(ns)));
+  return true;
+}
+
+namespace {
+
+bool parse_u32(const std::string& text, std::uint32_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v > 0xFFFFFFFFULL) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_link_class(const std::string& text, LinkClass* out) {
+  for (const LinkClass c : {LinkClass::kAll, LinkClass::kCore,
+                            LinkClass::kProviderCustomer, LinkClass::kPeer}) {
+    if (text == to_string(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "30s..2m" → [30s, 2m].
+bool parse_duration_range(const std::string& text, util::Duration* lo,
+                          util::Duration* hi) {
+  const std::size_t sep = text.find("..");
+  if (sep == std::string::npos) {
+    if (!parse_duration(text, lo)) return false;
+    *hi = *lo;
+    return true;
+  }
+  return parse_duration(text.substr(0, sep), lo) &&
+         parse_duration(text.substr(sep + 2), hi) && *lo <= *hi;
+}
+
+bool fail(std::string* error, int line_no, const std::string& message) {
+  std::ostringstream out;
+  out << "line " << line_no << ": " << message;
+  *error = out.str();
+  return false;
+}
+
+/// Parses the "at T [for D]" tail common to all scheduled events.
+bool parse_event_tail(const std::vector<std::string>& tok, std::size_t from,
+                      bool allow_for, Event* ev) {
+  if (from >= tok.size() || tok[from] != "at") return false;
+  if (from + 1 >= tok.size() || !parse_duration(tok[from + 1], &ev->at)) {
+    return false;
+  }
+  std::size_t i = from + 2;
+  if (i < tok.size()) {
+    if (!allow_for || tok[i] != "for" || i + 1 >= tok.size()) return false;
+    if (!parse_duration(tok[i + 1], &ev->duration)) return false;
+    i += 2;
+  }
+  return i == tok.size();
+}
+
+}  // namespace
+
+bool FaultPlan::parse(std::istream& in, FaultPlan* plan, std::string* error) {
+  *plan = FaultPlan{};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields{line};
+    std::vector<std::string> tok;
+    for (std::string t; fields >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+
+    if (cmd == "seed") {
+      if (tok.size() != 2 || !parse_u64(tok[1], &plan->seed)) {
+        return fail(error, line_no, "expected: seed N");
+      }
+    } else if (cmd == "loss") {
+      if (tok.size() != 2 || !parse_double(tok[1], &plan->loss_probability) ||
+          plan->loss_probability < 0.0 || plan->loss_probability > 1.0) {
+        return fail(error, line_no, "expected: loss P with P in [0,1]");
+      }
+    } else if (cmd == "jitter") {
+      if (tok.size() != 2 || !parse_duration(tok[1], &plan->jitter_max)) {
+        return fail(error, line_no, "expected: jitter DURATION");
+      }
+    } else if (cmd == "flap") {
+      // flap rate/h R down DMIN..DMAX [links CLASS]
+      FlapProcess flap;
+      bool ok = tok.size() >= 5 && tok[1] == "rate/h" &&
+                parse_double(tok[2], &flap.rate_per_hour) &&
+                flap.rate_per_hour > 0.0 && tok[3] == "down" &&
+                parse_duration_range(tok[4], &flap.downtime_min,
+                                     &flap.downtime_max);
+      if (ok && tok.size() == 7) {
+        ok = tok[5] == "links" && parse_link_class(tok[6], &flap.links);
+      } else if (ok) {
+        ok = tok.size() == 5;
+      }
+      if (!ok) {
+        return fail(error, line_no,
+                    "expected: flap rate/h R down DMIN..DMAX [links "
+                    "all|core|provider-customer|peer]");
+      }
+      plan->flaps.push_back(flap);
+    } else {
+      Event ev;
+      bool allow_for = true;
+      if (cmd == "link-down") {
+        ev.kind = Event::Kind::kLinkDown;
+      } else if (cmd == "link-up") {
+        ev.kind = Event::Kind::kLinkUp;
+        allow_for = false;
+      } else if (cmd == "as-down") {
+        ev.kind = Event::Kind::kNodeDown;
+      } else if (cmd == "as-up") {
+        ev.kind = Event::Kind::kNodeUp;
+        allow_for = false;
+      } else if (cmd == "isd-partition") {
+        ev.kind = Event::Kind::kIsdPartition;
+      } else {
+        return fail(error, line_no, "unknown directive '" + cmd + "'");
+      }
+      if (tok.size() < 2 || !parse_u32(tok[1], &ev.target) ||
+          !parse_event_tail(tok, 2, allow_for, &ev)) {
+        return fail(error, line_no,
+                    "expected: " + std::string{to_string(ev.kind)} +
+                        (allow_for ? " TARGET at T [for D]" : " TARGET at T"));
+      }
+      plan->events.push_back(ev);
+    }
+  }
+  return true;
+}
+
+bool FaultPlan::parse_file(const std::string& path, FaultPlan* plan,
+                           std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    *error = "cannot open fault scenario file: " + path;
+    return false;
+  }
+  return parse(in, plan, error);
+}
+
+}  // namespace scion::faults

@@ -1,0 +1,104 @@
+// Declarative fault scenarios (the "what" of fault injection).
+//
+// A FaultPlan is pure data: a list of scheduled one-shot events (link
+// down/up, AS outage, ISD partition) plus seeded stochastic processes
+// (Poisson link flaps with a downtime distribution, per-channel message
+// loss, latency jitter). Plans can be built programmatically or parsed from
+// a small text format so the same scenario file drives the CLI, the
+// benches, and the tests:
+//
+//   # dyn_resilience.faults — comments start with '#'
+//   seed 42
+//   loss 0.01
+//   jitter 5ms
+//   flap rate/h 12 down 30s..2m links provider-customer
+//   link-down 7 at 10s for 1m
+//   as-down 3 at 30s for 2m
+//   isd-partition 2 at 5m for 1m
+//
+// All event times are offsets from the instant the FaultInjector is armed
+// (normally the start of the measurement window), so one scenario is
+// meaningful across simulators with different warm-up phases. Everything
+// stochastic derives from `seed` via util::Rng — same plan, same seed,
+// byte-identical run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace scion::faults {
+
+/// Which links a stochastic flap process may pick from.
+enum class LinkClass : std::uint8_t {
+  kAll,
+  kCore,
+  kProviderCustomer,
+  kPeer,
+};
+
+const char* to_string(LinkClass c);
+
+/// One scheduled fault event. `at` is an offset from the arm instant;
+/// `duration` of zero means the outage is permanent (restore it with an
+/// explicit *-up event if desired). Up events ignore `duration`.
+struct Event {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kNodeDown,   // AS outage: the control service of `target` goes dark
+    kNodeUp,
+    kIsdPartition,  // every link with exactly one endpoint in ISD `target`
+  };
+
+  Kind kind{Kind::kLinkDown};
+  std::uint32_t target{0};  // LinkIndex, AsIndex, or IsdId depending on kind
+  util::Duration at{util::Duration::zero()};
+  util::Duration duration{util::Duration::zero()};
+};
+
+const char* to_string(Event::Kind k);
+
+/// A Poisson process of link flaps: failures arrive at `rate_per_hour`
+/// (network-wide, over the eligible link class), each taking a uniformly
+/// distributed downtime in [downtime_min, downtime_max].
+struct FlapProcess {
+  double rate_per_hour{0.0};
+  util::Duration downtime_min{util::Duration::seconds(30)};
+  util::Duration downtime_max{util::Duration::minutes(2)};
+  LinkClass links{LinkClass::kAll};
+};
+
+/// A full scenario. Default-constructed plans are empty (no faults).
+struct FaultPlan {
+  std::vector<Event> events;
+  std::vector<FlapProcess> flaps;
+  /// Applied to every channel when the injector is armed.
+  double loss_probability{0.0};
+  util::Duration jitter_max{util::Duration::zero()};
+  /// Seed for all stochastic draws (flap timing, loss, jitter).
+  std::uint64_t seed{1};
+
+  bool empty() const {
+    return events.empty() && flaps.empty() && loss_probability == 0.0 &&
+           jitter_max == util::Duration::zero();
+  }
+
+  /// Parses the text scenario format described above. Returns false and
+  /// fills `*error` (with a line number) on malformed input; the plan is
+  /// left in an unspecified state on failure.
+  static bool parse(std::istream& in, FaultPlan* plan, std::string* error);
+
+  /// Convenience: parse from a file path.
+  static bool parse_file(const std::string& path, FaultPlan* plan,
+                         std::string* error);
+};
+
+/// Parses a duration literal like "250ms", "1.5s", "2m", "1h", "30s".
+/// Units: ns, us, ms, s, m, h, d. Returns false on malformed input.
+bool parse_duration(const std::string& text, util::Duration* out);
+
+}  // namespace scion::faults

@@ -23,6 +23,7 @@ const char* to_string(Category c) {
     case Category::kScion: return "scion";
     case Category::kSig: return "sig";
     case Category::kExperiment: return "experiment";
+    case Category::kFault: return "fault";
     case Category::kCount: break;
   }
   return "?";

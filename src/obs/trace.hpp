@@ -34,6 +34,7 @@ enum class Category : std::uint8_t {
   kScion,
   kSig,
   kExperiment,
+  kFault,
   kCount,
 };
 

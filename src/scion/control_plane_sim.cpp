@@ -12,6 +12,10 @@ namespace {
 
 constexpr std::uint64_t kKeyDomain = crypto::kDefaultKeyDomainSeed;
 
+/// Decorrelates the injector's RNG stream from the simulation's own when
+/// both derive from the same config seed.
+constexpr std::uint64_t kFaultSeedMix = 0x9E3779B97F4A7C15ULL;
+
 }  // namespace
 
 ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
@@ -132,6 +136,27 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
                            config_.registration_interval,
                            [this, leaf] { do_registration(leaf); });
   }
+
+  // Fault injection. The legacy random link-failure knob becomes a flap
+  // process in the plan; scheduled events/extra processes come from
+  // config.faults. Both endpoint ASes of a downed link react (revocation
+  // towards their ISD cores + beacon-store eviction).
+  faults::FaultPlan plan = config_.faults;
+  const bool legacy_only = config_.faults.empty();
+  if (config_.link_failures_per_hour > 0.0) {
+    faults::FlapProcess flap;
+    flap.rate_per_hour = config_.link_failures_per_hour;
+    flap.downtime_min = config_.failure_downtime;
+    flap.downtime_max = config_.failure_downtime;
+    flap.links = faults::LinkClass::kProviderCustomer;
+    plan.flaps.push_back(flap);
+  }
+  if (legacy_only) plan.seed = config_.seed ^ kFaultSeedMix;
+  faults::FaultInjector::Hooks hooks;
+  hooks.on_link_down = [this](topo::LinkIndex l) { on_link_down(l); };
+  injector_ = std::make_unique<faults::FaultInjector>(net_, std::move(plan),
+                                                      &topology_,
+                                                      std::move(hooks));
 }
 
 analysis::Scope ControlPlaneSim::scope_between(topo::AsIndex a,
@@ -340,48 +365,34 @@ void ControlPlaneSim::schedule_next_lookup() {
 }
 
 void ControlPlaneSim::fail_link(topo::LinkIndex l, util::Duration downtime) {
-  if (!net_.channel_up(l)) return;
-  net_.set_channel_up(l, false);
+  if (!injector_->link_up(l)) return;
+  injector_->inject_link_down(l, downtime);
+}
+
+void ControlPlaneSim::on_link_down(topo::LinkIndex l) {
   const topo::Link& link = topology_.link(l);
   SCION_METRIC_COUNT("scion.link_failures", 1);
   SCION_TRACE(obs::Category::kScion, sim_.now(), "link_failure", {"link", l},
               {"a", topology_.as_id(link.a).to_string()},
-              {"b", topology_.as_id(link.b).to_string()},
-              {"downtime_ns", downtime.ns()});
+              {"b", topology_.as_id(link.b).to_string()});
 
-  // The AS observing the failure revokes affected segments at the core
-  // path servers of its ISD (intra-ISD operation) and they drop matching
-  // segments.
-  const topo::AsIndex observer = link.a;
-  const topo::IsdId isd = topology_.as_id(observer).isd();
-  for (const topo::AsIndex core : cores_by_isd_[isd - 1]) {
-    record_service_message(component::kRevocation, observer, core,
-                           Revocation::kWireBytes);
-    path_servers_[core]->revoke_link(l);
-  }
-  path_servers_[observer]->revoke_link(l);
-
-  sim_.schedule_after(downtime, [this, l] { net_.set_channel_up(l, true); });
-}
-
-void ControlPlaneSim::schedule_next_failure() {
-  if (config_.link_failures_per_hour <= 0.0) return;
-  const double mean_gap_seconds = 3600.0 / config_.link_failures_per_hour;
-  const auto gap = util::Duration::nanoseconds(
-      static_cast<std::int64_t>(rng_.exponential(mean_gap_seconds) * 1e9));
-  sim_.schedule_after(gap, [this] {
-    // Fail a random provider-customer link (leaf connectivity).
-    for (int attempt = 0; attempt < 8; ++attempt) {
-      const auto l =
-          static_cast<topo::LinkIndex>(rng_.index(topology_.link_count()));
-      if (topology_.link(l).type == topo::LinkType::kProviderCustomer &&
-          net_.channel_up(l)) {
-        fail_link(l, config_.failure_downtime);
-        break;
-      }
+  // Both endpoint ASes see their interface go down. Each revokes affected
+  // segments at the core path servers of *its* ISD (the ISDs differ for
+  // cross-ISD links) and at its own path server, and evicts stored PCBs
+  // traversing the link so they are neither registered nor re-propagated.
+  for (const topo::AsIndex observer : {link.a, link.b}) {
+    const topo::IsdId isd = topology_.as_id(observer).isd();
+    for (const topo::AsIndex core : cores_by_isd_[isd - 1]) {
+      record_service_message(component::kRevocation, observer, core,
+                             Revocation::kWireBytes);
+      path_servers_[core]->revoke_link(l);
     }
-    schedule_next_failure();
-  });
+    path_servers_[observer]->revoke_link(l);
+    if (core_servers_[observer]) {
+      core_servers_[observer]->on_link_down(l, sim_.now());
+    }
+    intra_servers_[observer]->on_link_down(l, sim_.now());
+  }
 }
 
 void ControlPlaneSim::run() {
@@ -391,8 +402,10 @@ void ControlPlaneSim::run() {
   const util::Duration warmup = config_.beacon_interval * 2;
   sim_.run_until(util::TimePoint::origin() + warmup);
   schedule_next_lookup();
-  schedule_next_failure();
-  sim_.run_until(util::TimePoint::origin() + warmup + config_.sim_duration);
+  const util::TimePoint end =
+      util::TimePoint::origin() + warmup + config_.sim_duration;
+  injector_->arm(end);
+  sim_.run_until(end);
 }
 
 }  // namespace scion::svc

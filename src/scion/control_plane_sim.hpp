@@ -15,6 +15,7 @@
 
 #include "analysis/overhead.hpp"
 #include "core/beacon_server.hpp"
+#include "faults/fault_injector.hpp"
 #include "scion/dataplane.hpp"
 #include "scion/path_server.hpp"
 #include "scion/scmp.hpp"
@@ -40,11 +41,17 @@ struct ControlPlaneSimConfig {
   /// Zipf distribution of destinations, Section 4.1).
   double zipf_exponent{1.1};
   util::Duration cache_ttl{util::Duration::minutes(30)};
-  /// Random inter-AS link failures per hour (drives revocations).
+  /// Random provider-customer link failures per hour (drives revocations).
+  /// Internally appended to `faults` as a FlapProcess; 0 disables.
   double link_failures_per_hour{2.0};
   util::Duration failure_downtime{util::Duration::minutes(2)};
   util::Duration sim_duration{util::Duration::hours(1)};
   std::uint64_t seed{5};
+  /// Additional fault scenario, armed when the measurement window starts.
+  /// When this is left empty, the injector's randomness (the legacy flap
+  /// process above) is seeded from `seed`; an explicit scenario keeps its
+  /// own seed so scenario files replay identically across binaries.
+  faults::FaultPlan faults{};
 };
 
 /// Ledger component names (shared with the Table 1 bench).
@@ -80,9 +87,14 @@ class ControlPlaneSim {
   /// Whether a link is currently up (for data-plane forwarding).
   bool link_up(topo::LinkIndex l) const { return net_.channel_up(l); }
 
-  /// Fails a link for `downtime`, triggering revocations at the core path
-  /// servers of the owning ISD.
+  /// Fails a link for `downtime` via the fault injector; both endpoint
+  /// ASes revoke affected segments at the core path servers of their ISDs.
   void fail_link(topo::LinkIndex l, util::Duration downtime);
+
+  /// The fault injector driving link failures (always present).
+  const faults::FaultInjector& injector() const { return *injector_; }
+
+  const sim::Network& network() const { return net_; }
 
   /// Endpoint-visible path resolution at the current simulated time:
   /// performs (and records) the lookups, then combines segments.
@@ -101,7 +113,7 @@ class ControlPlaneSim {
   void do_registration(topo::AsIndex leaf);
   void do_lookup();
   void schedule_next_lookup();
-  void schedule_next_failure();
+  void on_link_down(topo::LinkIndex l);
   topo::AsIndex core_of_isd(topo::IsdId isd, std::size_t salt) const;
 
   /// Fetches (with caching and ledger recording) the core segments
@@ -123,6 +135,7 @@ class ControlPlaneSim {
   std::vector<std::unique_ptr<ctrl::BeaconServer>> core_servers_;
   std::vector<std::unique_ptr<ctrl::BeaconServer>> intra_servers_;
   std::vector<std::unique_ptr<PathServer>> path_servers_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<DataPlane> dataplane_;
   analysis::OverheadLedger ledger_;
   std::vector<topo::AsIndex> leaves_;

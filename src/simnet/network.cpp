@@ -3,12 +3,13 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace scion::sim {
 
 NodeId Network::add_node(std::string name) {
-  nodes_.push_back(NodeState{std::move(name), Handler{}});
+  nodes_.push_back(NodeState{std::move(name), Handler{}, true});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -21,7 +22,8 @@ ChannelId Network::add_channel(NodeId a, NodeId b, Duration latency) {
   SCION_CHECK(a < nodes_.size() && b < nodes_.size() && a != b,
               "channel endpoints must be distinct existing nodes");
   SCION_CHECK(latency >= Duration::zero(), "negative channel latency");
-  channels_.push_back(ChannelState{a, b, latency, true, {}, {}});
+  channels_.push_back(
+      ChannelState{a, b, latency, true, 0.0, Duration::zero(), {}, {}});
   return static_cast<ChannelId>(channels_.size() - 1);
 }
 
@@ -35,14 +37,62 @@ bool Network::channel_up(ChannelId ch) const {
   return channels_[ch].up;
 }
 
+void Network::set_node_up(NodeId node, bool up) {
+  SCION_CHECK(node < nodes_.size(), "node id out of range");
+  nodes_[node].up = up;
+}
+
+bool Network::node_up(NodeId node) const {
+  SCION_CHECK(node < nodes_.size(), "node id out of range");
+  return nodes_[node].up;
+}
+
+void Network::set_loss_probability(ChannelId ch, double p) {
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  SCION_CHECK(p >= 0.0 && p <= 1.0, "loss probability out of [0,1]");
+  channels_[ch].loss_probability = p;
+}
+
+double Network::loss_probability(ChannelId ch) const {
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  return channels_[ch].loss_probability;
+}
+
+void Network::set_jitter(ChannelId ch, Duration max_jitter) {
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  SCION_CHECK(max_jitter >= Duration::zero(), "negative jitter");
+  channels_[ch].jitter = max_jitter;
+}
+
+Duration Network::jitter(ChannelId ch) const {
+  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  return channels_[ch].jitter;
+}
+
 void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
                    std::any payload) {
   SCION_CHECK(ch < channels_.size(), "channel id out of range");
   ChannelState& c = channels_[ch];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
-  if (!c.up) {  // link failure: message lost
+  if (!c.up) {  // link failure: message lost at the source
+    ++drops_.link_down;
     SCION_METRIC_COUNT("simnet.messages_dropped_link_down", 1);
     return;
+  }
+  if (!nodes_[from].up) {  // sender AS is down: nothing leaves it
+    ++drops_.node_down;
+    SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
+    return;
+  }
+  if (c.loss_probability > 0.0) {
+    SCION_CHECK(fault_rng_ != nullptr, "loss configured without a fault rng");
+    if (fault_rng_->bernoulli(c.loss_probability)) {
+      ++drops_.loss;
+      SCION_METRIC_COUNT("simnet.messages_dropped_loss", 1);
+      SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_loss",
+                  {"channel", ch}, {"from", from}, {"bytes", bytes});
+      return;
+    }
   }
   const NodeId to = (from == c.a) ? c.b : c.a;
   DirectionStats& dir = (from == c.a) ? c.a_to_b : c.b_to_a;
@@ -51,11 +101,34 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
   SCION_METRIC_COUNT("simnet.messages_sent", 1);
   SCION_METRIC_COUNT("simnet.bytes_sent", bytes);
   SCION_METRIC_OBSERVE("simnet.message_bytes", bytes);
+  Duration delay = c.latency;
+  if (c.jitter > Duration::zero()) {
+    SCION_CHECK(fault_rng_ != nullptr, "jitter configured without a fault rng");
+    delay = delay + Duration::nanoseconds(
+                        fault_rng_->uniform_int(0, c.jitter.ns()));
+  }
   sim_.schedule_after(
-      c.latency,
+      delay,
       [this, msg = Message{from, to, ch, bytes, std::move(payload)}]() mutable {
-        // Deliver only if the channel is still up on arrival.
-        if (!channels_[msg.channel].up) return;
+        // Drop-at-delivery: the transmission already happened (bytes are
+        // counted), but the message is lost if the channel went down while
+        // it was in flight or the destination node is down on arrival.
+        if (!channels_[msg.channel].up) {
+          ++drops_.in_flight;
+          SCION_METRIC_COUNT("simnet.messages_dropped_in_flight", 1);
+          SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_in_flight",
+                      {"channel", msg.channel}, {"to", msg.to},
+                      {"bytes", msg.bytes});
+          return;
+        }
+        if (!nodes_[msg.to].up) {
+          ++drops_.node_down;
+          SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
+          SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_node_down",
+                      {"channel", msg.channel}, {"to", msg.to},
+                      {"bytes", msg.bytes});
+          return;
+        }
         const Handler& h = nodes_[msg.to].handler;
         if (h) h(msg);
       });
@@ -111,6 +184,7 @@ void Network::reset_stats() {
     c.a_to_b = DirectionStats{};
     c.b_to_a = DirectionStats{};
   }
+  drops_ = DropStats{};
 }
 
 }  // namespace scion::sim

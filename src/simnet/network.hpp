@@ -4,6 +4,19 @@
 // bidirectional point-to-point links with a fixed propagation latency and
 // per-direction byte/message counters. All control-plane overhead numbers in
 // the evaluation come from these counters.
+//
+// Failure surface (driven by faults::FaultInjector, but usable directly):
+// channels can be marked down, given a stochastic loss probability, or a
+// latency jitter; nodes can be marked down, which suppresses their handler
+// and drops their outbound sends. Every lost message is accounted in
+// drop_stats() and in the simnet.* metrics.
+//
+// Drop-at-delivery semantics: send() decides up-front whether the message
+// enters the wire (channel up, sender up, loss draw passed) — only then are
+// the direction counters charged. A message already in flight is dropped
+// *at delivery time* if the channel went down or the destination node went
+// down while it was propagating; its bytes stay counted as sent (the
+// transmission happened), and the drop is accounted separately.
 #pragma once
 
 #include <any>
@@ -13,6 +26,7 @@
 #include <vector>
 
 #include "simnet/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace scion::sim {
 
@@ -38,6 +52,23 @@ struct DirectionStats {
   std::uint64_t bytes{0};
 };
 
+/// Network-wide message-loss accounting, one counter per drop cause.
+struct DropStats {
+  /// Dropped at send: the channel was down.
+  std::uint64_t link_down{0};
+  /// Dropped at send: the stochastic per-channel loss draw failed.
+  std::uint64_t loss{0};
+  /// Dropped at send or delivery: an endpoint node was down.
+  std::uint64_t node_down{0};
+  /// Dropped at delivery: the channel went down while the message was in
+  /// flight.
+  std::uint64_t in_flight{0};
+
+  std::uint64_t total() const {
+    return link_down + loss + node_down + in_flight;
+  }
+};
+
 /// Nodes + channels + delivery. Owned by the experiment; borrows the
 /// Simulator for scheduling.
 class Network {
@@ -60,12 +91,38 @@ class Network {
   ChannelId add_channel(NodeId a, NodeId b, Duration latency);
 
   /// Marks a channel up or down. Messages sent on a down channel are
-  /// silently dropped (modelling a link failure); bytes are not counted.
+  /// dropped (modelling a link failure); bytes are not counted. Messages
+  /// already in flight when the channel goes down are dropped at delivery
+  /// time (their bytes stay counted as sent).
   void set_channel_up(ChannelId ch, bool up);
   bool channel_up(ChannelId ch) const;
 
+  /// Marks a node up or down. A down node's handler is suppressed (messages
+  /// addressed to it are dropped at delivery) and its own sends are dropped
+  /// at the source (an AS-outage model: the control service is dead in both
+  /// directions).
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const;
+
+  /// Per-message loss probability on a channel (lossy but up link). Draws
+  /// come from the fault RNG, which must be installed first.
+  void set_loss_probability(ChannelId ch, double p);
+  double loss_probability(ChannelId ch) const;
+
+  /// Uniform per-message latency jitter in [0, max_jitter] added on top of
+  /// the channel's propagation latency. Draws come from the fault RNG,
+  /// which must be installed first.
+  void set_jitter(ChannelId ch, Duration max_jitter);
+  Duration jitter(ChannelId ch) const;
+
+  /// Installs the RNG used for loss and jitter draws (borrowed; must
+  /// outlive the network or be reset to nullptr). Keeping the stream
+  /// injector-owned preserves same-seed reproducibility end to end.
+  void set_fault_rng(util::Rng* rng) { fault_rng_ = rng; }
+
   /// Sends `bytes` of payload from `from` across `ch`; delivery is scheduled
-  /// after the channel latency. `from` must be an endpoint of `ch`.
+  /// after the channel latency (plus jitter, if configured). `from` must be
+  /// an endpoint of `ch`.
   void send(ChannelId ch, NodeId from, std::size_t bytes, std::any payload);
 
   std::size_t node_count() const { return nodes_.size(); }
@@ -81,13 +138,17 @@ class Network {
   /// Counters for the direction out of `from` on `ch`.
   const DirectionStats& stats_from(ChannelId ch, NodeId from) const;
 
+  /// Network-wide drop accounting by cause.
+  const DropStats& drop_stats() const { return drops_; }
+
   /// Total bytes sent over `ch` in both directions.
   std::uint64_t total_bytes(ChannelId ch) const;
 
   /// Sum of total_bytes over all channels.
   std::uint64_t total_bytes_all() const;
 
-  /// Resets all channel counters (e.g. to skip a warm-up phase).
+  /// Resets all channel counters (e.g. to skip a warm-up phase). Drop
+  /// counters are reset too.
   void reset_stats();
 
   Simulator& simulator() { return sim_; }
@@ -96,12 +157,15 @@ class Network {
   struct NodeState {
     std::string name;
     Handler handler;
+    bool up{true};
   };
   struct ChannelState {
     NodeId a{kInvalidNode};
     NodeId b{kInvalidNode};
     Duration latency;
     bool up{true};
+    double loss_probability{0.0};
+    Duration jitter{Duration::zero()};
     DirectionStats a_to_b;
     DirectionStats b_to_a;
   };
@@ -109,6 +173,8 @@ class Network {
   Simulator& sim_;
   std::vector<NodeState> nodes_;
   std::vector<ChannelState> channels_;
+  util::Rng* fault_rng_{nullptr};
+  DropStats drops_;
 };
 
 }  // namespace scion::sim

@@ -164,6 +164,43 @@ TEST_F(ControlPlaneFixture, FailedLinkTriggersRevocationAndRecovery) {
   EXPECT_TRUE(sim.link_up(victim));
 }
 
+TEST_F(ControlPlaneFixture, BothEndpointsRevokeAtTheirIsdCores) {
+  run();
+  // A cross-ISD link: the two endpoints live in different ISDs, so a
+  // one-sided reaction would only ever reach one ISD's core path servers.
+  topo::LinkIndex victim = topo::kInvalidLinkIndex;
+  for (topo::LinkIndex l = 0; l < world.link_count(); ++l) {
+    const topo::Link& link = world.link(l);
+    if (world.as_id(link.a).isd() != world.as_id(link.b).isd() &&
+        sim.link_up(l)) {
+      victim = l;
+      break;
+    }
+  }
+  ASSERT_NE(victim, topo::kInvalidLinkIndex);
+
+  const auto revocation_messages = [&] {
+    for (const auto& row : sim.ledger().rows()) {
+      if (row.component == component::kRevocation) return row.messages;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t before = revocation_messages();
+  sim.fail_link(victim, Duration::minutes(1));
+
+  // Each endpoint notifies every core path server of its own ISD.
+  const topo::Link& link = world.link(victim);
+  std::uint64_t expected = 0;
+  for (const topo::AsIndex observer : {link.a, link.b}) {
+    const topo::IsdId isd = world.as_id(observer).isd();
+    for (const topo::AsIndex core : world.core_ases()) {
+      if (world.as_id(core).isd() == isd) ++expected;
+    }
+  }
+  EXPECT_EQ(revocation_messages() - before, expected)
+      << "both ISDs' cores must hear about a cross-ISD link failure";
+}
+
 TEST_F(ControlPlaneFixture, LookupWorkloadRan) {
   run();
   EXPECT_GT(sim.lookups_performed(), 0u);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bgp/bgp_sim.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -147,6 +148,98 @@ TEST(Determinism, BgpRunsAreByteIdentical) {
   const std::string second = bgp_transcript(world);
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+// --- fault injection ---------------------------------------------------------
+
+/// A deliberately busy scenario: stochastic flaps, message loss, latency
+/// jitter, and scheduled one-shot events all at once. Every stochastic
+/// draw flows through the plan-seeded RNG, so two runs must agree on every
+/// fault, every lost message, and every jittered delivery.
+faults::FaultPlan stochastic_plan() {
+  faults::FaultPlan plan;
+  plan.seed = 31;
+  plan.loss_probability = 0.02;
+  plan.jitter_max = Duration::milliseconds(3);
+  faults::FlapProcess flap;
+  flap.rate_per_hour = 40.0;
+  flap.downtime_min = Duration::seconds(20);
+  flap.downtime_max = Duration::minutes(2);
+  plan.flaps.push_back(flap);
+  plan.events.push_back(faults::Event{faults::Event::Kind::kLinkDown, 2,
+                                      Duration::minutes(2),
+                                      Duration::minutes(1)});
+  plan.events.push_back(faults::Event{faults::Event::Kind::kNodeDown, 5,
+                                      Duration::minutes(5),
+                                      Duration::minutes(2)});
+  plan.events.push_back(faults::Event{faults::Event::Kind::kIsdPartition, 2,
+                                      Duration::minutes(8),
+                                      Duration::minutes(1)});
+  return plan;
+}
+
+/// Control-plane transcript under the stochastic scenario, widened with the
+/// fault/drop accounting so a divergence anywhere in the injector, the
+/// network failure surface, or the revocation reaction shows up.
+std::string faulted_transcript(const topo::Topology& world) {
+  svc::ControlPlaneSimConfig config = scion_config();
+  config.link_failures_per_hour = 0.0;  // churn comes from the plan
+  config.faults = stochastic_plan();
+  svc::ControlPlaneSim sim{world, config};
+  sim.run();
+
+  std::ostringstream out;
+  for (const auto& row : sim.ledger().rows()) {
+    out << row.component << ' ' << row.messages << ' ' << row.bytes << "\n";
+  }
+  const faults::FaultInjectorStats& fs = sim.injector().stats();
+  out << "faults " << fs.link_down_events << ' ' << fs.link_up_events << ' '
+      << fs.node_down_events << ' ' << fs.node_up_events << ' ' << fs.flaps
+      << ' ' << fs.partitions << ' ' << fs.events_skipped << "\n";
+  const sim::DropStats& drops = sim.network().drop_stats();
+  out << "drops " << drops.link_down << ' ' << drops.loss << ' '
+      << drops.node_down << ' ' << drops.in_flight << "\n";
+  return std::move(out).str();
+}
+
+TEST(Determinism, FaultedRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+  const std::string first = faulted_transcript(world);
+  const std::string second = faulted_transcript(world);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The scenario actually did something (the comparison is not vacuous).
+  EXPECT_NE(first.find("faults "), std::string::npos);
+  EXPECT_EQ(first.find("faults 0 0 0 0 0 0"), std::string::npos);
+}
+
+// Fault telemetry is write-only like all other categories: tracing the
+// fault stream must not perturb the injected fault sequence. (Under
+// SCION_MPR_OBS=OFF the macros compile out and this test proves the
+// stripped build takes the same trajectory.)
+TEST(Determinism, FaultTelemetryOnOffRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+
+  obs::set_trace_sink(nullptr);
+  obs::MetricsRegistry::global().reset();
+  const std::string plain = faulted_transcript(world);
+
+  std::ostringstream trace;
+  obs::TraceSink sink{trace};
+  sink.enable_all();
+  obs::set_trace_sink(&sink);
+  obs::MetricsRegistry::global().reset();
+  const std::string traced = faulted_transcript(world);
+  obs::set_trace_sink(nullptr);
+
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, traced);
+#ifdef SCION_MPR_OBS_ENABLED
+  EXPECT_GT(sink.events_written(), 0u);
+  // The fault category specifically was exercised.
+  EXPECT_NE(trace.str().find("\"cat\":\"fault\""), std::string::npos);
+#endif
+  obs::MetricsRegistry::global().reset();
 }
 
 // --- telemetry ---------------------------------------------------------------

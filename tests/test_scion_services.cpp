@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "faults/fault_injector.hpp"
 #include "scion/dataplane.hpp"
 #include "scion/path_combiner.hpp"
 #include "scion/path_server.hpp"
@@ -364,6 +365,51 @@ TEST_F(WorldFixture, RevocationOfUnusedLinkIsNoop) {
   EXPECT_TRUE(manager.notify_revocation(0));  // core link not on any path
   EXPECT_EQ(manager.usable_paths(), before);
   EXPECT_EQ(manager.failovers(), 0u);
+}
+
+TEST_F(WorldFixture, InjectedFaultsDriveScmpFailover) {
+  // End-to-end SCMP reaction: a FaultInjector executes a scheduled outage
+  // of the peering link against the network, and its hooks issue the
+  // revocation / restoration notifications an SCMP beacon would carry.
+  sim::Simulator simulator;
+  sim::Network net{simulator};
+  for (std::size_t i = 0; i < t.as_count(); ++i) net.add_node();
+  for (topo::LinkIndex l = 0; l < t.link_count(); ++l) {
+    net.add_channel(t.link(l).a, t.link(l).b, Duration::milliseconds(1));
+  }
+
+  PathManager manager;
+  manager.set_paths(combine_segments(
+      t, s, tt, std::vector{up_via_a(), up_via_b()},
+      std::vector{core_c1_c2()}, std::vector{down_to_t()}));
+  ASSERT_EQ(manager.total_paths(), 3u);
+  ASSERT_EQ(manager.active()->kind, EndToEndPath::Kind::kPeering);
+
+  faults::FaultPlan plan;
+  plan.events.push_back(faults::Event{faults::Event::Kind::kLinkDown, 8,
+                                      Duration::seconds(10),
+                                      Duration::seconds(30)});
+  faults::FaultInjector::Hooks hooks;
+  hooks.on_link_down = [&](topo::LinkIndex l) { manager.notify_revocation(l); };
+  hooks.on_link_up = [&](topo::LinkIndex l) { manager.notify_restored(l); };
+  faults::FaultInjector injector{net, plan, &t, hooks};
+  injector.arm(TimePoint::origin() + Duration::minutes(2));
+
+  simulator.run_until(TimePoint::origin() + Duration::seconds(15));
+  EXPECT_FALSE(net.channel_up(8));
+  ASSERT_NE(manager.active(), nullptr);
+  EXPECT_EQ(manager.active()->kind, EndToEndPath::Kind::kUpCoreDown)
+      << "failed over off the dead peering link";
+  EXPECT_EQ(manager.failovers(), 1u);
+
+  EXPECT_EQ(manager.usable_paths(), 2u);
+
+  simulator.run_until(TimePoint::origin() + Duration::minutes(1));
+  EXPECT_TRUE(net.channel_up(8));
+  EXPECT_EQ(manager.usable_paths(), 3u)
+      << "restoration re-enables the peering path";
+  EXPECT_EQ(manager.active()->kind, EndToEndPath::Kind::kUpCoreDown)
+      << "a working active path is not preempted";
 }
 
 TEST(Revocation, ActiveWindow) {

@@ -162,6 +162,143 @@ TEST(Network, MessageInFlightDroppedIfChannelFails) {
                      [&] { net.set_channel_up(ch, false); });
   sim.run();
   EXPECT_EQ(received, 0);
+  // Drop-at-delivery: the transmission happened, so bytes stay counted,
+  // but the loss is accounted as an in-flight drop.
+  EXPECT_EQ(net.stats_from(ch, a).bytes, 10u);
+  EXPECT_EQ(net.drop_stats().in_flight, 1u);
+  EXPECT_EQ(net.drop_stats().total(), 1u);
+}
+
+TEST(Network, DownChannelDropCounted) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  net.set_channel_up(ch, false);
+  net.send(ch, a, 10, 0);
+  sim.run();
+  EXPECT_EQ(net.drop_stats().link_down, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.drop_stats().total(), 0u);
+}
+
+TEST(Network, NodeDownSuppressesBothDirections) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  int received_a = 0, received_b = 0;
+  net.set_handler(a, [&](const Message&) { ++received_a; });
+  net.set_handler(b, [&](const Message&) { ++received_b; });
+
+  EXPECT_TRUE(net.node_up(b));
+  net.set_node_up(b, false);
+  net.send(ch, a, 10, 0);  // dropped at delivery: destination is down
+  net.send(ch, b, 10, 0);  // dropped at source: sender is down
+  sim.run();
+  EXPECT_EQ(received_a, 0);
+  EXPECT_EQ(received_b, 0);
+  EXPECT_EQ(net.drop_stats().node_down, 2u);
+
+  net.set_node_up(b, true);
+  net.send(ch, a, 10, 0);
+  net.send(ch, b, 10, 0);
+  sim.run();
+  EXPECT_EQ(received_a, 1);
+  EXPECT_EQ(received_b, 1);
+}
+
+TEST(Network, NodeDownWhileMessageInFlight) {
+  Simulator sim;
+  Network net{sim};
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(10));
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+  net.send(ch, a, 10, 0);
+  sim.schedule_after(Duration::milliseconds(5),
+                     [&] { net.set_node_up(b, false); });
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.drop_stats().node_down, 1u);
+}
+
+TEST(Network, LossProbabilityExtremes) {
+  Simulator sim;
+  Network net{sim};
+  util::Rng rng{7};
+  net.set_fault_rng(&rng);
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+
+  net.set_loss_probability(ch, 1.0);
+  EXPECT_EQ(net.loss_probability(ch), 1.0);
+  for (int i = 0; i < 20; ++i) net.send(ch, a, 10, 0);
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.drop_stats().loss, 20u);
+  EXPECT_EQ(net.total_bytes(ch), 0u) << "lost messages never enter the wire";
+
+  net.set_loss_probability(ch, 0.0);
+  for (int i = 0; i < 20; ++i) net.send(ch, a, 10, 0);
+  sim.run();
+  EXPECT_EQ(received, 20);
+  EXPECT_EQ(net.drop_stats().loss, 20u);
+}
+
+TEST(Network, LossProbabilityIsStatistical) {
+  Simulator sim;
+  Network net{sim};
+  util::Rng rng{11};
+  net.set_fault_rng(&rng);
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
+  int received = 0;
+  net.set_handler(b, [&](const Message&) { ++received; });
+  net.set_loss_probability(ch, 0.5);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) net.send(ch, a, 1, 0);
+  sim.run();
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+  EXPECT_EQ(net.drop_stats().loss, static_cast<std::uint64_t>(n - received));
+}
+
+TEST(Network, JitterStaysWithinBounds) {
+  Simulator sim;
+  Network net{sim};
+  util::Rng rng{13};
+  net.set_fault_rng(&rng);
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const Duration latency = Duration::milliseconds(10);
+  const Duration max_jitter = Duration::milliseconds(5);
+  const ChannelId ch = net.add_channel(a, b, latency);
+  net.set_jitter(ch, max_jitter);
+  EXPECT_EQ(net.jitter(ch), max_jitter);
+
+  std::vector<Duration> delays;
+  net.set_handler(b, [&](const Message&) {
+    delays.push_back(sim.now() - TimePoint::origin());
+  });
+  const int n = 50;
+  for (int i = 0; i < n; ++i) net.send(ch, a, 1, 0);
+  sim.run();
+  ASSERT_EQ(delays.size(), static_cast<std::size_t>(n));
+  bool any_jittered = false;
+  for (const Duration d : delays) {
+    EXPECT_GE(d.ns(), latency.ns());
+    EXPECT_LE(d.ns(), (latency + max_jitter).ns());
+    if (d != latency) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered) << "50 draws should not all be zero jitter";
 }
 
 TEST(Network, ParallelChannelsBetweenSamePair) {

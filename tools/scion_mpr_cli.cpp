@@ -2,7 +2,7 @@
 //
 //   scion-mpr gen      --kind=internet|core|isd|scionlab|multi-isd [--out=FILE]
 //   scion-mpr beacon   --topology=FILE [--algorithm=baseline|diversity]
-//                      [--hours=N] [--warmup-hours=N]
+//                      [--hours=N] [--warmup-hours=N] [--faults=FILE]
 //   scion-mpr quality  --topology=FILE [--pairs=N] [--hours=N]
 //   scion-mpr table1   [--isds=N] [--isd-size=N] [--minutes=N]
 //
@@ -13,6 +13,7 @@
 
 #include "analysis/path_quality.hpp"
 #include "core/beaconing_sim.hpp"
+#include "faults/fault_plan.hpp"
 #include "experiments/scale.hpp"
 #include "experiments/table1_experiment.hpp"
 #include "obs/session.hpp"
@@ -31,13 +32,14 @@ int usage() {
       "           [--seed=N] [--out=FILE]\n"
       "  beacon   --topology=FILE [--algorithm=baseline|diversity]\n"
       "           [--hours=N] [--warmup-hours=N] [--storage=N] [--limit=N]\n"
+      "           [--faults=FILE]  fault scenario (see src/faults/fault_plan.hpp)\n"
       "  quality  --topology=FILE [--pairs=N] [--hours=N]\n"
       "  table1   [--isds=N] [--isd-size=N] [--minutes=N]\n"
       "telemetry (any command):\n"
       "  --metrics-out=FILE   write metrics + run manifest as JSON\n"
       "  --trace-out=FILE     stream structured events as JSONL\n"
       "  --trace-filter=CSV   categories to trace (default all:\n"
-      "                       simnet,beacon,bgp,scion,sig,experiment)\n";
+      "                       simnet,beacon,bgp,scion,sig,experiment,fault)\n";
   return 2;
 }
 
@@ -120,6 +122,13 @@ int cmd_beacon(const util::Flags& flags) {
   config.sim_duration = util::Duration::hours(flags.get_int("hours", 3));
   config.warmup = util::Duration::hours(flags.get_int("warmup-hours", 0));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string faults_file = flags.get("faults", "");
+  if (!faults_file.empty()) {
+    std::string error;
+    if (!faults::FaultPlan::parse_file(faults_file, &config.faults, &error)) {
+      throw std::runtime_error(faults_file + ": " + error);
+    }
+  }
 
   ctrl::BeaconingSim sim{topology, config};
   sim.run();
@@ -136,6 +145,12 @@ int cmd_beacon(const util::Flags& flags) {
                       config.sim_duration.as_seconds());
   }
   std::cout << "per-interface B/s: " << per_interface.summary() << "\n";
+  if (sim.injector() != nullptr) {
+    const faults::FaultInjectorStats fs = sim.injector()->stats();
+    std::cout << "faults: " << fs.link_down_events << " link-down, "
+              << fs.node_down_events << " node-down, " << fs.flaps
+              << " flaps; PCBs revoked: " << agg.pcbs_revoked << "\n";
+  }
   return 0;
 }
 
