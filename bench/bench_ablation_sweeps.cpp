@@ -8,6 +8,7 @@
 #include "analysis/path_quality.hpp"
 #include "bench/bench_common.hpp"
 #include "core/beaconing_sim.hpp"
+#include "exec/task_pool.hpp"
 // (<cstdio> stays for the snprintf label formatting in the sweep loops.)
 
 namespace scion::exp {
@@ -54,6 +55,15 @@ SweepRow run_point(const std::string& label, const topo::Topology& scion_view,
                   optimal > 0 ? achieved / optimal : 0};
 }
 
+/// One sweep point (its own simulator, evaluator, and rng — independent of
+/// every other point, so the sweep fans out over the task pool).
+struct PointSpec {
+  std::string label;
+  ctrl::AlgorithmKind algorithm{ctrl::AlgorithmKind::kBaseline};
+  std::size_t dissemination{5};
+  util::Duration interval{util::Duration::minutes(10)};
+};
+
 void BM_AblationSweeps(benchmark::State& state) {
   Scale scale = bench_scale();
   // Sweeps multiply runs; shrink the base topology a bit.
@@ -63,14 +73,15 @@ void BM_AblationSweeps(benchmark::State& state) {
     const topo::Topology internet = build_internet(scale);
     const CoreNetworks nets = build_core_networks(scale, internet);
 
+    std::vector<PointSpec> specs;
     for (const std::size_t limit : {1u, 5u, 10u}) {
       for (const auto algorithm : {ctrl::AlgorithmKind::kBaseline,
                                    ctrl::AlgorithmKind::kDiversity}) {
         char label[64];
         std::snprintf(label, sizeof label, "%s limit=%zu",
                       ctrl::to_string(algorithm), static_cast<size_t>(limit));
-        g_rows.push_back(run_point(label, nets.scion_view, algorithm, limit,
-                                   util::Duration::minutes(10), scale));
+        specs.push_back(
+            {label, algorithm, limit, util::Duration::minutes(10)});
       }
     }
     for (const int minutes : {5, 20}) {
@@ -79,10 +90,16 @@ void BM_AblationSweeps(benchmark::State& state) {
         char label[64];
         std::snprintf(label, sizeof label, "%s interval=%dm",
                       ctrl::to_string(algorithm), minutes);
-        g_rows.push_back(run_point(label, nets.scion_view, algorithm, 5,
-                                   util::Duration::minutes(minutes), scale));
+        specs.push_back(
+            {label, algorithm, 5, util::Duration::minutes(minutes)});
       }
     }
+    // Honors --jobs via exec::default_jobs(); row order follows spec order
+    // regardless of the worker count.
+    g_rows = exec::parallel_map(specs, [&](const PointSpec& spec) {
+      return run_point(spec.label, nets.scion_view, spec.algorithm,
+                       spec.dissemination, spec.interval, scale);
+    });
   }
 }
 BENCHMARK(BM_AblationSweeps)->Unit(benchmark::kSecond)->Iterations(1);

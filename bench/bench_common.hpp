@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/task_pool.hpp"
 #include "experiments/scale.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -108,6 +110,12 @@ inline int bench_main(const std::string& name, int argc, char** argv,
                       const std::function<void()>& print,
                       const std::function<void(BenchReport&)>& fill = {}) {
   bench_flags() = util::Flags{argc, argv};
+  // --jobs=N parallelizes the experiment's independent units (default 1 =
+  // serial). ObsSession records explicitly-set flags into the manifest, so
+  // the job count lands in BENCH_<name>.json; results are byte-identical
+  // for any value (tests/test_determinism.cpp).
+  exec::set_default_jobs(static_cast<std::size_t>(
+      std::max<std::int64_t>(1, bench_flags().get_int("jobs", 1))));
   obs::ObsSession session{"bench_" + name, bench_flags(), bench_scale().seed};
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -19,12 +19,17 @@ void BM_Fig5Overhead(benchmark::State& state) {
   for (auto _ : state) {
     g_result = run_overhead_experiment(scale);
   }
-  if (g_result && !g_result->core_diversity_rel.empty() &&
-      !g_result->core_baseline_rel.empty()) {
+  // Guard every counter on its own CDF: median() on an empty CDF trips
+  // SCION_CHECK, and tiny --scale runs can leave any of these empty.
+  if (g_result && !g_result->core_diversity_rel.empty()) {
     state.counters["diversity_rel_median"] =
         g_result->core_diversity_rel.median();
+  }
+  if (g_result && !g_result->core_baseline_rel.empty()) {
     state.counters["baseline_rel_median"] =
         g_result->core_baseline_rel.median();
+  }
+  if (g_result && !g_result->bgpsec_rel.empty()) {
     state.counters["bgpsec_rel_median"] = g_result->bgpsec_rel.median();
   }
 }

@@ -20,7 +20,10 @@ void BM_Fig9ScionLabBandwidth(benchmark::State& state) {
   }
   if (g_result) {
     state.counters["below_4KBps"] = g_result->fraction_below_4kbps;
-    state.counters["median_Bps"] = g_result->bandwidth.median();
+    // median() on an empty CDF trips SCION_CHECK.
+    if (!g_result->bandwidth.empty()) {
+      state.counters["median_Bps"] = g_result->bandwidth.median();
+    }
   }
 }
 BENCHMARK(BM_Fig9ScionLabBandwidth)->Unit(benchmark::kSecond)->Iterations(1);
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
         if (!g_result) return;
         report.cdf("interface_bandwidth_Bps", g_result->bandwidth, 10);
         report.scalar("fraction_below_4kbps", g_result->fraction_below_4kbps);
-        report.scalar("median_Bps", g_result->bandwidth.median());
+        if (!g_result->bandwidth.empty()) {
+          report.scalar("median_Bps", g_result->bandwidth.median());
+        }
       });
 }

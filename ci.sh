@@ -62,4 +62,21 @@ mkdir -p "$fault_dir"
   --trace="$fault_dir/trace.jsonl" --expect-cat=fault \
   --bench="$fault_dir/bench.json"
 
-echo "ci: $preset build, tests, simlint, fault smoke, and telemetry artifacts all green"
+# Parallel-execution smoke: a quality bench on the exec::TaskPool with
+# --jobs=4. Under the tsan preset this is the data-race gate for the
+# worker pool and the sharded telemetry merge; under the other presets it
+# still proves the parallel path produces schema-valid artifacts.
+par_dir="$build_dir/par_ci"
+mkdir -p "$par_dir"
+"$build_dir/bench/bench_fig6b_capacity" --scale=0.2 --pairs=40 \
+  --jobs=4 \
+  --metrics-out="$par_dir/metrics.json" \
+  --trace-out="$par_dir/trace.jsonl" \
+  --trace-filter=beacon,bgp \
+  --bench-out="$par_dir/bench.json" > "$par_dir/stdout.txt"
+"$build_dir/tools/obs_check" \
+  --metrics="$par_dir/metrics.json" \
+  --trace="$par_dir/trace.jsonl" --expect-cat=beacon,bgp \
+  --bench="$par_dir/bench.json"
+
+echo "ci: $preset build, tests, simlint, fault smoke, parallel smoke, and telemetry artifacts all green"

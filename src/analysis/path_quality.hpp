@@ -22,11 +22,21 @@ class QualityEvaluator {
       : topo_{topo}, full_{FlowGraph::from_topology(topo)} {}
 
   /// Optimal (full-topology) min-cut / max-flow between two ASes.
+  ///
+  /// NOT thread-safe: Dinic's search mutates the shared full-topology graph
+  /// (levels, iterators, capacities). Parallel callers copy full_graph()
+  /// into a task-local FlowGraph and run max_flow on the copy instead.
   int optimal(topo::AsIndex s, topo::AsIndex t) { return full_.max_flow(s, t); }
 
-  /// Min-cut / max-flow restricted to the union of `paths`.
+  /// Min-cut / max-flow restricted to the union of `paths`. Thread-safe:
+  /// builds a fresh flow graph per call, so one evaluator may be shared by
+  /// concurrent tasks.
   int of_paths(std::span<const std::vector<topo::LinkIndex>> paths,
                topo::AsIndex s, topo::AsIndex t) const;
+
+  /// The full-topology flow network, for per-task copies (FlowGraph is a
+  /// plain value type; a copy carries no shared state).
+  const FlowGraph& full_graph() const { return full_; }
 
   /// Greedy count of mutually link-disjoint paths within `paths` — a lower
   /// bound on of_paths() that only uses whole disseminated paths (no

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/path_quality.hpp"
+#include "exec/task_pool.hpp"
 
 namespace scion::ctrl {
 
@@ -69,17 +70,29 @@ GridSearchResult grid_search_diversity_params(const topo::Topology& scion_view,
   baseline.server.algorithm = AlgorithmKind::kBaseline;
   result.baseline_bytes = run_bytes(scion_view, baseline);
 
-  auto evaluate = [&](const DiversityParams& params) {
-    EvaluatedPoint point = evaluate_diversity_params(
-        scion_view, params, config, result.baseline_bytes);
-    result.evaluated.push_back(point);
-    if (result.evaluated.size() == 1 ||
-        point.objective > result.best.objective) {
-      result.best = point;
+  // Each point evaluation is pure (own sim, own evaluator, own rng seeded
+  // from the config), so a pass fans out over all its points and then folds
+  // the winner sequentially in evaluation order — the strict `>` keeps the
+  // earliest-evaluated point on ties, exactly like the serial loop did.
+  auto evaluate_all = [&](const std::vector<DiversityParams>& points) {
+    const std::vector<EvaluatedPoint> evaluated = exec::parallel_map(
+        points,
+        [&](const DiversityParams& params) {
+          return evaluate_diversity_params(scion_view, params, config,
+                                           result.baseline_bytes);
+        },
+        config.jobs);
+    for (const EvaluatedPoint& point : evaluated) {
+      result.evaluated.push_back(point);
+      if (result.evaluated.size() == 1 ||
+          point.objective > result.best.objective) {
+        result.best = point;
+      }
     }
   };
 
   // Coarse pass: exponentially spaced values.
+  std::vector<DiversityParams> coarse;
   for (const double alpha : config.coarse_alpha) {
     for (const double beta : config.coarse_beta) {
       for (const double gamma : config.coarse_gamma) {
@@ -87,27 +100,30 @@ GridSearchResult grid_search_diversity_params(const topo::Topology& scion_view,
         params.alpha = alpha;
         params.beta = beta;
         params.gamma = gamma;
-        evaluate(params);
+        coarse.push_back(params);
       }
     }
   }
+  evaluate_all(coarse);
 
   // Fine pass: linear steps around the coarse winner, one axis at a time.
   const DiversityParams center = result.best.params;
+  std::vector<DiversityParams> fine;
   for (int step = 1; step <= config.refine_steps; ++step) {
     const double f = config.refine_fraction * step;
     for (const double direction : {-1.0, 1.0}) {
       DiversityParams p = center;
       p.alpha = std::max(0.0, center.alpha * (1.0 + direction * f));
-      evaluate(p);
+      fine.push_back(p);
       p = center;
       p.beta = std::max(0.0, center.beta * (1.0 + direction * f));
-      evaluate(p);
+      fine.push_back(p);
       p = center;
       p.gamma = std::max(0.0, center.gamma * (1.0 + direction * f));
-      evaluate(p);
+      fine.push_back(p);
     }
   }
+  evaluate_all(fine);
   return result;
 }
 

@@ -31,6 +31,9 @@ struct GridSearchConfig {
   int refine_steps{1};
   double refine_fraction{0.5};
   std::uint64_t seed{1};
+  /// Worker count for the per-point evaluations (0 = exec::default_jobs()).
+  /// The winner and the evaluation log are byte-identical for any value.
+  std::size_t jobs{0};
 };
 
 struct EvaluatedPoint {

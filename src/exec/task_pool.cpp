@@ -1,0 +1,111 @@
+#include "exec/task_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace scion::exec {
+
+namespace {
+
+std::size_t g_default_jobs = 1;
+
+}  // namespace
+
+std::size_t default_jobs() { return g_default_jobs; }
+
+void set_default_jobs(std::size_t jobs) {
+  g_default_jobs = jobs == 0 ? 1 : jobs;
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs == 0) return default_jobs();
+  return jobs;
+}
+
+TaskPool::TaskPool(std::size_t jobs) : jobs_{jobs == 0 ? 1 : jobs} {
+  threads_.reserve(jobs_ - 1);
+  for (std::size_t i = 0; i + 1 < jobs_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock{mu_};
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Snapshot under the lock: a worker late to one batch can only ever
+    // claim from its snapshot, whose index queue is already exhausted, so
+    // it can never touch a newer batch's slots through stale pointers.
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    work_on(*batch);
+    lock.lock();
+  }
+}
+
+void TaskPool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    obs::TaskCapture& capture = (*batch.captures)[i];
+    capture.begin();
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      (*batch.errors)[i] = std::current_exception();
+    }
+    capture.end();
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (++batch.done == batch.n) cv_done_.notify_all();
+    }
+  }
+}
+
+void TaskPool::run(std::size_t n,
+                   const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::vector<obs::TaskCapture> captures(n);
+  std::vector<std::exception_ptr> errors(n);
+  const auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->body = &body;
+  batch->captures = &captures;
+  batch->errors = &errors;
+  if (!threads_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      batch_ = batch;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+  }
+  // The caller is an executor too: with jobs=1 this inline loop runs every
+  // task (in index order, exactly the serial trajectory).
+  work_on(*batch);
+  {
+    std::unique_lock<std::mutex> lock{mu_};
+    cv_done_.wait(lock, [&] { return batch->done == batch->n; });
+  }
+  // All workers are past their last unlock of mu_ for this batch, which
+  // happens-before the wait above returned: captures and errors are safe to
+  // read. Merge telemetry first (every task ran, even past failures), then
+  // surface the lowest-index failure.
+  for (obs::TaskCapture& capture : captures) capture.merge();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace scion::exec

@@ -1,0 +1,145 @@
+// Deterministic parallel execution for the experiment pipeline.
+//
+// The paper's evaluation loops are embarrassingly parallel — per-pair
+// max-flow evaluation, per-parameter-point grid search, independent series
+// runs — but the repository's verification story rests on byte-identical
+// outputs (ROADMAP, test_determinism). This layer makes the two compatible:
+//
+//  - Work is decomposed into *tasks* whose count and content never depend
+//    on the job count; `--jobs` only changes how many workers drain the
+//    shared index queue.
+//  - Results are written into pre-sized slots by task index, so the output
+//    vector is order-preserving regardless of completion order.
+//  - Telemetry recorded inside a task goes to a private obs::TaskCapture
+//    (thread-local metric shard + trace buffer) and is merged in task-index
+//    order after the batch — never in completion order (see obs/parallel.hpp).
+//  - Tasks needing randomness take a util::Rng::substream(seed, task_index)
+//    (parallel_map_seeded), a pure function of the task index.
+//
+// Contract: run(jobs=J) is byte-identical to run(jobs=1) for every J. The
+// simlint `raw-thread` rule bans std::thread/std::async outside this file so
+// all parallelism inherits the contract.
+//
+// Exceptions thrown by task bodies are captured per slot and, after the
+// batch completes (every task still runs) and telemetry is merged, the
+// lowest-index exception is rethrown — again independent of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace scion::exec {
+
+/// Process-wide default worker count used when a config's `jobs` field or a
+/// parallel_map call leaves jobs at 0. Set once at startup from --jobs
+/// (bench_main, the CLI); defaults to 1 (serial).
+std::size_t default_jobs();
+void set_default_jobs(std::size_t jobs);
+
+/// 0 -> default_jobs(); anything else clamped to at least 1.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// A fixed-size worker pool executing one batch of index-addressed tasks at
+/// a time. `jobs` counts total executors: the caller participates, so a
+/// pool with jobs=1 spawns no threads and runs every task inline, and
+/// jobs=N spawns N-1 workers.
+class TaskPool {
+ public:
+  explicit TaskPool(std::size_t jobs);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs body(0..n-1), blocking until all tasks finished and their
+  /// telemetry captures merged in index order. `body` is invoked
+  /// concurrently from multiple threads and must only mutate task-local or
+  /// per-index state. Not reentrant from within a task on the same pool
+  /// (parallel_map builds a fresh pool per call, which nests fine).
+  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch {
+    std::size_t n{0};
+    const std::function<void(std::size_t)>* body{nullptr};
+    std::vector<obs::TaskCapture>* captures{nullptr};
+    std::vector<std::exception_ptr>* errors{nullptr};
+    std::atomic<std::size_t> next{0};
+    std::size_t done{0};  // guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  const std::size_t jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Batch> batch_;     // guarded by mu_
+  std::uint64_t generation_{0};      // guarded by mu_
+  bool stop_{false};                 // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+/// Order-preserving parallel map over [0, n): out[i] = fn(i). The job-count
+/// determinism contract of TaskPool applies; fn must be safe to invoke
+/// concurrently.
+template <typename Fn>
+auto parallel_map_n(std::size_t n, Fn&& fn, std::size_t jobs = 0) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<std::optional<R>> slots(n);
+  TaskPool pool{resolve_jobs(jobs)};
+  pool.run(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// Order-preserving parallel map over a vector: out[i] = fn(items[i]).
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn, std::size_t jobs = 0) {
+  return parallel_map_n(
+      items.size(), [&](std::size_t i) { return fn(items[i]); }, jobs);
+}
+
+/// parallel_map where each task additionally receives its own private
+/// util::Rng substream derived from (seed, task index) — independent of the
+/// worker that runs it and of the job count.
+template <typename T, typename Fn>
+auto parallel_map_seeded(const std::vector<T>& items, std::uint64_t seed,
+                         Fn&& fn, std::size_t jobs = 0) {
+  return parallel_map_n(
+      items.size(),
+      [&](std::size_t i) {
+        util::Rng rng = util::Rng::substream(seed, i);
+        return fn(items[i], rng);
+      },
+      jobs);
+}
+
+/// Void companion of parallel_map_n for heterogeneous task sets that write
+/// into their own result slots.
+template <typename Fn>
+void parallel_for_n(std::size_t n, Fn&& fn, std::size_t jobs = 0) {
+  TaskPool pool{resolve_jobs(jobs)};
+  const std::function<void(std::size_t)> body = [&](std::size_t i) { fn(i); };
+  pool.run(n, body);
+}
+
+}  // namespace scion::exec

@@ -5,6 +5,7 @@
 #include "analysis/overhead.hpp"
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
+#include "exec/task_pool.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 
@@ -81,67 +82,84 @@ OverheadResult run_overhead_experiment(const Scale& scale) {
   const std::vector<std::uint32_t> prefixes = prefix_counts(internet, scale.seed);
   topology_phase.stop();
 
-  // --- BGP / BGPsec on the full topology ----------------------------------
-  bgp::BgpSimConfig bgp_config;
-  bgp_config.sampled_origins = scale.bgp_sampled_origins;
-  bgp_config.churn_window = scale.bgp_churn_window;
-  bgp_config.seed = scale.seed;
-  bgp::BgpSim bgp_sim{internet, bgp_config};
-  for (const topo::AsIndex m : monitors) bgp_sim.add_monitor(m);
-  {
-    obs::ProfilePhase phase{"overhead.bgp"};
-    bgp_sim.run();
-  }
-  for (const topo::AsIndex m : monitors) {
-    r.bgp.push_back(bgp_sim.monthly_bgp_bytes(m, prefixes));
-    r.bgpsec.push_back(bgp_sim.monthly_bgpsec_bytes(m, prefixes));
-  }
-
-  // --- SCION core beaconing (baseline and diversity) ----------------------
+  // --- Four independent simulations, one task each ------------------------
+  // BGP/BGPsec, core baseline, core diversity, and intra-ISD each build
+  // their own simulator and write into their own slot below; the only
+  // shared state (internet, nets, prefixes, monitor lists) is read-only.
   const CoreNetworks nets = build_core_networks(scale, internet);
-  obs::ProfilePhase beaconing_phase{"overhead.beaconing"};
-  const CoreRun baseline = run_core(nets.scion_view,
-                                    ctrl::AlgorithmKind::kBaseline, scale,
-                                    monitor_as_numbers);
-  const CoreRun diversity = run_core(nets.scion_view,
-                                     ctrl::AlgorithmKind::kDiversity, scale,
-                                     monitor_as_numbers);
+  CoreRun baseline;
+  CoreRun diversity;
+
+  exec::parallel_for_n(4, [&](std::size_t unit) {
+    switch (unit) {
+      case 0: {
+        // --- BGP / BGPsec on the full topology ---------------------------
+        obs::ProfilePhase phase{"overhead.bgp"};
+        bgp::BgpSimConfig bgp_config;
+        bgp_config.sampled_origins = scale.bgp_sampled_origins;
+        bgp_config.churn_window = scale.bgp_churn_window;
+        bgp_config.seed = scale.seed;
+        bgp::BgpSim bgp_sim{internet, bgp_config};
+        for (const topo::AsIndex m : monitors) bgp_sim.add_monitor(m);
+        bgp_sim.run();
+        for (const topo::AsIndex m : monitors) {
+          r.bgp.push_back(bgp_sim.monthly_bgp_bytes(m, prefixes));
+          r.bgpsec.push_back(bgp_sim.monthly_bgpsec_bytes(m, prefixes));
+        }
+        break;
+      }
+      case 1: {
+        // --- SCION core beaconing, baseline ------------------------------
+        obs::ProfilePhase phase{"overhead.beaconing"};
+        baseline = run_core(nets.scion_view, ctrl::AlgorithmKind::kBaseline,
+                            scale, monitor_as_numbers);
+        break;
+      }
+      case 2: {
+        // --- SCION core beaconing, diversity ------------------------------
+        obs::ProfilePhase phase{"overhead.beaconing"};
+        diversity = run_core(nets.scion_view, ctrl::AlgorithmKind::kDiversity,
+                             scale, monitor_as_numbers);
+        break;
+      }
+      default: {
+        // --- SCION intra-ISD beaconing (baseline) -------------------------
+        obs::ProfilePhase phase{"overhead.intra_isd"};
+        topo::IsdConfig isd_config;
+        isd_config.n_cores = scale.isd_cores;
+        isd_config.n_ases = scale.isd_ases;
+        isd_config.seed = scale.seed + 17;
+        const topo::Topology isd = topo::generate_isd(isd_config);
+
+        ctrl::BeaconingSimConfig config;
+        config.server.algorithm = ctrl::AlgorithmKind::kBaseline;
+        config.server.mode = ctrl::BeaconingMode::kIntraIsd;
+        config.server.compute_crypto = false;
+        config.sim_duration = scale.beaconing_duration;
+        config.warmup = config.server.pcb_lifetime;
+        config.seed = scale.seed;
+        ctrl::BeaconingSim sim{isd, config};
+        sim.run();
+
+        // Monitors map to the largest non-core ASes of the ISD by degree
+        // rank (core ASes receive no intra-ISD PCBs; see DESIGN.md).
+        std::vector<topo::AsIndex> ranked;
+        for (const topo::AsIndex idx : isd.highest_degree(isd.as_count())) {
+          if (!isd.is_core(idx)) ranked.push_back(idx);
+          if (ranked.size() >= monitors.size()) break;
+        }
+        for (const topo::AsIndex idx : ranked) {
+          r.intra_baseline.push_back(analysis::extrapolate_to_month(
+              sim.server(idx).stats().bytes_received,
+              scale.beaconing_duration));
+        }
+        break;
+      }
+    }
+  });
   r.core_baseline = baseline.monthly_bytes;
   r.core_diversity = diversity.monthly_bytes;
   r.diversity_paths_per_origin = diversity.paths_per_origin;
-
-  // --- SCION intra-ISD beaconing (baseline) -------------------------------
-  {
-    obs::ProfilePhase phase{"overhead.intra_isd"};
-    topo::IsdConfig isd_config;
-    isd_config.n_cores = scale.isd_cores;
-    isd_config.n_ases = scale.isd_ases;
-    isd_config.seed = scale.seed + 17;
-    const topo::Topology isd = topo::generate_isd(isd_config);
-
-    ctrl::BeaconingSimConfig config;
-    config.server.algorithm = ctrl::AlgorithmKind::kBaseline;
-    config.server.mode = ctrl::BeaconingMode::kIntraIsd;
-    config.server.compute_crypto = false;
-    config.sim_duration = scale.beaconing_duration;
-    config.warmup = config.server.pcb_lifetime;
-    config.seed = scale.seed;
-    ctrl::BeaconingSim sim{isd, config};
-    sim.run();
-
-    // Monitors map to the largest non-core ASes of the ISD by degree rank
-    // (core ASes receive no intra-ISD PCBs; see DESIGN.md).
-    std::vector<topo::AsIndex> ranked;
-    for (const topo::AsIndex idx : isd.highest_degree(isd.as_count())) {
-      if (!isd.is_core(idx)) ranked.push_back(idx);
-      if (ranked.size() >= monitors.size()) break;
-    }
-    for (const topo::AsIndex idx : ranked) {
-      r.intra_baseline.push_back(analysis::extrapolate_to_month(
-          sim.server(idx).stats().bytes_received, scale.beaconing_duration));
-    }
-  }
-  beaconing_phase.stop();
 
   // --- Relative-to-BGP CDFs ------------------------------------------------
   obs::ProfilePhase analysis_phase{"overhead.analysis"};

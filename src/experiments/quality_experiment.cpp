@@ -1,10 +1,12 @@
 #include "experiments/quality_experiment.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "analysis/path_quality.hpp"
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
+#include "exec/task_pool.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "util/stats.hpp"
@@ -36,6 +38,16 @@ std::string limit_name(std::size_t limit) {
   return limit == 0 ? "inf" : std::to_string(limit);
 }
 
+/// One series to evaluate — the unit of parallelism for the per-series
+/// stage. Building the spec list up front keeps the task decomposition (and
+/// so the telemetry merge order) independent of the job count.
+struct SeriesSpec {
+  enum class Kind { kBaseline, kDiversity, kBgp };
+  Kind kind{Kind::kBaseline};
+  std::size_t storage_limit{0};
+  std::string name;
+};
+
 }  // namespace
 
 double QualityResult::fraction_of_optimal(const QualitySeries& s) const {
@@ -53,24 +65,28 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
   QualityResult result;
   util::Rng rng{config.seed ^ 0xFACE};
 
-  // Sampled distinct AS pairs.
+  // Sampled distinct AS pairs (dedicated helper: the old rejection loop here
+  // only rejected a == b and could sample the same pair repeatedly).
   const std::size_t n = scion_view.as_count();
-  const std::size_t max_pairs = n * (n - 1) / 2;
-  const std::size_t want = std::min(config.sampled_pairs, max_pairs);
-  while (result.pairs.size() < want) {
-    const auto a = static_cast<topo::AsIndex>(rng.index(n));
-    const auto b = static_cast<topo::AsIndex>(rng.index(n));
-    if (a == b) continue;
-    result.pairs.emplace_back(std::min(a, b), std::max(a, b));
-  }
+  result.pairs = sample_distinct_pairs(rng, n, config.sampled_pairs);
 
+  // Per-pair optimum, each task on its own copy of the full flow network
+  // (max_flow mutates graph state; see QualityEvaluator::optimal).
   analysis::QualityEvaluator evaluator{scion_view};
-  for (const auto& [s, t] : result.pairs) {
-    result.optimum.push_back(evaluator.optimal(s, t));
+  {
+    obs::ProfilePhase phase{"quality.optimum"};
+    result.optimum = exec::parallel_map(
+        result.pairs,
+        [&](const std::pair<topo::AsIndex, topo::AsIndex>& pr) {
+          analysis::FlowGraph g = evaluator.full_graph();
+          return g.max_flow(pr.first, pr.second);
+        },
+        config.jobs);
   }
 
   // SCION runs: evaluate the paths from origin t stored at s plus the
   // reverse direction (segments are direction-agnostic at link level).
+  // of_paths is const and thread-safe, so tasks share `evaluator`.
   auto evaluate_sim = [&](ctrl::BeaconingSim& sim, const std::string& name) {
     QualitySeries series;
     series.name = name;
@@ -84,43 +100,59 @@ QualityResult run_quality_experiment(const topo::Topology& bgp_view,
                    std::make_move_iterator(reverse.end()));
       series.values.push_back(evaluator.of_paths(paths, s, t));
     }
-    result.series.push_back(std::move(series));
+    return series;
   };
 
-  obs::ProfilePhase beaconing_phase{"quality.beaconing"};
+  // Every series (simulation + per-pair min-cut) is an independent task;
+  // parallel_map keeps the traditional order baseline, diversity, BGP.
+  std::vector<SeriesSpec> specs;
   for (const std::size_t limit : config.baseline_storage_limits) {
-    auto sim = run_beaconing(scion_view, ctrl::AlgorithmKind::kBaseline,
-                             limit, config);
-    evaluate_sim(*sim, "SCION Baseline (" + limit_name(limit) + ")");
+    specs.push_back({SeriesSpec::Kind::kBaseline, limit,
+                     "SCION Baseline (" + limit_name(limit) + ")"});
   }
   for (const std::size_t limit : config.diversity_storage_limits) {
-    auto sim = run_beaconing(scion_view, ctrl::AlgorithmKind::kDiversity,
-                             limit, config);
-    evaluate_sim(*sim, "SCION Diversity (" + limit_name(limit) + ")");
+    specs.push_back({SeriesSpec::Kind::kDiversity, limit,
+                     "SCION Diversity (" + limit_name(limit) + ")"});
   }
-  beaconing_phase.stop();
-
   if (config.include_bgp) {
-    obs::ProfilePhase phase{"quality.bgp"};
-    bgp::BgpSimConfig bc;
-    bc.seed = config.seed;
-    // Only convergence matters for path quality; skip churn.
-    bc.churn_window = util::Duration::minutes(5);
-    bc.flaps_per_adjacency_per_day = 0.0;
-    bgp::BgpSim bgp_sim{bgp_view, bc};
-    bgp_sim.run();
-
-    QualitySeries series;
-    series.name = "BGP (multipath)";
-    for (const auto& [s, t] : result.pairs) {
-      auto paths = bgp_sim.bgp_link_paths(s, t);
-      auto reverse = bgp_sim.bgp_link_paths(t, s);
-      paths.insert(paths.end(), std::make_move_iterator(reverse.begin()),
-                   std::make_move_iterator(reverse.end()));
-      series.values.push_back(evaluator.of_paths(paths, s, t));
-    }
-    result.series.push_back(std::move(series));
+    specs.push_back({SeriesSpec::Kind::kBgp, 0, "BGP (multipath)"});
   }
+
+  result.series = exec::parallel_map(
+      specs,
+      [&](const SeriesSpec& spec) {
+        if (spec.kind == SeriesSpec::Kind::kBgp) {
+          obs::ProfilePhase phase{"quality.bgp"};
+          bgp::BgpSimConfig bc;
+          bc.seed = config.seed;
+          // Only convergence matters for path quality; skip churn.
+          bc.churn_window = util::Duration::minutes(5);
+          bc.flaps_per_adjacency_per_day = 0.0;
+          bgp::BgpSim bgp_sim{bgp_view, bc};
+          bgp_sim.run();
+
+          QualitySeries series;
+          series.name = spec.name;
+          series.values.reserve(result.pairs.size());
+          for (const auto& [s, t] : result.pairs) {
+            auto paths = bgp_sim.bgp_link_paths(s, t);
+            auto reverse = bgp_sim.bgp_link_paths(t, s);
+            paths.insert(paths.end(),
+                         std::make_move_iterator(reverse.begin()),
+                         std::make_move_iterator(reverse.end()));
+            series.values.push_back(evaluator.of_paths(paths, s, t));
+          }
+          return series;
+        }
+        obs::ProfilePhase phase{"quality.beaconing"};
+        const auto algorithm = spec.kind == SeriesSpec::Kind::kBaseline
+                                   ? ctrl::AlgorithmKind::kBaseline
+                                   : ctrl::AlgorithmKind::kDiversity;
+        auto sim =
+            run_beaconing(scion_view, algorithm, spec.storage_limit, config);
+        return evaluate_sim(*sim, spec.name);
+      },
+      config.jobs);
   return result;
 }
 

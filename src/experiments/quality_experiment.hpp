@@ -27,6 +27,9 @@ struct QualityConfig {
   util::Duration sim_duration{util::Duration::hours(6)};
   std::size_t dissemination_limit{5};
   std::uint64_t seed{1};
+  /// Worker count for the per-pair min-cut and per-series evaluation
+  /// (0 = exec::default_jobs()). Results are byte-identical for any value.
+  std::size_t jobs{0};
 };
 
 struct QualitySeries {

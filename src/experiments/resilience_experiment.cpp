@@ -4,6 +4,7 @@
 
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
+#include "exec/task_pool.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
@@ -78,16 +79,10 @@ DynResilienceResult run_dyn_resilience_experiment(
   DynResilienceResult result;
   util::Rng rng{config.seed ^ 0xD15C0};
 
-  // Sampled distinct AS pairs (the probe population).
+  // Sampled distinct AS pairs (the probe population). The dedicated helper
+  // dedupes; the old loop here could probe the same pair twice.
   const std::size_t n = scion_view.as_count();
-  const std::size_t max_pairs = n * (n - 1) / 2;
-  const std::size_t want = std::min(config.sampled_pairs, max_pairs);
-  while (result.pairs.size() < want) {
-    const auto a = static_cast<topo::AsIndex>(rng.index(n));
-    const auto b = static_cast<topo::AsIndex>(rng.index(n));
-    if (a == b) continue;
-    result.pairs.emplace_back(std::min(a, b), std::max(a, b));
-  }
+  result.pairs = sample_distinct_pairs(rng, n, config.sampled_pairs);
 
   // The shared scenario: both views have identical link indices, so every
   // series sees the same faults at the same virtual times.
@@ -101,6 +96,9 @@ DynResilienceResult run_dyn_resilience_experiment(
     plan.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
   }
 
+  // Every series simulates the same fault scenario on its own simulator and
+  // network instance; nothing is shared mutably across series, so the three
+  // runs are independent tasks.
   const auto run_scion = [&](ctrl::AlgorithmKind algorithm,
                              const std::string& name) {
     obs::ProfilePhase phase{"dyn_resilience." + name};
@@ -142,13 +140,10 @@ DynResilienceResult run_dyn_resilience_experiment(
     if (sim.injector() != nullptr) series.fault_stats = sim.injector()->stats();
     series.drops = sim.network().drop_stats();
     series.pcbs_revoked = sim.aggregate_stats().pcbs_revoked;
-    result.series.push_back(std::move(series));
+    return series;
   };
 
-  run_scion(ctrl::AlgorithmKind::kBaseline, "SCION Baseline");
-  run_scion(ctrl::AlgorithmKind::kDiversity, "SCION Diversity");
-
-  if (config.include_bgp) {
+  const auto run_bgp = [&]() {
     obs::ProfilePhase phase{"dyn_resilience.BGP"};
     bgp::BgpSimConfig bc;
     bc.seed = config.seed;
@@ -174,8 +169,24 @@ DynResilienceResult run_dyn_resilience_experiment(
     finalize(series, states);
     series.fault_stats = sim.injector().stats();
     series.drops = sim.network().drop_stats();
-    result.series.push_back(std::move(series));
-  }
+    return series;
+  };
+
+  const std::size_t n_series = config.include_bgp ? 3 : 2;
+  result.series = exec::parallel_map_n(
+      n_series,
+      [&](std::size_t i) {
+        switch (i) {
+          case 0:
+            return run_scion(ctrl::AlgorithmKind::kBaseline, "SCION Baseline");
+          case 1:
+            return run_scion(ctrl::AlgorithmKind::kDiversity,
+                             "SCION Diversity");
+          default:
+            return run_bgp();
+        }
+      },
+      config.jobs);
 
   return result;
 }

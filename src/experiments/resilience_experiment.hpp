@@ -49,6 +49,9 @@ struct DynResilienceConfig {
   util::Duration default_downtime_min{util::Duration::seconds(30)};
   util::Duration default_downtime_max{util::Duration::minutes(3)};
   std::uint64_t seed{1};
+  /// Worker count for the independent series runs (0 = exec::default_jobs()).
+  /// Results are byte-identical for any value.
+  std::size_t jobs{0};
 };
 
 struct DynResilienceSeries {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+
+#include "util/check.hpp"
 
 namespace scion::exp {
 
@@ -108,6 +111,57 @@ topo::AsIndex find_by_as_number(const topo::Topology& topo,
     if (topo.as_id(i).as_number() == as_number) return i;
   }
   return topo::kInvalidAsIndex;
+}
+
+std::vector<std::pair<topo::AsIndex, topo::AsIndex>> sample_distinct_pairs(
+    util::Rng& rng, std::size_t n, std::size_t want) {
+  using Pair = std::pair<topo::AsIndex, topo::AsIndex>;
+  std::vector<Pair> pairs;
+  if (n < 2 || want == 0) return pairs;
+  const std::size_t max_pairs = n * (n - 1) / 2;
+  if (want >= max_pairs) {
+    // Saturated request: full enumeration, no rng draws at all.
+    pairs.reserve(max_pairs);
+    for (std::size_t s = 0; s + 1 < n; ++s) {
+      for (std::size_t t = s + 1; t < n; ++t) {
+        pairs.emplace_back(static_cast<topo::AsIndex>(s),
+                           static_cast<topo::AsIndex>(t));
+      }
+    }
+    return pairs;
+  }
+  if (want * 3 >= max_pairs) {
+    // Dense request: rejection would stall near saturation, so shuffle the
+    // full enumeration and truncate (partial Fisher-Yates).
+    std::vector<Pair> all;
+    all.reserve(max_pairs);
+    for (std::size_t s = 0; s + 1 < n; ++s) {
+      for (std::size_t t = s + 1; t < n; ++t) {
+        all.emplace_back(static_cast<topo::AsIndex>(s),
+                         static_cast<topo::AsIndex>(t));
+      }
+    }
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t j = i + rng.index(all.size() - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(want);
+    return all;
+  }
+  // Sparse request: rejection sampling, deduped against everything drawn so
+  // far (pairs are normalized s < t, so (a, b) and (b, a) collide).
+  std::set<Pair> seen;
+  pairs.reserve(want);
+  while (pairs.size() < want) {
+    auto s = static_cast<topo::AsIndex>(rng.index(n));
+    auto t = static_cast<topo::AsIndex>(rng.index(n));
+    if (s == t) continue;
+    if (s > t) std::swap(s, t);
+    if (!seen.emplace(s, t).second) continue;
+    pairs.emplace_back(s, t);
+  }
+  SCION_CHECK(pairs.size() == want, "sampler must deliver the requested pair count");
+  return pairs;
 }
 
 }  // namespace scion::exp

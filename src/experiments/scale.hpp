@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "topology/generator.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace scion::exp {
@@ -81,5 +83,21 @@ std::vector<topo::AsIndex> pick_monitors(const topo::Topology& topo,
 /// renumbering preserves AS numbers), kInvalidAsIndex if pruned away.
 topo::AsIndex find_by_as_number(const topo::Topology& topo,
                                 std::uint64_t as_number);
+
+/// Samples `want` DISTINCT unordered AS pairs (s < t) from `n` ASes.
+///
+/// Shared by the quality and resilience experiments, whose hand-rolled
+/// rejection loops only rejected s == t and happily re-sampled the same
+/// pair — at small scales the figures then averaged duplicate pairs with
+/// extra weight. Three regimes, all deterministic in `rng`:
+///   - want >= n*(n-1)/2: every pair, enumerated in (s, t) index order
+///     (no sampling, no rng draws);
+///   - dense requests (within ~1/3 of the population): Fisher-Yates
+///     shuffle-truncate over the full enumeration, so no rejection loop can
+///     stall;
+///   - sparse requests: rejection sampling against an ordered set.
+/// Returned pairs are in sampling order (callers' figures index by pair).
+std::vector<std::pair<topo::AsIndex, topo::AsIndex>> sample_distinct_pairs(
+    util::Rng& rng, std::size_t n, std::size_t want);
 
 }  // namespace scion::exp

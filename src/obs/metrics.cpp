@@ -7,6 +7,12 @@
 
 namespace scion::obs {
 
+namespace {
+
+thread_local MetricShard* t_shard = nullptr;
+
+}  // namespace
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_{std::move(upper_bounds)}, counts_(bounds_.size() + 1, 0) {
   SCION_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
@@ -26,6 +32,17 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+void Histogram::absorb(const std::vector<std::uint64_t>& bucket_counts,
+                       std::uint64_t count, double sum) {
+  SCION_CHECK(bucket_counts.size() == counts_.size(),
+              "histogram shard bucket layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += bucket_counts[i];
+  }
+  count_ += count;
+  sum_ += sum;
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
@@ -38,12 +55,14 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
   const auto it = counter_map_.find(name);
   if (it != counter_map_.end()) return it->second;
   return counter_map_.emplace(std::string{name}, Counter{}).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
   const auto it = gauge_map_.find(name);
   if (it != gauge_map_.end()) return it->second;
   return gauge_map_.emplace(std::string{name}, Gauge{}).first->second;
@@ -55,13 +74,66 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock{mu_};
   const auto it = histogram_map_.find(name);
   if (it != histogram_map_.end()) return it->second;
   return histogram_map_.emplace(std::string{name}, Histogram{std::move(bounds)})
       .first->second;
 }
 
+CounterHandle MetricsRegistry::intern_counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto map_it = counter_map_.find(name);
+  if (map_it == counter_map_.end()) {
+    map_it = counter_map_.emplace(std::string{name}, Counter{}).first;
+  }
+  const auto id_it = counter_ids_.find(name);
+  if (id_it != counter_ids_.end()) {
+    return CounterHandle{id_it->second, &map_it->second};
+  }
+  const std::size_t id = counter_slots_.size();
+  counter_slots_.push_back(&map_it->second);
+  counter_ids_.emplace(std::string{name}, id);
+  return CounterHandle{id, &map_it->second};
+}
+
+GaugeHandle MetricsRegistry::intern_gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto map_it = gauge_map_.find(name);
+  if (map_it == gauge_map_.end()) {
+    map_it = gauge_map_.emplace(std::string{name}, Gauge{}).first;
+  }
+  const auto id_it = gauge_ids_.find(name);
+  if (id_it != gauge_ids_.end()) {
+    return GaugeHandle{id_it->second, &map_it->second};
+  }
+  const std::size_t id = gauge_slots_.size();
+  gauge_slots_.push_back(&map_it->second);
+  gauge_ids_.emplace(std::string{name}, id);
+  return GaugeHandle{id, &map_it->second};
+}
+
+HistogramHandle MetricsRegistry::intern_histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  auto map_it = histogram_map_.find(name);
+  if (map_it == histogram_map_.end()) {
+    map_it = histogram_map_
+                 .emplace(std::string{name},
+                          Histogram{Histogram::default_bounds()})
+                 .first;
+  }
+  const auto id_it = histogram_ids_.find(name);
+  if (id_it != histogram_ids_.end()) {
+    return HistogramHandle{id_it->second, &map_it->second};
+  }
+  const std::size_t id = histogram_slots_.size();
+  histogram_slots_.push_back(&map_it->second);
+  histogram_ids_.emplace(std::string{name}, id);
+  return HistogramHandle{id, &map_it->second};
+}
+
 void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock{mu_};
   for (auto& [name, c] : counter_map_) c.reset();
   for (auto& [name, g] : gauge_map_) g.reset();
   for (auto& [name, h] : histogram_map_) h.reset();
@@ -92,6 +164,117 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.end_object();
   return std::move(w).take();
+}
+
+// --- MetricShard -------------------------------------------------------------
+
+void MetricShard::count(std::size_t id, std::uint64_t delta) {
+  if (counter_deltas_.size() <= id) counter_deltas_.resize(id + 1, 0);
+  counter_deltas_[id] += delta;
+}
+
+void MetricShard::gauge_set(std::size_t id, std::int64_t v) {
+  gauge_ops_.push_back(GaugeOp{id, v, /*is_max=*/false});
+}
+
+void MetricShard::gauge_max(std::size_t id, std::int64_t v) {
+  gauge_ops_.push_back(GaugeOp{id, v, /*is_max=*/true});
+}
+
+void MetricShard::observe(const HistogramHandle& h, double v) {
+  if (hists_.size() <= h.id) hists_.resize(h.id + 1);
+  HistShard& hs = hists_[h.id];
+  // h.root->bounds() is immutable after registration, so this concurrent
+  // read needs no lock.
+  const std::vector<double>& bounds = h.root->bounds();
+  if (hs.counts.empty()) hs.counts.assign(bounds.size() + 1, 0);
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  ++hs.counts[static_cast<std::size_t>(it - bounds.begin())];
+  ++hs.count;
+  hs.sum += v;
+}
+
+void MetricShard::merge_into_shard(MetricShard& parent) const {
+  for (std::size_t id = 0; id < counter_deltas_.size(); ++id) {
+    if (counter_deltas_[id] != 0) parent.count(id, counter_deltas_[id]);
+  }
+  parent.gauge_ops_.insert(parent.gauge_ops_.end(), gauge_ops_.begin(),
+                           gauge_ops_.end());
+  for (std::size_t id = 0; id < hists_.size(); ++id) {
+    const HistShard& hs = hists_[id];
+    if (hs.count == 0) continue;
+    if (parent.hists_.size() <= id) parent.hists_.resize(id + 1);
+    HistShard& ps = parent.hists_[id];
+    if (ps.counts.empty()) ps.counts.assign(hs.counts.size(), 0);
+    for (std::size_t b = 0; b < hs.counts.size(); ++b) {
+      ps.counts[b] += hs.counts[b];
+    }
+    ps.count += hs.count;
+    ps.sum += hs.sum;
+  }
+}
+
+void MetricShard::merge_into_registry() const {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  // The lock orders this merge against concurrent interning from sibling
+  // parallel regions; merges themselves are already serialized per context.
+  const std::lock_guard<std::mutex> lock{reg.mu_};
+  for (std::size_t id = 0; id < counter_deltas_.size(); ++id) {
+    if (counter_deltas_[id] != 0) reg.counter_slots_[id]->add(counter_deltas_[id]);
+  }
+  for (const GaugeOp& op : gauge_ops_) {
+    Gauge* g = reg.gauge_slots_[op.id];
+    if (op.is_max) {
+      g->set_max(op.value);
+    } else {
+      g->set(op.value);
+    }
+  }
+  for (std::size_t id = 0; id < hists_.size(); ++id) {
+    const HistShard& hs = hists_[id];
+    if (hs.count == 0) continue;
+    reg.histogram_slots_[id]->absorb(hs.counts, hs.count, hs.sum);
+  }
+}
+
+MetricShard* current_shard() { return t_shard; }
+
+MetricShard* set_current_shard(MetricShard* shard) {
+  MetricShard* prev = t_shard;
+  t_shard = shard;
+  return prev;
+}
+
+void record_count(const CounterHandle& h, std::uint64_t delta) {
+  if (t_shard != nullptr) {
+    t_shard->count(h.id, delta);
+  } else {
+    h.root->add(delta);
+  }
+}
+
+void record_gauge_set(const GaugeHandle& h, std::int64_t v) {
+  if (t_shard != nullptr) {
+    t_shard->gauge_set(h.id, v);
+  } else {
+    h.root->set(v);
+  }
+}
+
+void record_gauge_max(const GaugeHandle& h, std::int64_t v) {
+  if (t_shard != nullptr) {
+    t_shard->gauge_max(h.id, v);
+  } else {
+    h.root->set_max(v);
+  }
+}
+
+void record_observe(const HistogramHandle& h, double v) {
+  if (t_shard != nullptr) {
+    t_shard->observe(h, v);
+  } else {
+    h.root->observe(v);
+  }
 }
 
 }  // namespace scion::obs

@@ -1,0 +1,58 @@
+// Per-task telemetry capture for deterministic parallel execution.
+//
+// The problem: metrics and traces are recorded from inside simulation code
+// that the task pool (src/exec) may run on any worker thread, in any
+// completion order — but the telemetry outputs must be byte-identical for
+// every --jobs value. A global mutex would serialize the hot path AND still
+// leave the *order* (and therefore floating-point histogram sums and trace
+// line order) dependent on scheduling.
+//
+// The solution: one TaskCapture per task, not per worker. While a task
+// executes, its capture installs a thread-local MetricShard (obs/metrics)
+// and a thread-local TraceSink override (obs/trace) writing to a private
+// buffer, so the task's recordings never touch shared state. After the
+// whole batch completes, the pool merges captures strictly in task-index
+// order into the enclosing context — the outer task's capture for nested
+// parallelism, or the registry roots / process-wide sink at top level.
+// Since the task decomposition itself is independent of the job count, the
+// merged result equals what a --jobs=1 run produces, byte for byte.
+#pragma once
+
+#include <memory>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scion::obs {
+
+class TaskCapture {
+ public:
+  TaskCapture() = default;
+  TaskCapture(const TaskCapture&) = delete;
+  TaskCapture& operator=(const TaskCapture&) = delete;
+
+  /// Starts capturing on the calling (worker) thread. Installs the shard
+  /// and, when tracing is active, a buffer sink with the parent's category
+  /// mask.
+  void begin();
+
+  /// Stops capturing on the calling (worker) thread; restores whatever was
+  /// installed before begin().
+  void end();
+
+  /// Folds this capture into the context active on the *calling* thread
+  /// (the pool's caller after the batch): an enclosing task's shard/sink if
+  /// one is installed, otherwise the registry roots and process-wide sink.
+  /// Call in task-index order.
+  void merge();
+
+ private:
+  MetricShard shard_;
+  std::ostringstream trace_buf_;
+  std::unique_ptr<TraceSink> trace_sink_;
+  MetricShard* prev_shard_{nullptr};
+  TraceSink* prev_override_{nullptr};
+};
+
+}  // namespace scion::obs

@@ -12,12 +12,18 @@ PhaseProfiler& PhaseProfiler::global() {
 }
 
 void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns) {
+  const std::lock_guard<std::mutex> lock{mu_};
   auto it = phases_.find(name);
   if (it == phases_.end()) {
     it = phases_.emplace(std::string{name}, Phase{}).first;
   }
   ++it->second.calls;
   it->second.wall_ns += wall_ns;
+}
+
+void PhaseProfiler::reset() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  phases_.clear();
 }
 
 std::string PhaseProfiler::to_json() const {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -30,16 +31,22 @@ class PhaseProfiler {
 
   static PhaseProfiler& global();
 
+  /// Thread-safe: phases may close on worker threads during a parallel
+  /// region (the accumulators are coarse per-stage scopes, not hot-path).
+  /// Call counts stay deterministic across --jobs values; wall times are
+  /// wall times and never feed determinism-compared output.
   void record(std::string_view name, std::int64_t wall_ns);
+  /// Main thread only, with no parallel region in flight.
   const std::map<std::string, Phase, std::less<>>& phases() const {
     return phases_;
   }
-  void reset() { phases_.clear(); }
+  void reset();
 
   /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...}, ...]
   std::string to_json() const;
 
  private:
+  std::mutex mu_;
   std::map<std::string, Phase, std::less<>> phases_;
 };
 

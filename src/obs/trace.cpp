@@ -12,6 +12,7 @@ constexpr std::uint32_t kAllMask =
     (1u << static_cast<unsigned>(Category::kCount)) - 1;
 
 TraceSink* g_sink = nullptr;
+thread_local TraceSink* t_sink_override = nullptr;
 
 }  // namespace
 
@@ -96,7 +97,21 @@ void TraceSink::event(util::TimePoint t, Category c, std::string_view name,
   ++events_written_;
 }
 
-TraceSink* trace_sink() { return g_sink; }
+void TraceSink::write_raw(std::string_view text, std::uint64_t events) {
+  out_ << text;
+  events_written_ += events;
+}
+
+TraceSink* trace_sink() {
+  return t_sink_override != nullptr ? t_sink_override : g_sink;
+}
+
 void set_trace_sink(TraceSink* sink) { g_sink = sink; }
+
+TraceSink* set_thread_trace_override(TraceSink* sink) {
+  TraceSink* prev = t_sink_override;
+  t_sink_override = sink;
+  return prev;
+}
 
 }  // namespace scion::obs

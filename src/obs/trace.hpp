@@ -100,6 +100,14 @@ class TraceSink {
   void event(util::TimePoint t, Category c, std::string_view name,
              std::initializer_list<TraceField> fields);
 
+  /// Appends pre-rendered JSONL text (a task capture's buffer) verbatim and
+  /// accounts its event count. Used by the deterministic parallel merge:
+  /// per-task buffers land here in task-index order.
+  void write_raw(std::string_view text, std::uint64_t events);
+
+  std::uint32_t mask() const { return mask_; }
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+
   std::uint64_t events_written() const { return events_written_; }
 
  private:
@@ -108,10 +116,16 @@ class TraceSink {
   std::uint64_t events_written_{0};
 };
 
-/// The process-wide sink used by SCION_TRACE; nullptr (the default) means
-/// tracing is off. Not owning — installers keep the sink and stream alive.
+/// The sink used by SCION_TRACE on the calling thread: the thread-local
+/// override when a task capture is active (see obs/parallel.hpp), otherwise
+/// the process-wide sink. nullptr (the default) means tracing is off.
 TraceSink* trace_sink();
+/// Installs the process-wide sink. Not owning — installers keep the sink
+/// and stream alive. Main thread only (never call during a parallel region).
 void set_trace_sink(TraceSink* sink);
+/// Redirects this thread's SCION_TRACE output (nullptr to clear); returns
+/// the previous override. The task pool brackets every task with this.
+TraceSink* set_thread_trace_override(TraceSink* sink);
 
 }  // namespace scion::obs
 

@@ -43,7 +43,15 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   SCION_CHECK(lo <= hi, "uniform_int needs lo <= hi");
   const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
-  // Rejection sampling to avoid modulo bias.
+  // Rejection sampling to avoid modulo bias: draws are accepted only below
+  // `limit`, the largest multiple of `range` representable in 64 bits
+  // (limit = range * floor(2^64 / range), computed without overflow as
+  // max() - max() % range since max() = 2^64 - 1). Every residue class mod
+  // `range` contains exactly limit/range accepted values, so the result is
+  // exactly uniform — audited against Lemire's bounded-rejection method,
+  // which rejects the identical set of draws for a given range and would
+  // only change the constant factor, not the distribution
+  // (tests/test_util.cpp UniformIntHasNoModuloBias).
   const std::uint64_t limit = max() - max() % range;
   std::uint64_t v;
   do {
@@ -116,5 +124,12 @@ std::uint64_t Rng::zipf(std::uint64_t n, double s) {
 }
 
 Rng Rng::fork() { return Rng{(*this)()}; }
+
+Rng Rng::substream(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t x = seed;
+  const std::uint64_t mixed_seed = splitmix64(x);
+  x = mixed_seed ^ stream;
+  return Rng{splitmix64(x)};
+}
 
 }  // namespace scion::util

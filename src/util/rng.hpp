@@ -76,6 +76,14 @@ class Rng {
   /// simulated entity its own stream while keeping global determinism.
   Rng fork();
 
+  /// Stateless substream derivation for parallel tasks: the generator for
+  /// (seed, stream) is a pure function of the two values, so task `i` of a
+  /// parallel_map draws the same sequence no matter which worker runs it or
+  /// how many workers exist. Two splitmix64 rounds decorrelate adjacent
+  /// stream ids before the constructor expands the result to the full
+  /// 256-bit xoshiro state.
+  static Rng substream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
 };

@@ -11,9 +11,13 @@
 #include <string>
 
 #include "bgp/bgp_sim.hpp"
+#include "core/grid_search.hpp"
+#include "experiments/quality_experiment.hpp"
+#include "experiments/scale.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "scion/control_plane_sim.hpp"
 #include "topology/generator.hpp"
@@ -275,6 +279,106 @@ TEST(Determinism, TelemetryOnOffRunsAreByteIdentical) {
   EXPECT_FALSE(obs::MetricsRegistry::global().counters().empty());
 #endif
   obs::MetricsRegistry::global().reset();
+}
+
+// Tracing must also be insensitive to the *filter*: dropping events cannot
+// change what the simulation computes.
+// --- parallel execution ------------------------------------------------------
+
+exp::CoreNetworks small_core_networks() {
+  exp::Scale scale;
+  scale.internet_ases = 120;
+  scale.n_tier1 = 4;
+  scale.core_ases = 16;
+  scale.core_isds = 4;
+  scale.seed = 7;
+  const topo::Topology internet = exp::build_internet(scale);
+  return exp::build_core_networks(scale, internet);
+}
+
+/// Full byte-level transcript of a quality-experiment run at the given job
+/// count: the raw result, the rendered Fig. 6b table, the metrics registry
+/// JSON, and the complete trace stream.
+std::string quality_transcript(const exp::CoreNetworks& nets,
+                               std::size_t jobs) {
+  obs::MetricsRegistry::global().reset();
+  std::ostringstream trace;
+  obs::TraceSink sink{trace};
+  sink.enable_all();
+  obs::set_trace_sink(&sink);
+
+  exp::QualityConfig config;
+  config.sampled_pairs = 25;
+  config.sim_duration = Duration::minutes(40);
+  config.seed = 3;
+  config.jobs = jobs;
+  const exp::QualityResult result =
+      exp::run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+  obs::set_trace_sink(nullptr);
+
+  std::ostringstream out;
+  for (const auto& [s, t] : result.pairs) out << s << '-' << t << ' ';
+  out << "\nopt";
+  for (const int v : result.optimum) out << ' ' << v;
+  out << '\n';
+  for (const auto& series : result.series) {
+    out << series.name << ':';
+    for (const int v : series.values) out << ' ' << v;
+    // hexfloat: bit-exact comparison, not printf rounding.
+    out << " frac=" << std::hexfloat << result.fraction_of_optimal(series)
+        << '\n';
+  }
+  out << exp::capacity_table(result).to_text();
+  out << obs::MetricsRegistry::global().to_json() << '\n';
+  out << trace.str();
+  return std::move(out).str();
+}
+
+// The tentpole contract of the exec layer: the figure-producing experiment
+// emits byte-identical results, metrics, and traces no matter how many
+// workers ran it.
+TEST(Determinism, QualityExperimentIsByteIdenticalAcrossJobCounts) {
+  const exp::CoreNetworks nets = small_core_networks();
+  const std::string serial = quality_transcript(nets, 1);
+  ASSERT_FALSE(serial.empty());
+  // Every series produced a value per sampled pair.
+  EXPECT_NE(serial.find("SCION Diversity"), std::string::npos);
+  EXPECT_EQ(quality_transcript(nets, 8), serial);
+  obs::MetricsRegistry::global().reset();
+}
+
+std::string grid_search_transcript(const topo::Topology& scion_view,
+                                   std::size_t jobs) {
+  ctrl::GridSearchConfig config;
+  config.sim_duration = Duration::minutes(20);
+  config.sampled_pairs = 12;
+  config.coarse_alpha = {0.5, 4.0};
+  config.coarse_beta = {1.0, 3.0};
+  config.coarse_gamma = {1.0, 2.0};
+  config.seed = 11;
+  config.jobs = jobs;
+  const ctrl::GridSearchResult result =
+      ctrl::grid_search_diversity_params(scion_view, config);
+
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "baseline " << result.baseline_bytes << '\n';
+  for (const ctrl::EvaluatedPoint& p : result.evaluated) {
+    out << p.params.alpha << ' ' << p.params.beta << ' ' << p.params.gamma
+        << " q=" << p.quality << " o=" << p.overhead << " obj=" << p.objective
+        << '\n';
+  }
+  out << "best " << result.best.params.alpha << ' ' << result.best.params.beta
+      << ' ' << result.best.params.gamma << ' ' << result.best.objective
+      << '\n';
+  return std::move(out).str();
+}
+
+TEST(Determinism, GridSearchIsByteIdenticalAcrossJobCounts) {
+  const exp::CoreNetworks nets = small_core_networks();
+  const std::string serial = grid_search_transcript(nets.scion_view, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(grid_search_transcript(nets.scion_view, 8), serial);
 }
 
 // Tracing must also be insensitive to the *filter*: dropping events cannot

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "experiments/overhead_experiment.hpp"
 #include "experiments/quality_experiment.hpp"
 #include "experiments/scale.hpp"
@@ -94,6 +97,84 @@ TEST(Builders, MonitorsMapIntoCoreNetwork) {
   }
   EXPECT_GE(found, monitors.size() - 1)
       << "high-degree monitors survive the pruning";
+}
+
+TEST(PairSampling, SampledPairsAreDistinctAndNormalized) {
+  util::Rng rng{42};
+  const auto pairs = sample_distinct_pairs(rng, 40, 100);
+  ASSERT_EQ(pairs.size(), 100u);
+  std::set<std::pair<topo::AsIndex, topo::AsIndex>> seen;
+  for (const auto& [s, t] : pairs) {
+    EXPECT_LT(s, t);  // normalized: (a, b) == (b, a)
+    EXPECT_LT(t, 40u);
+    EXPECT_TRUE(seen.emplace(s, t).second) << "duplicate pair " << s << '-' << t;
+  }
+}
+
+TEST(PairSampling, SaturatedRequestEnumeratesEveryPair) {
+  // Regression: the old rejection loop could spin forever (and returned
+  // duplicates) when the request reached the population size. want >=
+  // n*(n-1)/2 must yield the exact full enumeration.
+  util::Rng rng{42};
+  const std::size_t n = 12;
+  const std::size_t max_pairs = n * (n - 1) / 2;  // 66
+  for (const std::size_t want : {max_pairs, max_pairs + 50}) {
+    const auto pairs = sample_distinct_pairs(rng, n, want);
+    ASSERT_EQ(pairs.size(), max_pairs);
+    std::set<std::pair<topo::AsIndex, topo::AsIndex>> seen;
+    for (const auto& [s, t] : pairs) {
+      EXPECT_LT(s, t);
+      seen.emplace(s, t);
+    }
+    EXPECT_EQ(seen.size(), max_pairs) << "every unordered pair exactly once";
+  }
+}
+
+TEST(PairSampling, DenseRequestTerminatesWithDistinctPairs) {
+  // Near saturation the helper switches to shuffle-truncate; the result is
+  // still distinct and exactly the requested size.
+  util::Rng rng{7};
+  const std::size_t n = 10;           // 45 possible pairs
+  const auto pairs = sample_distinct_pairs(rng, n, 40);
+  ASSERT_EQ(pairs.size(), 40u);
+  std::set<std::pair<topo::AsIndex, topo::AsIndex>> seen;
+  for (const auto& p : pairs) seen.insert(p);
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(PairSampling, DegenerateInputs) {
+  util::Rng rng{1};
+  EXPECT_TRUE(sample_distinct_pairs(rng, 0, 10).empty());
+  EXPECT_TRUE(sample_distinct_pairs(rng, 1, 10).empty());
+  EXPECT_TRUE(sample_distinct_pairs(rng, 10, 0).empty());
+}
+
+TEST(QualityExperiment, SaturatedSamplingFallsBackToFullEnumeration) {
+  // Regression for the quality experiment's old sampler: asking for at
+  // least as many pairs as exist must evaluate each pair exactly once.
+  const Scale s = tiny_scale();
+  const topo::Topology internet = build_internet(s);
+  const CoreNetworks nets = build_core_networks(s, internet);
+  const std::size_t n = nets.scion_view.as_count();
+  const std::size_t max_pairs = n * (n - 1) / 2;
+
+  QualityConfig config;
+  config.diversity_storage_limits = {15};
+  config.baseline_storage_limits = {};
+  config.include_bgp = false;
+  config.sampled_pairs = max_pairs + 10;  // more than exist
+  config.sim_duration = util::Duration::minutes(30);
+  config.seed = 3;
+  const QualityResult r =
+      run_quality_experiment(nets.bgp_view, nets.scion_view, config);
+
+  ASSERT_EQ(r.pairs.size(), max_pairs);
+  std::set<std::pair<topo::AsIndex, topo::AsIndex>> seen;
+  for (const auto& [a, b] : r.pairs) {
+    EXPECT_LT(a, b);
+    seen.emplace(a, b);
+  }
+  EXPECT_EQ(seen.size(), max_pairs) << "all pairs distinct";
 }
 
 TEST(QualityExperiment, SeriesBoundedByOptimum) {

@@ -300,6 +300,49 @@ TEST(SimlintRawOutput, AllowDirectiveSuppresses) {
           .empty());
 }
 
+// --- raw-thread --------------------------------------------------------------
+
+TEST(SimlintRawThread, FlagsThreadSpawningPrimitives) {
+  EXPECT_EQ(rules_of(lint_one("std::thread t{[] { work(); }};")),
+            std::vector<std::string>{"raw-thread"});
+  EXPECT_EQ(rules_of(lint_one("std::jthread t{[] { work(); }};")),
+            std::vector<std::string>{"raw-thread"});
+  EXPECT_EQ(rules_of(lint_one("auto f = std::async(std::launch::async, g);")),
+            std::vector<std::string>{"raw-thread"});
+  EXPECT_EQ(rules_of(lint_one("pthread_create(&tid, nullptr, fn, arg);")),
+            std::vector<std::string>{"raw-thread"});
+}
+
+TEST(SimlintRawThread, SynchronizationPrimitivesAreClean) {
+  // Mutexes/atomics coordinate pool workers; only spawning is flagged.
+  EXPECT_TRUE(lint_one("std::mutex mu;").empty());
+  EXPECT_TRUE(lint_one("std::condition_variable cv;").empty());
+  EXPECT_TRUE(lint_one("std::atomic<std::size_t> next{0};").empty());
+  EXPECT_TRUE(lint_one("thread_local MetricShard* t_shard = nullptr;").empty());
+  // An identifier merely containing "thread" is not a spawn.
+  EXPECT_TRUE(lint_one("pool.threads_.reserve(n);").empty());
+}
+
+TEST(SimlintRawThread, TaskPoolFilesAreExempt) {
+  // The pool is the sanctioned owner of worker threads.
+  EXPECT_TRUE(lint_one("std::thread t{[] { loop(); }};",
+                       "src/exec/task_pool.cpp")
+                  .empty());
+  EXPECT_TRUE(lint_one("std::vector<std::thread> threads_;",
+                       "src/exec/task_pool.hpp")
+                  .empty());
+  // Everything else stays covered.
+  EXPECT_EQ(rules_of(lint_one("std::thread t{[] { loop(); }};",
+                              "src/experiments/quality_experiment.cpp")),
+            std::vector<std::string>{"raw-thread"});
+}
+
+TEST(SimlintRawThread, AllowDirectiveSuppresses) {
+  EXPECT_TRUE(
+      lint_one("std::thread watchdog{[] {}};  // simlint:allow(raw-thread)\n")
+          .empty());
+}
+
 // --- comment handling --------------------------------------------------------
 
 TEST(SimlintComments, HazardsInCommentsAreIgnored) {

@@ -1,21 +1,35 @@
 #!/bin/sh
 # Runs every bench binary, headline figures first, capturing combined output
 # and collecting each binary's BENCH_<name>.json report into one directory.
-# Usage: tools/run_benches.sh [--checked] [output-file] [json-dir]
+# Usage: tools/run_benches.sh [--checked] [--jobs=N] [output-file] [json-dir]
 #
 # --checked runs the binaries from the build-checked tree (CMake preset
 # `checked`, SCION_MPR_CHECKED=ON) so every SCION_CHECK/SCION_DCHECK
 # invariant is live during the benchmark workloads — slower, but a full
 # soak of the hot-path assertions over realistic inputs.
+#
+# --jobs=N passes a worker-thread count through to every bench; results
+# are byte-identical for any N (the exec layer's determinism contract),
+# and the value is recorded in each BENCH json manifest.
 build_dir="build"
-if [ "$1" = "--checked" ]; then
-  build_dir="build-checked"
-  shift
-  if [ ! -d "$build_dir/bench" ]; then
-    echo "error: $build_dir not built; run: cmake --preset checked && cmake --build --preset checked" >&2
-    exit 1
-  fi
-fi
+jobs_flag=""
+while :; do
+  case "${1:-}" in
+    --checked)
+      build_dir="build-checked"
+      shift
+      if [ ! -d "$build_dir/bench" ]; then
+        echo "error: $build_dir not built; run: cmake --preset checked && cmake --build --preset checked" >&2
+        exit 1
+      fi
+      ;;
+    --jobs=*)
+      jobs_flag="$1"
+      shift
+      ;;
+    *) break ;;
+  esac
+done
 out="${1:-bench_output.txt}"
 json_dir="${2:-bench_out}"
 mkdir -p "$json_dir"
@@ -25,7 +39,8 @@ run_bench() {
   b="$1"
   name="$(basename "$b")"
   echo "=== $b ===" >> "$out"
-  "$b" "--bench-out=$json_dir/BENCH_${name#bench_}.json" >> "$out" 2>&1
+  # $jobs_flag is intentionally unquoted: empty means "no extra flag".
+  "$b" "--bench-out=$json_dir/BENCH_${name#bench_}.json" $jobs_flag >> "$out" 2>&1
   echo >> "$out"
 }
 

@@ -8,11 +8,13 @@
 //
 // Topologies are the plain-text format of topology/io.hpp, so generated
 // networks can be inspected, edited, and replayed.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
 #include "analysis/path_quality.hpp"
 #include "core/beaconing_sim.hpp"
+#include "exec/task_pool.hpp"
 #include "faults/fault_plan.hpp"
 #include "experiments/scale.hpp"
 #include "experiments/table1_experiment.hpp"
@@ -35,6 +37,9 @@ int usage() {
       "           [--faults=FILE]  fault scenario (see src/faults/fault_plan.hpp)\n"
       "  quality  --topology=FILE [--pairs=N] [--hours=N]\n"
       "  table1   [--isds=N] [--isd-size=N] [--minutes=N]\n"
+      "execution (any command):\n"
+      "  --jobs=N             worker threads for parallel experiment stages\n"
+      "                       (default 1; results are identical for any N)\n"
       "telemetry (any command):\n"
       "  --metrics-out=FILE   write metrics + run manifest as JSON\n"
       "  --trace-out=FILE     stream structured events as JSONL\n"
@@ -210,6 +215,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Flags flags{argc, argv};
+  exec::set_default_jobs(static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("jobs", 1))));
   obs::ObsSession session{
       "scion-mpr " + command, flags,
       static_cast<std::uint64_t>(flags.get_int("seed", 1))};

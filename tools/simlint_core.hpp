@@ -26,6 +26,13 @@
 //                   telemetry outputs; files under an obs/ directory are
 //                   the renderer itself and are exempt. stderr diagnostics
 //                   and snprintf string formatting are not flagged.
+//   raw-thread      raw threading primitives (std::thread, std::jthread,
+//                   std::async, pthread_create) outside the task pool.
+//                   Ad-hoc threads bypass the per-task telemetry captures
+//                   and substream seeding that keep parallel runs
+//                   byte-identical; all parallelism must flow through
+//                   exec::TaskPool / exec::parallel_map. Files whose stem
+//                   contains "task_pool" are the pool itself and exempt.
 //
 // Provably order-insensitive iteration (pure counting, erase-only sweeps)
 // is silenced in place with `// simlint:allow(<rule>)` on the offending
@@ -60,7 +67,8 @@ struct Finding {
 
 inline const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames{
-      "wall-clock", "std-rng", "unordered-iter", "float-accum", "raw-output"};
+      "wall-clock", "std-rng",    "unordered-iter",
+      "float-accum", "raw-output", "raw-thread"};
   return kNames;
 }
 
@@ -223,6 +231,10 @@ inline std::vector<Finding> Linter::run() const {
   // an explicit stdout stream count as terminal output.
   static const std::regex kRawOutput{
       R"(\bstd::cout\b|\bprintf\s*\(|\bputs\s*\(|\bfprintf\s*\(\s*stdout\b)"};
+  // std::mutex / condition_variable / atomic are fine (synchronization, not
+  // thread creation); only spawning primitives are flagged.
+  static const std::regex kRawThread{
+      R"(\bstd::(?:thread|jthread|async)\b|\bpthread_create\b)"};
 
   // Pass 1a: alias names are corpus-global (a `using` in one header types
   // members everywhere).
@@ -260,6 +272,8 @@ inline std::vector<Finding> Linter::run() const {
     // The obs renderer owns the sanctioned stdout sites.
     const bool obs_exempt = name.find("/obs/") != std::string::npos ||
                             name.rfind("obs/", 0) == 0;
+    // The task pool is the one sanctioned owner of worker threads.
+    const bool pool_exempt = stem.find("task_pool") != std::string::npos;
     std::set<std::string> unordered = global_unordered;
     std::set<std::string> floats;
     for (const auto& [s, id] : local_unordered) {
@@ -339,6 +353,11 @@ inline std::vector<Finding> Linter::run() const {
         report("raw-output",
                "direct stdout write; route results through the obs renderer "
                "(obs::print / obs::Table)");
+      }
+      if (!pool_exempt && std::regex_search(code_str, kRawThread)) {
+        report("raw-thread",
+               "raw thread primitive; route parallelism through "
+               "exec::TaskPool / exec::parallel_map");
       }
 
       bool flagged_iteration = false;
