@@ -18,7 +18,7 @@ namespace {
 
 struct VariantResult {
   std::string name;
-  std::uint64_t bytes{0};
+  util::Bytes bytes{};
   std::uint64_t pcbs{0};
   double fraction_of_optimal{0.0};
 };
@@ -110,7 +110,7 @@ obs::Table ablation_table() {
                 obs::Column{"PCBs", obs::Align::kRight, 10},
                 obs::Column{"capacity/optimal", obs::Align::kRight, 18}}};
   for (const auto& r : g_results) {
-    t.row({r.name, obs::fmt_u64(r.bytes), obs::fmt_u64(r.pcbs),
+    t.row({r.name, obs::fmt_u64(r.bytes.value()), obs::fmt_u64(r.pcbs),
            obs::fmt_f(r.fraction_of_optimal, 3)});
   }
   return t;
@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
         for (const auto& r : scion::exp::g_results) {
           report.scalar("capacity_of_optimal:" + r.name,
                         r.fraction_of_optimal);
-          report.scalar("bytes:" + r.name, static_cast<double>(r.bytes));
+          report.scalar("bytes:" + r.name, static_cast<double>(r.bytes.value()));
         }
       });
 }

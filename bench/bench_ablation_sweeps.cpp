@@ -16,7 +16,7 @@ namespace {
 
 struct SweepRow {
   std::string label;
-  std::uint64_t bytes{0};
+  util::Bytes bytes{};
   double fraction_of_optimal{0.0};
 };
 
@@ -110,7 +110,7 @@ obs::Table sweep_table() {
                 obs::Column{"bytes", obs::Align::kRight, 14},
                 obs::Column{"capacity/optimal", obs::Align::kRight, 18}}};
   for (const auto& r : g_rows) {
-    t.row({r.label, obs::fmt_u64(r.bytes),
+    t.row({r.label, obs::fmt_u64(r.bytes.value()),
            obs::fmt_f(r.fraction_of_optimal, 3)});
   }
   return t;
@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
         for (const auto& r : scion::exp::g_rows) {
           report.scalar("capacity_of_optimal:" + r.label,
                         r.fraction_of_optimal);
-          report.scalar("bytes:" + r.label, static_cast<double>(r.bytes));
+          report.scalar("bytes:" + r.label, static_cast<double>(r.bytes.value()));
         }
       });
 }

@@ -16,7 +16,7 @@ namespace {
 
 struct LatencyRunResult {
   std::string name;
-  std::uint64_t bytes{0};
+  util::Bytes bytes{};
   /// Mean over sampled pairs of the best (lowest) disseminated path
   /// latency, in milliseconds, estimated from the PCB metadata.
   double mean_best_latency_ms{0.0};
@@ -89,7 +89,7 @@ obs::Table latency_table() {
                 obs::Column{"best path (ms)", obs::Align::kRight, 18},
                 obs::Column{"all paths (ms)", obs::Align::kRight, 18}}};
   for (const auto& r : g_results) {
-    t.row({r.name, obs::fmt_u64(r.bytes), obs::fmt_f(r.mean_best_latency_ms, 2),
+    t.row({r.name, obs::fmt_u64(r.bytes.value()), obs::fmt_f(r.mean_best_latency_ms, 2),
            obs::fmt_f(r.mean_path_latency_ms, 2)});
   }
   return t;
@@ -97,8 +97,8 @@ obs::Table latency_table() {
 
 double metadata_cost_percent() {
   if (g_results.size() < 3) return 0.0;
-  return 100.0 * (static_cast<double>(g_results[0].bytes) /
-                      static_cast<double>(g_results[2].bytes) -
+  return 100.0 * (static_cast<double>(g_results[0].bytes.value()) /
+                      static_cast<double>(g_results[2].bytes.value()) -
                   1.0);
 }
 

@@ -57,19 +57,20 @@ ctrl::Pcb make_chain(std::size_t hops, crypto::KeyStore& keys, bool sign) {
   const IsdAsId origin = IsdAsId::make(1, 1);
   ctrl::Pcb pcb =
       sign ? ctrl::Pcb::originate(
-                 origin, 1, TimePoint::origin(), Duration::hours(6),
+                 origin, topo::IfId{1}, TimePoint::origin(), Duration::hours(6),
                  keys.key_for(origin.value()),
                  crypto::ForwardingKey::derive(origin.value(), kDomain))
-           : ctrl::Pcb::originate_unsigned(origin, 1, TimePoint::origin(),
+           : ctrl::Pcb::originate_unsigned(origin, topo::IfId{1},
+                                           TimePoint::origin(),
                                            Duration::hours(6));
   for (std::size_t i = 1; i < hops; ++i) {
     const IsdAsId as = IsdAsId::make(1, 1 + i);
     if (sign) {
       pcb = pcb.extend_signed(
-          as, 1, 2, {}, keys.key_for(as.value()),
+          as, topo::IfId{1}, topo::IfId{2}, {}, keys.key_for(as.value()),
           crypto::ForwardingKey::derive(as.value(), kDomain));
     } else {
-      pcb = pcb.extend_unsigned(as, 1, 2, {});
+      pcb = pcb.extend_unsigned(as, topo::IfId{1}, topo::IfId{2}, {});
     }
   }
   return pcb;
@@ -83,7 +84,7 @@ void BM_PcbExtendSigned(benchmark::State& state) {
   const crypto::SigningKey sk = keys.key_for(self.value());
   const auto fk = crypto::ForwardingKey::derive(self.value(), kDomain);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(base.extend_signed(self, 3, 4, {}, sk, fk));
+    benchmark::DoNotOptimize(base.extend_signed(self, topo::IfId{3}, topo::IfId{4}, {}, sk, fk));
   }
 }
 BENCHMARK(BM_PcbExtendSigned)->Arg(2)->Arg(5)->Arg(10);
@@ -94,7 +95,7 @@ void BM_PcbExtendUnsigned(benchmark::State& state) {
       make_chain(static_cast<std::size_t>(state.range(0)), keys, false);
   const IsdAsId self = IsdAsId::make(2, 999);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(base.extend_unsigned(self, 3, 4, {}));
+    benchmark::DoNotOptimize(base.extend_unsigned(self, topo::IfId{3}, topo::IfId{4}, {}));
   }
 }
 BENCHMARK(BM_PcbExtendUnsigned)->Arg(2)->Arg(5)->Arg(10);

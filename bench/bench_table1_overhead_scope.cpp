@@ -38,7 +38,7 @@ void BM_Table1ControlPlane(benchmark::State& state) {
         static_cast<double>(g_result->ledger.rows().size());
     state.counters["lookups"] = static_cast<double>(g_result->lookups);
     state.counters["total_bytes"] =
-        static_cast<double>(g_result->ledger.total_bytes());
+        static_cast<double>(g_result->ledger.total_bytes().value());
   }
 }
 BENCHMARK(BM_Table1ControlPlane)->Unit(benchmark::kSecond)->Iterations(1);
@@ -62,6 +62,6 @@ int main(int argc, char** argv) {
         report.scalar("paths_resolved",
                       static_cast<double>(g_result->paths_resolved));
         report.scalar("total_bytes",
-                      static_cast<double>(g_result->ledger.total_bytes()));
+                      static_cast<double>(g_result->ledger.total_bytes().value()));
       });
 }

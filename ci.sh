@@ -27,7 +27,21 @@ case "$preset" in
   checked) build_dir="build-checked" ;;
   *) build_dir="build" ;;
 esac
-"$build_dir/tools/simlint" src
+# Determinism + architecture lint: simulator sources, benches, and tools.
+# The observed module include graph lands in $build_dir/include_graph.dot
+# (deterministic DOT) for review against DESIGN.md's dependency table.
+"$build_dir/tools/simlint" --dot="$build_dir/include_graph.dot" src bench tools
+
+# clang-tidy gate (check set pinned by .clang-tidy at the repo root, run
+# against the compile database the configure step exports). Not every image
+# ships clang-tidy; the skip is loud so a runner that should have it cannot
+# silently lose the gate.
+if command -v clang-tidy >/dev/null 2>&1; then
+  find src -name '*.cpp' | sort | \
+    xargs clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*'
+else
+  echo "ci: WARNING: clang-tidy not found on PATH; skipping the clang-tidy gate" >&2
+fi
 
 obs_dir="$build_dir/obs_ci"
 mkdir -p "$obs_dir"
@@ -79,4 +93,4 @@ mkdir -p "$par_dir"
   --trace="$par_dir/trace.jsonl" --expect-cat=beacon,bgp \
   --bench="$par_dir/bench.json"
 
-echo "ci: $preset build, tests, simlint, fault smoke, parallel smoke, and telemetry artifacts all green"
+echo "ci: $preset build, tests, simlint (determinism + layering), fault smoke, parallel smoke, and telemetry artifacts all green"

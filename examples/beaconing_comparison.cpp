@@ -16,7 +16,7 @@ using namespace scion;
 namespace {
 
 struct RunSummary {
-  std::uint64_t bytes{0};
+  util::Bytes bytes{};
   std::uint64_t pcbs{0};
   double avg_paths_per_pair{0.0};
   double capacity_fraction{0.0};
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(baseline.pcbs),
               static_cast<unsigned long long>(diversity.pcbs));
   std::printf("%-26s %16llu %16llu\n", "control-plane bytes",
-              static_cast<unsigned long long>(baseline.bytes),
-              static_cast<unsigned long long>(diversity.bytes));
+              static_cast<unsigned long long>(baseline.bytes.value()),
+              static_cast<unsigned long long>(diversity.bytes.value()));
   std::printf("%-26s %16.1f %16.1f\n", "paths stored per pair",
               baseline.avg_paths_per_pair, diversity.avg_paths_per_pair);
   std::printf("%-26s %15.1f%% %15.1f%%\n", "capacity vs optimal",
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
               100 * diversity.capacity_fraction);
   std::printf("\noverhead reduction: %.1fx fewer bytes with the "
               "path-diversity-based algorithm\n",
-              static_cast<double>(baseline.bytes) /
-                  static_cast<double>(diversity.bytes));
+              static_cast<double>(baseline.bytes.value()) /
+                  static_cast<double>(diversity.bytes.value()));
   return 0;
 }

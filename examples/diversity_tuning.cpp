@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   std::printf("\nevaluated %zu parameter points "
               "(baseline reference: %llu bytes)\n",
               result.evaluated.size(),
-              static_cast<unsigned long long>(result.baseline_bytes));
+              static_cast<unsigned long long>(result.baseline_bytes.value()));
   std::printf("  %-7s %-7s %-7s %10s %12s %10s\n", "alpha", "beta", "gamma",
               "quality", "overhead", "objective");
   for (const ctrl::EvaluatedPoint& p : result.evaluated) {

@@ -69,7 +69,8 @@ int main() {
     const svc::DeployedLink link{link_config};
     std::printf("  %-22s %-14.4f %-14.0f %-16zu\n", to_string(model),
                 link.availability(0.01, 0.02),
-                link.scion_goodput_mbps(8'000, 0.9), link.wire_bytes(1500));
+                link.scion_goodput_mbps(8'000, 0.9),
+                link.wire_bytes(util::Bytes{1500}).value());
   }
   std::printf("\nwithout a queuing discipline, hostile IP traffic crowds "
               "SCION out of a shared link entirely:\n");

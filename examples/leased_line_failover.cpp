@@ -38,9 +38,9 @@ int main() {
   // Pick branches (first ISD) and data centers (second ISD).
   std::vector<topo::AsIndex> branches, data_centers;
   for (const topo::AsIndex leaf : control_plane.leaves()) {
-    if (world.as_id(leaf).isd() == 1 && branches.size() < 4) {
+    if (world.as_id(leaf).isd() == topo::IsdId{1} && branches.size() < 4) {
       branches.push_back(leaf);
-    } else if (world.as_id(leaf).isd() == 2 && data_centers.size() < 2) {
+    } else if (world.as_id(leaf).isd() == topo::IsdId{2} && data_centers.size() < 2) {
       data_centers.push_back(leaf);
     }
   }

@@ -64,14 +64,16 @@ int main() {
       const topo::LinkIndex l = path.links[i];
       char hop[64];
       std::snprintf(hop, sizeof hop, " %u>%u %s",
-                    world.interface_of(l, path.ases[i]),
-                    world.interface_of(l, path.ases[i + 1]),
+                    world.interface_of(l, path.ases[i]).value(),
+                    world.interface_of(l, path.ases[i + 1]).value(),
                     world.as_id(path.ases[i + 1]).to_string().c_str());
       rendered += hop;
     }
-    std::printf("  [%-12s] %zu hops, %3zu header bytes: %s\n",
+    std::printf("  [%-12s] %zu hops, %3llu header bytes: %s\n",
                 to_string(path.kind), path.length(),
-                svc::packet_header_bytes(path), rendered.c_str());
+                static_cast<unsigned long long>(
+                    svc::packet_header_bytes(path).value()),
+                rendered.c_str());
   }
   if (paths.empty()) {
     std::printf("no path found — beaconing has not converged?\n");

@@ -25,9 +25,9 @@ void print_stats(const char* name, const svc::SigStats& stats) {
               static_cast<unsigned long long>(stats.packets_delivered),
               static_cast<unsigned long long>(stats.packets_dropped_no_mapping),
               static_cast<unsigned long long>(stats.packets_dropped_no_path),
-              stats.bytes_in > 0
-                  ? static_cast<double>(stats.bytes_on_wire) /
-                        static_cast<double>(stats.bytes_in)
+              stats.bytes_in > util::Bytes::zero()
+                  ? static_cast<double>(stats.bytes_on_wire.value()) /
+                        static_cast<double>(stats.bytes_in.value())
                   : 0.0,
               static_cast<unsigned long long>(stats.path_resolutions),
               static_cast<unsigned long long>(stats.failovers));
@@ -54,10 +54,10 @@ int main() {
   // branch's provider (for the carrier-grade case).
   topo::AsIndex branch = topo::kInvalidAsIndex, dc = topo::kInvalidAsIndex;
   for (const topo::AsIndex leaf : control_plane.leaves()) {
-    if (world.as_id(leaf).isd() == 1 && branch == topo::kInvalidAsIndex) {
+    if (world.as_id(leaf).isd() == topo::IsdId{1} && branch == topo::kInvalidAsIndex) {
       branch = leaf;
     }
-    if (world.as_id(leaf).isd() == 2) dc = leaf;
+    if (world.as_id(leaf).isd() == topo::IsdId{2}) dc = leaf;
   }
   const topo::AsIndex provider =
       world.neighbor(world.provider_links(branch).front(), branch);
@@ -81,10 +81,10 @@ int main() {
   const std::uint32_t local_ip = svc::IpPrefix::parse("10.1.0.4")->address;
   const std::uint32_t internet_ip = svc::IpPrefix::parse("93.184.216.34")->address;
   for (int i = 0; i < 500; ++i) {
-    cpe_sig.send_ip_packet(dc_ip, 1200);
-    cgsig.send_ip_packet(dc_ip, 1200);
-    if (i % 5 == 0) cpe_sig.send_ip_packet(local_ip, 300);
-    if (i % 50 == 0) cpe_sig.send_ip_packet(internet_ip, 80);
+    cpe_sig.send_ip_packet(dc_ip, util::Bytes{1200});
+    cgsig.send_ip_packet(dc_ip, util::Bytes{1200});
+    if (i % 5 == 0) cpe_sig.send_ip_packet(local_ip, util::Bytes{300});
+    if (i % 50 == 0) cpe_sig.send_ip_packet(internet_ip, util::Bytes{80});
   }
 
   // A mid-run link failure: the SIGs fail over on the SCMP revocation
@@ -101,8 +101,8 @@ int main() {
     }
   }
   for (int i = 0; i < 200; ++i) {
-    cpe_sig.send_ip_packet(dc_ip, 1200);
-    cgsig.send_ip_packet(dc_ip, 1200);
+    cpe_sig.send_ip_packet(dc_ip, util::Bytes{1200});
+    cgsig.send_ip_packet(dc_ip, util::Bytes{1200});
   }
 
   print_stats("CPE SIG (case b)  ", cpe_sig.stats());

@@ -30,7 +30,7 @@ const char* to_string(Frequency f) {
 }
 
 void OverheadLedger::record(const std::string& component, Scope scope,
-                            std::uint64_t bytes, bool counts_as_operation) {
+                            util::Bytes bytes, bool counts_as_operation) {
   Row& row = rows_[component];
   row.component = component;
   ++row.messages;
@@ -72,8 +72,8 @@ std::vector<OverheadLedger::Row> OverheadLedger::rows() const {
   return out;
 }
 
-std::uint64_t OverheadLedger::total_bytes() const {
-  std::uint64_t total = 0;
+util::Bytes OverheadLedger::total_bytes() const {
+  util::Bytes total{};
   for (const auto& [name, row] : rows_) total += row.bytes;
   return total;
 }
@@ -91,7 +91,7 @@ obs::Table OverheadLedger::table(const std::string& title,
   for (const Row& row : rows()) {
     t.row({row.component, to_string(row.scope()),
            to_string(row.frequency(window, participants)),
-           obs::fmt_u64(row.messages), obs::fmt_u64(row.bytes)});
+           obs::fmt_u64(row.messages), obs::fmt_u64(row.bytes.value())});
   }
   return t;
 }
@@ -101,10 +101,10 @@ void OverheadLedger::print(const std::string& title, util::Duration window,
   obs::print(table(title, window, participants).to_text());
 }
 
-double extrapolate_to_month(std::uint64_t bytes, util::Duration window) {
+double extrapolate_to_month(util::Bytes bytes, util::Duration window) {
   SCION_CHECK(window > util::Duration::zero(), "measurement window must be positive");
   const double month_hours = 30.0 * 24.0;
-  return static_cast<double>(bytes) * (month_hours / window.as_hours());
+  return static_cast<double>(bytes.value()) * (month_hours / window.as_hours());
 }
 
 }  // namespace scion::analysis

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/time.hpp"
+#include "util/types.hpp"
 
 namespace scion::obs {
 class Table;
@@ -37,7 +38,7 @@ class OverheadLedger {
   /// operation of the component; pass `counts_as_operation = false` for
   /// components whose operation granularity is coarser than its messages
   /// (one beaconing interval emits many PCBs) and use record_operation().
-  void record(const std::string& component, Scope scope, std::uint64_t bytes,
+  void record(const std::string& component, Scope scope, util::Bytes bytes,
               bool counts_as_operation = true);
 
   /// Records one operation occurrence without bytes (e.g. one beaconing
@@ -48,7 +49,7 @@ class OverheadLedger {
     std::string component;
     std::uint64_t messages{0};
     std::uint64_t operations{0};
-    std::uint64_t bytes{0};
+    util::Bytes bytes{};
     std::uint64_t messages_by_scope[3]{0, 0, 0};
     /// Widest scope observed for this component.
     Scope scope() const;
@@ -58,7 +59,7 @@ class OverheadLedger {
   };
 
   std::vector<Row> rows() const;
-  std::uint64_t total_bytes() const;
+  util::Bytes total_bytes() const;
 
   /// The measured scope/frequency table, ready for text or JSON rendering.
   obs::Table table(const std::string& title, util::Duration window,
@@ -74,6 +75,6 @@ class OverheadLedger {
 
 /// Scales a byte count measured over `window` to a 30-day month (Fig. 5
 /// leverages the periodicity of announcements the same way).
-double extrapolate_to_month(std::uint64_t bytes, util::Duration window);
+double extrapolate_to_month(util::Bytes bytes, util::Duration window);
 
 }  // namespace scion::analysis

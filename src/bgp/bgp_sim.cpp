@@ -23,9 +23,11 @@ constexpr std::uint64_t kFaultSeedMix = 0x9E3779B97F4A7C15ULL;
 
 BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
     : topology_{topology}, config_{config}, net_{sim_}, rng_{config.seed} {
-  // Nodes.
+  // Nodes (NodeId == AsIndex by construction).
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.add_node(topology_.as_id(i).to_string());
+    const sim::NodeId node = net_.add_node(topology_.as_id(i).to_string());
+    SCION_CHECK(node == node_of(i), "node ids must mirror AS indices");
+    (void)node;
   }
   busy_until_.assign(topology_.as_count(), util::TimePoint::origin());
 
@@ -37,7 +39,8 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
     if (channel_by_pair_.contains(key)) continue;
     const auto latency = util::Duration::nanoseconds(rng_.uniform_int(
         config_.min_latency.ns(), config_.max_latency.ns()));
-    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
+    const sim::ChannelId ch =
+        net_.add_channel(node_of(link.a), node_of(link.b), latency);
     channel_by_pair_.emplace(key, ch);
     adjacencies_.push_back(Adjacency{std::min(link.a, link.b),
                                      std::max(link.a, link.b), ch});
@@ -57,7 +60,7 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
     auto send = [this, i](topo::AsIndex neighbor, const BgpUpdateMsg& msg) {
       const auto it = channel_by_pair_.find(pair_key(i, neighbor));
       SCION_CHECK(it != channel_by_pair_.end(), "no channel for adjacency");
-      net_.send(it->second, i, update_wire_size(msg), msg);
+      net_.send(it->second, node_of(i), update_wire_size(msg), msg);
     };
     auto schedule = [this](util::Duration delay, std::function<void()> fn) {
       sim_.schedule_after(delay, std::move(fn));
@@ -69,7 +72,8 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
 
   // Delivery with per-speaker serial processing delay.
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.set_handler(i, [this, i](const sim::Message& msg) { deliver(i, msg); });
+    net_.set_handler(node_of(i),
+                     [this, i](const sim::Message& msg) { deliver(i, msg); });
   }
 
   // Origins: all ASes, or a uniform sample for memory-bounded runs.
@@ -148,8 +152,8 @@ void BgpSim::deliver(topo::AsIndex to, const sim::Message& msg) {
       std::max(sim_.now(), busy_until_[to]) + config_.processing_delay;
   busy_until_[to] = start;
   const auto update = std::any_cast<BgpUpdateMsg>(msg.payload);
-  const topo::AsIndex from = msg.from;
-  SCION_METRIC_OBSERVE("bgp.update_wire_bytes", update_wire_size(update));
+  const topo::AsIndex from = as_of(msg.from);
+  SCION_METRIC_OBSERVE("bgp.update_wire_bytes", update_wire_size(update).value());
   sim_.schedule_at(start, [this, to, from, update] {
     SCION_TRACE(obs::Category::kBgp, sim_.now(), "update", {"to", to},
                 {"from", from}, {"announced", update.announced.size()},
@@ -158,7 +162,7 @@ void BgpSim::deliver(topo::AsIndex to, const sim::Message& msg) {
       const auto it = monitors_.find(to);
       if (it != monitors_.end()) {
         ++it->second.raw_messages;
-        it->second.raw_bytes += update_wire_size(update);
+        it->second.raw_bytes += update_wire_size(update).value();
         account(to, update);
       }
     }
@@ -170,7 +174,7 @@ void BgpSim::account(topo::AsIndex monitor, const BgpUpdateMsg& msg) {
   MonitorAccount& acc = monitors_.at(monitor);
   const std::size_t events = msg.announced.size() + msg.withdrawn.size();
   if (events == 0) return;
-  const std::size_t size = update_wire_size(msg);
+  const std::size_t size = update_wire_size(msg).value();
   const double fixed_share =
       (static_cast<double>(size) -
        static_cast<double>(events) * kBgpPrefixBytes) /
@@ -235,9 +239,9 @@ double BgpSim::monthly_bgp_bytes(
   // pc / kPrefixesPerRealUpdate updates, each carrying the fixed parts
   // (header + attributes, path-length dependent) plus its share of NLRI.
   const double fixed_base =
-      static_cast<double>(bgp_update_size(0, 1, 0) - kBgpPrefixBytes);
+      static_cast<double>(bgp_update_size(0, 1, 0).value() - kBgpPrefixBytes);
   const double withdrawal_fixed =
-      static_cast<double>(bgp_update_size(0, 0, 1) - kBgpPrefixBytes);
+      static_cast<double>(bgp_update_size(0, 0, 1).value() - kBgpPrefixBytes);
   double bytes = 0.0;
   for (const auto& [origin, o] : acc.per_origin) {
     const double pc = static_cast<double>(prefix_counts[origin]);
@@ -258,7 +262,7 @@ double BgpSim::monthly_bgpsec_bytes(
   const MonitorAccount& acc = monitors_.at(monitor);
   double bytes = 0.0;
   const double fixed =
-      static_cast<double>(bgpsec_update_size(0));
+      static_cast<double>(bgpsec_update_size(0).value());
   const double per_hop = static_cast<double>(
       kBgpsecSecurePathSegmentBytes + kBgpsecSignatureSegmentBytes);
   for (const auto& [origin, o] : acc.per_origin) {
@@ -267,7 +271,7 @@ double BgpSim::monthly_bgpsec_bytes(
     bytes += pc * (static_cast<double>(o.announce_events) * fixed +
                    static_cast<double>(o.path_len_sum) * per_hop +
                    static_cast<double>(o.withdraw_events) *
-                       static_cast<double>(bgpsec_withdrawal_size()));
+                       static_cast<double>(bgpsec_withdrawal_size().value()));
   }
   return bytes * accounting_scale();
 }

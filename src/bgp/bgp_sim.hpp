@@ -110,6 +110,12 @@ class BgpSim {
   const faults::FaultInjector& injector() const { return *injector_; }
 
  private:
+  // Node ids mirror AS indices by construction (asserted in the
+  // constructor); channels do NOT mirror links here — one BGP session
+  // channel serves each distinct adjacency (see channel_by_pair_).
+  static sim::NodeId node_of(topo::AsIndex i) { return sim::NodeId{i}; }
+  static topo::AsIndex as_of(sim::NodeId n) { return n.value(); }
+
   void deliver(topo::AsIndex to, const sim::Message& msg);
   void account(topo::AsIndex monitor, const BgpUpdateMsg& msg);
   void on_link_down(topo::LinkIndex l);

@@ -2,7 +2,7 @@
 
 namespace scion::bgp {
 
-std::size_t bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
+util::Bytes bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
                             std::size_t n_withdrawn) {
   std::size_t size = kBgpHeaderBytes + kBgpLengthFieldsBytes;
   if (n_prefixes > 0) {
@@ -11,24 +11,24 @@ std::size_t bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
             n_prefixes * kBgpPrefixBytes;
   }
   size += n_withdrawn * kBgpPrefixBytes;
-  return size;
+  return util::Bytes{size};
 }
 
-std::size_t bgpsec_update_size(std::size_t as_path_len) {
-  return kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpOriginAttrBytes +
+util::Bytes bgpsec_update_size(std::size_t as_path_len) {
+  return util::Bytes{kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpOriginAttrBytes +
          kBgpNextHopAttrBytes + kBgpExtraAttrBytes +
          kBgpsecSecurePathHeaderBytes +
          kBgpsecSignatureBlockHeaderBytes +
          as_path_len *
              (kBgpsecSecurePathSegmentBytes + kBgpsecSignatureSegmentBytes) +
-         kBgpPrefixBytes;
+         kBgpPrefixBytes};
 }
 
-std::size_t bgpsec_withdrawal_size() {
-  return kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpPrefixBytes;
+util::Bytes bgpsec_withdrawal_size() {
+  return util::Bytes{kBgpHeaderBytes + kBgpLengthFieldsBytes + kBgpPrefixBytes};
 }
 
-std::size_t update_wire_size(const BgpUpdateMsg& msg) {
+util::Bytes update_wire_size(const BgpUpdateMsg& msg) {
   const std::size_t path_len = msg.path ? msg.path->size() : 0;
   return bgp_update_size(path_len, msg.announced.size(), msg.withdrawn.size());
 }

@@ -70,15 +70,15 @@ inline constexpr std::size_t kBgpsecSignatureSegmentBytes = 20 + 2 + 96;
 
 /// Size of a BGP UPDATE announcing `n_prefixes` over a path of
 /// `as_path_len` hops and withdrawing `n_withdrawn`.
-std::size_t bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
+util::Bytes bgp_update_size(std::size_t as_path_len, std::size_t n_prefixes,
                             std::size_t n_withdrawn);
 
 /// Size of a BGPsec UPDATE for a single prefix over `as_path_len` hops.
-std::size_t bgpsec_update_size(std::size_t as_path_len);
+util::Bytes bgpsec_update_size(std::size_t as_path_len);
 
 /// Size of a BGPsec withdrawal (unsigned, like plain BGP).
-std::size_t bgpsec_withdrawal_size();
+util::Bytes bgpsec_withdrawal_size();
 
-std::size_t update_wire_size(const BgpUpdateMsg& msg);
+util::Bytes update_wire_size(const BgpUpdateMsg& msg);
 
 }  // namespace scion::bgp

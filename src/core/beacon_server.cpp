@@ -18,7 +18,7 @@ std::uint64_t origin_path_key(topo::IsdAsId origin, topo::IfId out_if) {
   crypto::Sha256 h;
   h.update("scion-mpr/origin-path-key/v1");
   h.update_u64(origin.value());
-  h.update_u16(out_if);
+  h.update_u16(out_if.value());
   return h.finalize().prefix64();
 }
 
@@ -191,7 +191,7 @@ void BeaconServer::send_origin_pcb(topo::LinkIndex egress, TimePoint now) {
   stats_.bytes_sent += pcb->wire_size();
   SCION_METRIC_COUNT("beacon.pcbs_originated", 1);
   SCION_METRIC_COUNT("beacon.pcbs_sent", 1);
-  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size());
+  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size().value());
   SCION_TRACE(obs::Category::kBeacon, now, "originate",
               {"as", self_id_.to_string()}, {"egress_if", out_if});
   send_(egress, pcb);
@@ -275,7 +275,7 @@ void BeaconServer::send_extended(const StoredPcb& stored,
   ++stats_.pcbs_sent;
   stats_.bytes_sent += pcb->wire_size();
   SCION_METRIC_COUNT("beacon.pcbs_sent", 1);
-  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size());
+  SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size().value());
   SCION_TRACE(obs::Category::kBeacon, now, "propagate",
               {"as", self_id_.to_string()},
               {"origin", stored.pcb->origin().to_string()},

@@ -66,9 +66,9 @@ struct BeaconServerConfig {
 
 struct BeaconServerStats {
   std::uint64_t pcbs_received{0};
-  std::uint64_t bytes_received{0};
+  util::Bytes bytes_received{};
   std::uint64_t pcbs_sent{0};
-  std::uint64_t bytes_sent{0};
+  util::Bytes bytes_sent{};
   std::uint64_t pcbs_originated{0};
   std::uint64_t loops_dropped{0};
   std::uint64_t verify_failures{0};

@@ -21,17 +21,21 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
     : topology_{topology}, config_{config}, net_{sim_} {
   util::Rng rng{config_.seed};
 
-  // Nodes and channels. Channels are created in link order, so ChannelId
-  // and LinkIndex coincide; the assert below pins that invariant.
+  // Nodes and channels. Nodes are created in AS-index order and channels in
+  // link order, so node_of()/channel_of() are identity mappings; the asserts
+  // below pin that invariant.
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.add_node(topology_.as_id(i).to_string());
+    const sim::NodeId node = net_.add_node(topology_.as_id(i).to_string());
+    SCION_CHECK(node == node_of(i), "node ids must mirror AS indices");
+    (void)node;
   }
   for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
     const topo::Link& link = topology_.link(l);
     const auto latency = util::Duration::nanoseconds(rng.uniform_int(
         config_.min_latency.ns(), config_.max_latency.ns()));
-    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
-    SCION_CHECK(ch == l, "channel ids must mirror link indices");
+    const sim::ChannelId ch =
+        net_.add_channel(node_of(link.a), node_of(link.b), latency);
+    SCION_CHECK(ch == channel_of(l), "channel ids must mirror link indices");
     (void)ch;
   }
 
@@ -42,14 +46,13 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
   if (server_config.include_latency_metadata && !server_config.link_latency_us) {
     // Each AS "measures" its links: expose the simulated channel latency.
     server_config.link_latency_us = [this](topo::LinkIndex l) {
-      return static_cast<std::uint32_t>(
-          net_.latency(static_cast<sim::ChannelId>(l)).ns() / 1000);
+      return static_cast<std::uint32_t>(net_.latency(channel_of(l)).ns() / 1000);
     };
   }
   servers_.reserve(topology_.as_count());
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
     auto send = [this, i](topo::LinkIndex egress, const PcbRef& pcb) {
-      net_.send(static_cast<sim::ChannelId>(egress), i, pcb->wire_size(), pcb);
+      net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb);
     };
     servers_.push_back(std::make_unique<BeaconServer>(
         topology_, i, server_config, *keys_, kKeyDomainSeed, std::move(send)));
@@ -57,10 +60,9 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
 
   // Delivery: the channel id is the ingress link.
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.set_handler(i, [this, i](const sim::Message& msg) {
+    net_.set_handler(node_of(i), [this, i](const sim::Message& msg) {
       const auto& pcb = std::any_cast<const PcbRef&>(msg.payload);
-      servers_[i]->handle_pcb(pcb, static_cast<topo::LinkIndex>(msg.channel),
-                              sim_.now());
+      servers_[i]->handle_pcb(pcb, link_of(msg.channel), sim_.now());
     });
   }
 
@@ -110,8 +112,7 @@ std::vector<InterfaceUsage> BeaconingSim::interface_usage() const {
   for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
     const topo::Link& link = topology_.link(l);
     for (const topo::AsIndex from : {link.a, link.b}) {
-      const sim::DirectionStats& s =
-          net_.stats_from(static_cast<sim::ChannelId>(l), from);
+      const sim::DirectionStats& s = net_.stats_from(channel_of(l), node_of(from));
       out.push_back(InterfaceUsage{l, from, s.messages, s.bytes});
     }
   }

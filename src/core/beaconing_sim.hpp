@@ -39,7 +39,7 @@ struct InterfaceUsage {
   topo::LinkIndex link{topo::kInvalidLinkIndex};
   topo::AsIndex from{topo::kInvalidAsIndex};
   std::uint64_t messages{0};
-  std::uint64_t bytes{0};
+  util::Bytes bytes{};
 };
 
 class BeaconingSim {
@@ -62,7 +62,7 @@ class BeaconingSim {
   std::vector<InterfaceUsage> interface_usage() const;
 
   /// Total PCB bytes sent network-wide.
-  std::uint64_t total_bytes() const { return net_.total_bytes_all(); }
+  util::Bytes total_bytes() const { return net_.total_bytes_all(); }
 
   /// Total PCBs sent network-wide.
   std::uint64_t total_pcbs_sent() const;
@@ -76,6 +76,17 @@ class BeaconingSim {
                                                      topo::IsdAsId origin) const;
 
  private:
+  /// Identity mappings between topology handles and simnet handles, pinned
+  /// by construction-time asserts: nodes are added in AS-index order and
+  /// channels in link order. All AsIndex/LinkIndex <-> NodeId/ChannelId
+  /// crossings go through these, so the conversion is auditable in one
+  /// place instead of scattered casts.
+  static sim::NodeId node_of(topo::AsIndex i) { return sim::NodeId{i}; }
+  static sim::ChannelId channel_of(topo::LinkIndex l) {
+    return sim::ChannelId{l};
+  }
+  static topo::LinkIndex link_of(sim::ChannelId ch) { return ch.value(); }
+
   const topo::Topology& topology_;
   BeaconingSimConfig config_;
   sim::Simulator sim_;

@@ -9,8 +9,8 @@ namespace scion::ctrl {
 
 namespace {
 
-std::uint64_t run_bytes(const topo::Topology& scion_view,
-                        const BeaconingSimConfig& config) {
+util::Bytes run_bytes(const topo::Topology& scion_view,
+                      const BeaconingSimConfig& config) {
   BeaconingSim sim{scion_view, config};
   sim.run();
   return sim.total_bytes();
@@ -29,7 +29,7 @@ BeaconingSimConfig base_config(const GridSearchConfig& config) {
 EvaluatedPoint evaluate_diversity_params(const topo::Topology& scion_view,
                                          const DiversityParams& params,
                                          const GridSearchConfig& config,
-                                         std::uint64_t baseline_bytes) {
+                                         util::Bytes baseline_bytes) {
   BeaconingSimConfig c = base_config(config);
   c.server.algorithm = AlgorithmKind::kDiversity;
   c.server.store_policy = StorePolicy::kDiversityAware;
@@ -54,9 +54,11 @@ EvaluatedPoint evaluate_diversity_params(const topo::Topology& scion_view,
   EvaluatedPoint point;
   point.params = params;
   point.quality = optimal > 0 ? achieved / optimal : 0.0;
-  point.overhead = baseline_bytes > 0 ? static_cast<double>(sim.total_bytes()) /
-                                            static_cast<double>(baseline_bytes)
-                                      : 0.0;
+  point.overhead =
+      baseline_bytes > util::Bytes::zero()
+          ? static_cast<double>(sim.total_bytes().value()) /
+                static_cast<double>(baseline_bytes.value())
+          : 0.0;
   point.objective = point.quality - config.overhead_weight * point.overhead;
   return point;
 }

@@ -46,14 +46,14 @@ struct EvaluatedPoint {
 struct GridSearchResult {
   EvaluatedPoint best;
   std::vector<EvaluatedPoint> evaluated;  // in evaluation order
-  std::uint64_t baseline_bytes{0};
+  util::Bytes baseline_bytes{};
 };
 
 /// Evaluates one parameter point (exposed for tests and examples).
 EvaluatedPoint evaluate_diversity_params(const topo::Topology& scion_view,
                                          const DiversityParams& params,
                                          const GridSearchConfig& config,
-                                         std::uint64_t baseline_bytes);
+                                         util::Bytes baseline_bytes);
 
 /// Runs the coarse exponential pass followed by the linear refinement.
 GridSearchResult grid_search_diversity_params(const topo::Topology& scion_view,

@@ -9,14 +9,14 @@ namespace {
 /// Serializes the signed fields of an entry into a hasher.
 void hash_entry_fields(crypto::Sha256& h, const AsEntry& e) {
   h.update_u64(e.isd_as.value());
-  h.update_u16(e.in_if);
-  h.update_u16(e.out_if);
+  h.update_u16(e.in_if.value());
+  h.update_u16(e.out_if.value());
   h.update_u32(e.ingress_latency_us);
   h.update(std::span<const std::uint8_t>{e.hop_mac.data(), e.hop_mac.size()});
   h.update_u16(static_cast<std::uint16_t>(e.peers.size()));
   for (const PeerEntry& p : e.peers) {
     h.update_u64(p.peer_as.value());
-    h.update_u16(p.peer_if);
+    h.update_u16(p.peer_if.value());
     h.update(std::span<const std::uint8_t>{p.hop_mac.data(), p.hop_mac.size()});
   }
 }
@@ -36,7 +36,7 @@ Pcb Pcb::originate(IsdAsId origin, IfId out_if, TimePoint timestamp,
   entry.isd_as = origin;
   entry.in_if = topo::kNoInterface;
   entry.out_if = out_if;
-  entry.hop_mac = crypto::hop_mac(forwarding_key, entry.in_if, entry.out_if,
+  entry.hop_mac = crypto::hop_mac(forwarding_key, entry.in_if.value(), entry.out_if.value(),
                                   expiry_unix(pcb.expiry_), crypto::HopMac{});
   entry.signature = crypto::sign(signing_key, pcb.signing_digest(entry));
   pcb.entries_.push_back(std::move(entry));
@@ -75,14 +75,14 @@ bool Pcb::contains_as(IsdAsId as) const {
   return false;
 }
 
-std::size_t Pcb::wire_size() const {
+util::Bytes Pcb::wire_size() const {
   std::size_t size = kPcbHeaderBytes;
   for (const AsEntry& e : entries_) {
     size += kAsEntryFixedBytes + crypto::kSignatureBytes +
             e.peers.size() * kPeerEntryBytes;
     if (carries_latency_) size += kLatencyMetadataBytes;
   }
-  return size;
+  return util::Bytes{size};
 }
 
 std::uint64_t Pcb::total_latency_us() const {
@@ -130,12 +130,12 @@ Pcb Pcb::extend_signed(IsdAsId as, IfId in_if, IfId out_if,
   entry.out_if = out_if;
   entry.ingress_latency_us = ingress_latency_us;
   entry.peers = std::move(peers);
-  entry.hop_mac = crypto::hop_mac(forwarding_key, in_if, out_if,
+  entry.hop_mac = crypto::hop_mac(forwarding_key, in_if.value(), out_if.value(),
                                   expiry_unix(expiry_), entries_.back().hop_mac);
   // Peer hop fields authorize entering this AS over the peering interface
   // instead of in_if; their MACs chain off the same predecessor.
   for (PeerEntry& p : entry.peers) {
-    p.hop_mac = crypto::hop_mac(forwarding_key, p.peer_if, out_if,
+    p.hop_mac = crypto::hop_mac(forwarding_key, p.peer_if.value(), out_if.value(),
                                 expiry_unix(expiry_), entries_.back().hop_mac);
   }
   entry.signature = crypto::sign(signing_key, signing_digest(entry));
@@ -158,8 +158,8 @@ std::uint64_t Pcb::path_key() const {
   h.update("scion-mpr/path-key/v1");
   for (const AsEntry& e : entries_) {
     h.update_u64(e.isd_as.value());
-    h.update_u16(e.in_if);
-    h.update_u16(e.out_if);
+    h.update_u16(e.in_if.value());
+    h.update_u16(e.out_if.value());
   }
   return h.finalize().prefix64();
 }

@@ -113,7 +113,7 @@ class Pcb {
   std::uint64_t total_latency_us() const;
 
   /// Total bytes on the wire.
-  std::size_t wire_size() const;
+  util::Bytes wire_size() const;
 
   /// Returns a copy extended by `next`: the AS `next.isd_as` appends its
   /// entry (signature must already be filled by the caller via

@@ -41,7 +41,7 @@ ScionLabResult run_scionlab_experiment(const Scale& scale) {
   sim.run();
   const double seconds = c.sim_duration.as_seconds();
   for (const ctrl::InterfaceUsage& usage : sim.interface_usage()) {
-    result.bandwidth.add(static_cast<double>(usage.bytes) / seconds);
+    result.bandwidth.add(static_cast<double>(usage.bytes.value()) / seconds);
   }
   result.fraction_below_4kbps = result.bandwidth.fraction_at_most(4000.0);
   return result;

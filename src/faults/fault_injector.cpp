@@ -30,7 +30,7 @@ std::size_t FaultInjector::link_count() const {
 
 sim::ChannelId FaultInjector::channel_of(topo::LinkIndex link) const {
   if (hooks_.channel_of_link) return hooks_.channel_of_link(link);
-  return static_cast<sim::ChannelId>(link);
+  return sim::ChannelId{link};
 }
 
 void FaultInjector::arm(TimePoint until) {
@@ -41,7 +41,8 @@ void FaultInjector::arm(TimePoint until) {
       !plan_.flaps.empty()) {
     net_.set_fault_rng(&rng_);
   }
-  for (sim::ChannelId ch = 0; ch < net_.channel_count(); ++ch) {
+  for (std::uint32_t c = 0; c < net_.channel_count(); ++c) {
+    const sim::ChannelId ch{c};
     if (plan_.loss_probability > 0.0) {
       net_.set_loss_probability(ch, plan_.loss_probability);
     }
@@ -80,14 +81,15 @@ void FaultInjector::run_event(const Event& ev) {
       break;
     case Event::Kind::kNodeDown:
       if (ev.target >= net_.node_count()) return skip_event(ev);
-      inject_node_down(ev.target, ev.duration);
+      inject_node_down(sim::NodeId{ev.target}, ev.duration);
       break;
     case Event::Kind::kNodeUp:
       if (ev.target >= net_.node_count()) return skip_event(ev);
-      inject_node_up(ev.target);
+      inject_node_up(sim::NodeId{ev.target});
       break;
     case Event::Kind::kIsdPartition:
-      partition_isd(ev.target, ev.duration);
+      partition_isd(topo::IsdId{static_cast<std::uint16_t>(ev.target)},
+                    ev.duration);
       break;
   }
 }
@@ -111,7 +113,7 @@ void FaultInjector::inject_link_up(topo::LinkIndex link) {
 }
 
 void FaultInjector::inject_node_down(sim::NodeId node, Duration downtime) {
-  SCION_CHECK(node < node_depth_.size(), "node id out of range");
+  SCION_CHECK(node.value() < node_depth_.size(), "node id out of range");
   ++stats_.node_down_events;
   SCION_METRIC_COUNT("faults.node_down", 1);
   SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "node_down",
@@ -124,7 +126,7 @@ void FaultInjector::inject_node_down(sim::NodeId node, Duration downtime) {
 }
 
 void FaultInjector::inject_node_up(sim::NodeId node) {
-  SCION_CHECK(node < node_depth_.size(), "node id out of range");
+  SCION_CHECK(node.value() < node_depth_.size(), "node id out of range");
   node_down_unref(node);
 }
 
@@ -133,7 +135,7 @@ bool FaultInjector::link_up(topo::LinkIndex link) const {
   return link_depth_[link] == 0;
 }
 
-void FaultInjector::partition_isd(std::uint32_t isd, Duration duration) {
+void FaultInjector::partition_isd(topo::IsdId isd, Duration duration) {
   SCION_CHECK(topology_ != nullptr,
               "isd-partition requires a topology-aware injector");
   ++stats_.partitions;
@@ -209,8 +211,8 @@ void FaultInjector::link_down_ref(topo::LinkIndex link) {
   if (++link_depth_[link] != 1) return;  // already down via another outage
   down_since_[link] = net_.simulator().now();
   const sim::ChannelId ch = channel_of(link);
-  SCION_CHECK(ch < channel_depth_.size(), "channel id out of range");
-  if (++channel_depth_[ch] == 1) net_.set_channel_up(ch, false);
+  SCION_CHECK(ch.value() < channel_depth_.size(), "channel id out of range");
+  if (++channel_depth_[ch.value()] == 1) net_.set_channel_up(ch, false);
   if (hooks_.on_link_down) hooks_.on_link_down(link);
 }
 
@@ -218,7 +220,7 @@ void FaultInjector::link_down_unref(topo::LinkIndex link) {
   if (link_depth_[link] == 0) return;  // saturating: spurious restore
   if (--link_depth_[link] != 0) return;  // another outage still holds it
   const sim::ChannelId ch = channel_of(link);
-  if (--channel_depth_[ch] == 0) net_.set_channel_up(ch, true);
+  if (--channel_depth_[ch.value()] == 0) net_.set_channel_up(ch, true);
   ++stats_.link_up_events;
   SCION_METRIC_COUNT("faults.link_up", 1);
   // The realized blackout of this link across all overlapping outages.
@@ -232,14 +234,14 @@ void FaultInjector::link_down_unref(topo::LinkIndex link) {
 }
 
 void FaultInjector::node_down_ref(sim::NodeId node) {
-  if (++node_depth_[node] != 1) return;
+  if (++node_depth_[node.value()] != 1) return;
   net_.set_node_up(node, false);
   if (hooks_.on_node_down) hooks_.on_node_down(node);
 }
 
 void FaultInjector::node_down_unref(sim::NodeId node) {
-  if (node_depth_[node] == 0) return;
-  if (--node_depth_[node] != 0) return;
+  if (node_depth_[node.value()] == 0) return;
+  if (--node_depth_[node.value()] != 0) return;
   net_.set_node_up(node, true);
   ++stats_.node_up_events;
   SCION_METRIC_COUNT("faults.node_up", 1);

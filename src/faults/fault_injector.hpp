@@ -97,7 +97,7 @@ class FaultInjector {
   void start_flap_process(const FlapProcess& flap, util::TimePoint until);
   void fire_flap(std::size_t flap_idx, util::TimePoint until);
   std::vector<topo::LinkIndex> flap_candidates(LinkClass link_class) const;
-  void partition_isd(std::uint32_t isd, util::Duration duration);
+  void partition_isd(topo::IsdId isd, util::Duration duration);
 
   /// Reference-counted down state; hooks fire on 0->1 / 1->0 transitions.
   void link_down_ref(topo::LinkIndex link);

@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "util/time.hpp"
+#include "util/types.hpp"
 
 namespace scion::obs {
 
@@ -60,6 +61,11 @@ struct TraceField {
   template <std::floating_point T>
   TraceField(std::string_view k, T v)
       : key{k}, kind{Kind::kDouble}, d{static_cast<double>(v)} {}
+
+  /// Strong ids and byte quantities render as their raw representation, so
+  /// retrofitting a field to a strong type never changes the JSONL output.
+  template <util::StrongValueType T>
+  TraceField(std::string_view k, const T& v) : TraceField{k, v.value()} {}
 
   TraceField(std::string_view k, bool v) : key{k}, kind{Kind::kBool}, b{v} {}
   TraceField(std::string_view k, std::string_view v)

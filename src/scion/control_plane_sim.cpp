@@ -24,28 +24,33 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
   keys_ = std::make_unique<crypto::KeyStore>(kKeyDomain);
   dataplane_ = std::make_unique<DataPlane>(topology_, kKeyDomain);
 
-  // Nodes + channels (ChannelId == LinkIndex).
+  // Nodes + channels (NodeId == AsIndex, ChannelId == LinkIndex by
+  // construction; node_of()/channel_of() spell the mapping out).
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.add_node(topology_.as_id(i).to_string());
+    const sim::NodeId node = net_.add_node(topology_.as_id(i).to_string());
+    SCION_CHECK(node == node_of(i), "node ids must mirror AS indices");
+    (void)node;
   }
   for (topo::LinkIndex l = 0; l < topology_.link_count(); ++l) {
     const topo::Link& link = topology_.link(l);
     const auto latency =
         util::Duration::milliseconds(rng_.uniform_int(2, 30));
-    const sim::ChannelId ch = net_.add_channel(link.a, link.b, latency);
-    SCION_CHECK(ch == l, "channel ids must mirror link indices");
+    const sim::ChannelId ch =
+        net_.add_channel(node_of(link.a), node_of(link.b), latency);
+    SCION_CHECK(ch == channel_of(l), "channel ids must mirror link indices");
     (void)ch;
   }
 
-  // ISD structure.
-  topo::IsdId max_isd = 0;
+  // ISD structure. ISD numbers are 1-based; cores_by_isd_ is the dense
+  // per-ISD index, so IsdId -> slot goes through isd_slot().
+  topo::IsdId max_isd{};
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
     max_isd = std::max(max_isd, topology_.as_id(i).isd());
   }
-  cores_by_isd_.resize(max_isd);
+  cores_by_isd_.resize(max_isd.value());
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
     if (topology_.is_core(i)) {
-      cores_by_isd_[topology_.as_id(i).isd() - 1].push_back(i);
+      cores_by_isd_[isd_slot(topology_.as_id(i).isd())].push_back(i);
     } else {
       leaves_.push_back(i);
     }
@@ -78,7 +83,7 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
         // periodic driver; individual PCBs only contribute bytes.
         ledger_.record(comp, scope_between(i, to), pcb->wire_size(),
                        /*counts_as_operation=*/false);
-        net_.send(static_cast<sim::ChannelId>(egress), i, pcb->wire_size(), pcb);
+        net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb);
       };
     };
 
@@ -99,9 +104,9 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
 
   // PCB delivery: dispatch on the link type the beacon arrived over.
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
-    net_.set_handler(i, [this, i](const sim::Message& msg) {
+    net_.set_handler(node_of(i), [this, i](const sim::Message& msg) {
       const auto& pcb = std::any_cast<const ctrl::PcbRef&>(msg.payload);
-      const auto link = static_cast<topo::LinkIndex>(msg.channel);
+      const topo::LinkIndex link = link_of(msg.channel);
       if (topology_.link(link).type == topo::LinkType::kCore) {
         if (core_servers_[i]) core_servers_[i]->handle_pcb(pcb, link, sim_.now());
       } else {
@@ -171,13 +176,13 @@ analysis::Scope ControlPlaneSim::scope_between(topo::AsIndex a,
 void ControlPlaneSim::record_service_message(const char* comp,
                                              topo::AsIndex from,
                                              topo::AsIndex to,
-                                             std::size_t bytes) {
+                                             util::Bytes bytes) {
   ledger_.record(comp, scope_between(from, to), bytes);
 }
 
 topo::AsIndex ControlPlaneSim::core_of_isd(topo::IsdId isd,
                                            std::size_t salt) const {
-  const auto& cores = cores_by_isd_[isd - 1];
+  const auto& cores = cores_by_isd_[isd_slot(isd)];
   SCION_CHECK(!cores.empty(), "control plane needs at least one core AS");
   return cores[salt % cores.size()];
 }
@@ -233,7 +238,7 @@ std::vector<PathSegment> ControlPlaneSim::fetch_core_segments(
   PathServer& ps = *path_servers_[src];
   // Synthetic cache key for the (via core, destination ISD) pair.
   const auto cache_key = static_cast<topo::AsIndex>(
-      via * (cores_by_isd_.size() + 1) + dst_isd);
+      via * (cores_by_isd_.size() + 1) + dst_isd.value());
   if (auto cached = ps.cache_get(cache_key, now)) return *cached;
 
   // Ask the core AS our up-segments terminate at for core segments towards
@@ -247,7 +252,7 @@ std::vector<PathSegment> ControlPlaneSim::fetch_core_segments(
         keys_->key_for(topology_.as_id(via).value());
     const crypto::ForwardingKey fwd_key = crypto::ForwardingKey::derive(
         topology_.as_id(via).value(), kKeyDomain);
-    for (const topo::AsIndex origin : cores_by_isd_[dst_isd - 1]) {
+    for (const topo::AsIndex origin : cores_by_isd_[isd_slot(dst_isd)]) {
       if (origin == via) continue;
       for (const ctrl::StoredPcb& stored :
            bs->store().for_origin(topology_.as_id(origin))) {
@@ -258,7 +263,7 @@ std::vector<PathSegment> ControlPlaneSim::fetch_core_segments(
       }
     }
   }
-  std::size_t total_bytes = 0;
+  util::Bytes total_bytes{};
   for (const PathSegment& s : result) total_bytes += s.wire_size();
   record_service_message(component::kCoreSegmentLookup, via, src,
                          segment_response_bytes(result.size(), total_bytes));
@@ -277,12 +282,12 @@ std::vector<PathSegment> ControlPlaneSim::fetch_down_segments(
   // servers and aggregates (multi-path wants segments from every core).
   const topo::IsdId dst_isd = topology_.as_id(dst).isd();
   std::vector<PathSegment> result;
-  for (const topo::AsIndex responder : cores_by_isd_[dst_isd - 1]) {
+  for (const topo::AsIndex responder : cores_by_isd_[isd_slot(dst_isd)]) {
     record_service_message(component::kDownSegmentLookup, src, responder,
                            kSegmentRequestBytes);
     std::vector<PathSegment> fetched =
         path_servers_[responder]->down_segments(dst, now);
-    std::size_t total_bytes = 0;
+    util::Bytes total_bytes{};
     for (const PathSegment& s : fetched) total_bytes += s.wire_size();
     record_service_message(component::kDownSegmentLookup, responder, src,
                            segment_response_bytes(fetched.size(), total_bytes));
@@ -328,7 +333,7 @@ std::vector<EndToEndPath> ControlPlaneSim::resolve_paths(topo::AsIndex src,
   std::vector<EndToEndPath> paths =
       combine_segments(topology_, src, dst, up, core, down);
 
-  std::size_t response_bytes = 0;
+  util::Bytes response_bytes{};
   for (const EndToEndPath& p : paths) response_bytes += packet_header_bytes(p);
   record_service_message(component::kEndpointLookup, src, src,
                          segment_response_bytes(paths.size(), response_bytes));
@@ -382,7 +387,7 @@ void ControlPlaneSim::on_link_down(topo::LinkIndex l) {
   // traversing the link so they are neither registered nor re-propagated.
   for (const topo::AsIndex observer : {link.a, link.b}) {
     const topo::IsdId isd = topology_.as_id(observer).isd();
-    for (const topo::AsIndex core : cores_by_isd_[isd - 1]) {
+    for (const topo::AsIndex core : cores_by_isd_[isd_slot(isd)]) {
       record_service_message(component::kRevocation, observer, core,
                              Revocation::kWireBytes);
       path_servers_[core]->revoke_link(l);

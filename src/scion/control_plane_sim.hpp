@@ -85,7 +85,7 @@ class ControlPlaneSim {
   const DataPlane& dataplane() const { return *dataplane_; }
 
   /// Whether a link is currently up (for data-plane forwarding).
-  bool link_up(topo::LinkIndex l) const { return net_.channel_up(l); }
+  bool link_up(topo::LinkIndex l) const { return net_.channel_up(channel_of(l)); }
 
   /// Fails a link for `downtime` via the fault injector; both endpoint
   /// ASes revoke affected segments at the core path servers of their ISDs.
@@ -107,14 +107,25 @@ class ControlPlaneSim {
   std::uint64_t paths_resolved() const { return paths_resolved_; }
 
  private:
+  // The sim is built so node ids mirror AS indices and channel ids mirror
+  // link indices (asserted at construction); these helpers make every
+  // crossing between the two id spaces explicit.
+  static sim::NodeId node_of(topo::AsIndex i) { return sim::NodeId{i}; }
+  static sim::ChannelId channel_of(topo::LinkIndex l) {
+    return sim::ChannelId{l};
+  }
+  static topo::LinkIndex link_of(sim::ChannelId ch) { return ch.value(); }
+
   analysis::Scope scope_between(topo::AsIndex a, topo::AsIndex b) const;
   void record_service_message(const char* comp, topo::AsIndex from,
-                              topo::AsIndex to, std::size_t bytes);
+                              topo::AsIndex to, util::Bytes bytes);
   void do_registration(topo::AsIndex leaf);
   void do_lookup();
   void schedule_next_lookup();
   void on_link_down(topo::LinkIndex l);
   topo::AsIndex core_of_isd(topo::IsdId isd, std::size_t salt) const;
+  // ISD numbers are 1-based; dense per-ISD tables index from 0.
+  static std::size_t isd_slot(topo::IsdId isd) { return isd.value() - 1u; }
 
   /// Fetches (with caching and ledger recording) the core segments
   /// terminating at core AS `via` (a core of src's ISD that src's

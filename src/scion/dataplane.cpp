@@ -13,14 +13,14 @@ std::uint32_t expiry_unix(util::TimePoint expiry) {
 
 }  // namespace
 
-std::size_t packet_header_bytes(const EndToEndPath& path) {
+util::Bytes packet_header_bytes(const EndToEndPath& path) {
   std::size_t segments = 0;
   if (path.up) ++segments;
   if (path.core) ++segments;
   if (path.down) ++segments;
   if (segments == 0) segments = 1;  // intra-AS delivery still has one
-  return kScionCommonHeaderBytes + segments * kInfoFieldBytes +
-         (path.ases.size()) * kHopFieldBytes;
+  return util::Bytes{kScionCommonHeaderBytes + segments * kInfoFieldBytes +
+                     (path.ases.size()) * kHopFieldBytes};
 }
 
 bool DataPlane::verify_segment_chain(const PathSegment& seg,
@@ -31,7 +31,7 @@ bool DataPlane::verify_segment_chain(const PathSegment& seg,
     const crypto::ForwardingKey key =
         crypto::ForwardingKey::derive(e.isd_as.value(), key_domain_seed_);
     const crypto::HopMac expected =
-        crypto::hop_mac(key, e.in_if, e.out_if, expiry, prev);
+        crypto::hop_mac(key, e.in_if.value(), e.out_if.value(), expiry, prev);
     if (expected != e.hop_mac) {
       if (error) {
         *error = "hop-field MAC rejected at AS " + e.isd_as.to_string();
@@ -58,7 +58,8 @@ bool DataPlane::verify_peer_hop(const PathSegment& seg,
     const crypto::ForwardingKey key =
         crypto::ForwardingKey::derive(e.isd_as.value(), key_domain_seed_);
     const crypto::HopMac expected =
-        crypto::hop_mac(key, p.peer_if, e.out_if, expiry_unix(seg.pcb->expiry()),
+        crypto::hop_mac(key, p.peer_if.value(), e.out_if.value(),
+                        expiry_unix(seg.pcb->expiry()),
                         entries[entry_index - 1].hop_mac);
     if (expected == p.hop_mac) return true;
     if (error) {

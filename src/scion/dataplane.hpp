@@ -34,7 +34,7 @@ inline constexpr std::size_t kHopFieldBytes = 12;
 
 /// Bytes of forwarding state a packet carries for `path` (PCFS replaces
 /// router state entirely, Mechanism 4 of Section 4.1).
-std::size_t packet_header_bytes(const EndToEndPath& path);
+util::Bytes packet_header_bytes(const EndToEndPath& path);
 
 class DataPlane {
  public:

@@ -21,7 +21,7 @@ const char* to_string(InterIspModel m) {
   return "?";
 }
 
-std::size_t DeployedLink::wire_bytes(std::size_t scion_packet_bytes) const {
+util::Bytes DeployedLink::wire_bytes(util::Bytes scion_packet_bytes) const {
   switch (config_.model) {
     case InterIspModel::kNativeCrossConnect:
       return scion_packet_bytes;

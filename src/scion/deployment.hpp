@@ -35,7 +35,7 @@ const char* to_string(InterIspModel m);
 
 /// IP/GRE encapsulation a Router-on-a-stick hop adds around each SCION
 /// packet (outer IPv4 header + GRE).
-inline constexpr std::size_t kIpEncapOverheadBytes = 20 + 8;
+inline constexpr util::Bytes kIpEncapOverheadBytes{20 + 8};
 
 struct DeployedLinkConfig {
   InterIspModel model{InterIspModel::kNativeCrossConnect};
@@ -63,7 +63,7 @@ class DeployedLink {
   bool bgp_free() const { return true; }
 
   /// Bytes on the wire for a SCION packet of `scion_packet_bytes`.
-  std::size_t wire_bytes(std::size_t scion_packet_bytes) const;
+  util::Bytes wire_bytes(util::Bytes scion_packet_bytes) const;
 
   /// SCION goodput when `offered_scion_mbps` of SCION traffic competes
   /// with `hostile_ip_load` (fraction of capacity) of IP traffic on a

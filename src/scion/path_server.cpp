@@ -4,14 +4,15 @@
 
 namespace scion::svc {
 
-std::size_t segment_response_bytes(std::size_t n_segments,
-                                   std::size_t total_segment_bytes) {
-  return kSegmentResponseHeaderBytes + n_segments * 4 + total_segment_bytes;
+util::Bytes segment_response_bytes(std::size_t n_segments,
+                                   util::Bytes total_segment_bytes) {
+  return kSegmentResponseHeaderBytes + util::Bytes{n_segments * 4} +
+         total_segment_bytes;
 }
 
-std::size_t registration_bytes(std::span<const PathSegment> segments) {
-  std::size_t total = kRegistrationHeaderBytes;
-  for (const PathSegment& s : segments) total += 4 + s.wire_size();
+util::Bytes registration_bytes(std::span<const PathSegment> segments) {
+  util::Bytes total = kRegistrationHeaderBytes;
+  for (const PathSegment& s : segments) total += util::Bytes{4} + s.wire_size();
   return total;
 }
 

@@ -17,15 +17,15 @@
 namespace scion::svc {
 
 /// Wire size of a segment request: SCION/UDP headers + <ISD, AS> + type.
-inline constexpr std::size_t kSegmentRequestBytes = 64;
+inline constexpr util::Bytes kSegmentRequestBytes{64};
 /// Response framing on top of the segments themselves.
-inline constexpr std::size_t kSegmentResponseHeaderBytes = 32;
+inline constexpr util::Bytes kSegmentResponseHeaderBytes{32};
 /// Registration framing.
-inline constexpr std::size_t kRegistrationHeaderBytes = 32;
+inline constexpr util::Bytes kRegistrationHeaderBytes{32};
 
-std::size_t segment_response_bytes(std::size_t n_segments,
-                                   std::size_t total_segment_bytes);
-std::size_t registration_bytes(std::span<const PathSegment> segments);
+util::Bytes segment_response_bytes(std::size_t n_segments,
+                                   util::Bytes total_segment_bytes);
+util::Bytes registration_bytes(std::span<const PathSegment> segments);
 
 class PathServer {
  public:

@@ -23,7 +23,7 @@ struct Revocation {
 
   /// SCMP header (8) + revocation payload: ISD-AS (8), ifid (2), timestamps
   /// (12), MAC (16), quoted packet head (32).
-  static constexpr std::size_t kWireBytes = 78;
+  static constexpr util::Bytes kWireBytes{78};
 
   bool active_at(util::TimePoint now) const {
     return now >= issued && now < issued + validity;

@@ -33,7 +33,7 @@ struct PathSegment {
   topo::AsIndex origin_as() const { return ases.front(); }
   topo::AsIndex terminal_as() const { return ases.back(); }
   std::size_t length() const { return links.size(); }
-  std::size_t wire_size() const { return pcb->wire_size(); }
+  util::Bytes wire_size() const { return pcb->wire_size(); }
   util::TimePoint expiry() const { return pcb->expiry(); }
 
   /// Stable identity (terminal-extended path key).

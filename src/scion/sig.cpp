@@ -73,7 +73,7 @@ PathManager* Sig::paths_for(topo::AsIndex remote_as) {
 }
 
 Sig::EncapResult Sig::send_ip_packet(std::uint32_t dst_ip,
-                                     std::size_t payload_bytes) {
+                                     util::Bytes payload_bytes) {
   ++stats_.packets_in;
   stats_.bytes_in += payload_bytes;
   EncapResult result;

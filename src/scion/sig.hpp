@@ -58,15 +58,15 @@ class AsMapTable {
 
 /// Encapsulation overhead the SIG adds to an IP packet: the SCION common
 /// header and path (variable) plus the SIG framing (4-byte stream header).
-inline constexpr std::size_t kSigFramingBytes = 4;
+inline constexpr util::Bytes kSigFramingBytes{4};
 
 struct SigStats {
   std::uint64_t packets_in{0};
   std::uint64_t packets_delivered{0};
   std::uint64_t packets_dropped_no_mapping{0};
   std::uint64_t packets_dropped_no_path{0};
-  std::uint64_t bytes_in{0};
-  std::uint64_t bytes_on_wire{0};
+  util::Bytes bytes_in{};
+  util::Bytes bytes_on_wire{};
   std::uint64_t path_resolutions{0};
   std::uint64_t failovers{0};
 };
@@ -84,7 +84,7 @@ class Sig {
   struct EncapResult {
     bool delivered{false};
     /// Total bytes on the SCION wire (payload + headers), 0 if dropped.
-    std::size_t wire_bytes{0};
+    util::Bytes wire_bytes{};
     /// The remote AS the packet was tunnelled to.
     topo::AsIndex remote_as{topo::kInvalidAsIndex};
     std::string error;
@@ -93,7 +93,7 @@ class Sig {
   /// Encapsulates and forwards an IP packet of `payload_bytes` addressed
   /// to `dst_ip`. Paths are resolved on first use per remote AS and cached
   /// in a PathManager; forwarding honors current link state.
-  EncapResult send_ip_packet(std::uint32_t dst_ip, std::size_t payload_bytes);
+  EncapResult send_ip_packet(std::uint32_t dst_ip, util::Bytes payload_bytes);
 
   /// Processes an SCMP revocation: all cached path sets fail over away
   /// from the revoked link.

@@ -10,76 +10,76 @@ namespace scion::sim {
 
 NodeId Network::add_node(std::string name) {
   nodes_.push_back(NodeState{std::move(name), Handler{}, true});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
 }
 
 void Network::set_handler(NodeId node, Handler handler) {
-  SCION_CHECK(node < nodes_.size(), "node id out of range");
-  nodes_[node].handler = std::move(handler);
+  SCION_CHECK(node.value() < nodes_.size(), "node id out of range");
+  nodes_[node.value()].handler = std::move(handler);
 }
 
 ChannelId Network::add_channel(NodeId a, NodeId b, Duration latency) {
-  SCION_CHECK(a < nodes_.size() && b < nodes_.size() && a != b,
+  SCION_CHECK(a.value() < nodes_.size() && b.value() < nodes_.size() && a != b,
               "channel endpoints must be distinct existing nodes");
   SCION_CHECK(latency >= Duration::zero(), "negative channel latency");
   channels_.push_back(
       ChannelState{a, b, latency, true, 0.0, Duration::zero(), {}, {}});
-  return static_cast<ChannelId>(channels_.size() - 1);
+  return ChannelId{static_cast<std::uint32_t>(channels_.size() - 1)};
 }
 
 void Network::set_channel_up(ChannelId ch, bool up) {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  channels_[ch].up = up;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  channels_[ch.value()].up = up;
 }
 
 bool Network::channel_up(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].up;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].up;
 }
 
 void Network::set_node_up(NodeId node, bool up) {
-  SCION_CHECK(node < nodes_.size(), "node id out of range");
-  nodes_[node].up = up;
+  SCION_CHECK(node.value() < nodes_.size(), "node id out of range");
+  nodes_[node.value()].up = up;
 }
 
 bool Network::node_up(NodeId node) const {
-  SCION_CHECK(node < nodes_.size(), "node id out of range");
-  return nodes_[node].up;
+  SCION_CHECK(node.value() < nodes_.size(), "node id out of range");
+  return nodes_[node.value()].up;
 }
 
 void Network::set_loss_probability(ChannelId ch, double p) {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
   SCION_CHECK(p >= 0.0 && p <= 1.0, "loss probability out of [0,1]");
-  channels_[ch].loss_probability = p;
+  channels_[ch.value()].loss_probability = p;
 }
 
 double Network::loss_probability(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].loss_probability;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].loss_probability;
 }
 
 void Network::set_jitter(ChannelId ch, Duration max_jitter) {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
   SCION_CHECK(max_jitter >= Duration::zero(), "negative jitter");
-  channels_[ch].jitter = max_jitter;
+  channels_[ch.value()].jitter = max_jitter;
 }
 
 Duration Network::jitter(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].jitter;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].jitter;
 }
 
-void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
+void Network::send(ChannelId ch, NodeId from, Bytes bytes,
                    std::any payload) {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  ChannelState& c = channels_[ch];
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  ChannelState& c = channels_[ch.value()];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
   if (!c.up) {  // link failure: message lost at the source
     ++drops_.link_down;
     SCION_METRIC_COUNT("simnet.messages_dropped_link_down", 1);
     return;
   }
-  if (!nodes_[from].up) {  // sender AS is down: nothing leaves it
+  if (!nodes_[from.value()].up) {  // sender AS is down: nothing leaves it
     ++drops_.node_down;
     SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
     return;
@@ -99,8 +99,8 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
   ++dir.messages;
   dir.bytes += bytes;
   SCION_METRIC_COUNT("simnet.messages_sent", 1);
-  SCION_METRIC_COUNT("simnet.bytes_sent", bytes);
-  SCION_METRIC_OBSERVE("simnet.message_bytes", bytes);
+  SCION_METRIC_COUNT("simnet.bytes_sent", bytes.value());
+  SCION_METRIC_OBSERVE("simnet.message_bytes", bytes.value());
   Duration delay = c.latency;
   if (c.jitter > Duration::zero()) {
     SCION_CHECK(fault_rng_ != nullptr, "jitter configured without a fault rng");
@@ -113,7 +113,7 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
         // Drop-at-delivery: the transmission already happened (bytes are
         // counted), but the message is lost if the channel went down while
         // it was in flight or the destination node is down on arrival.
-        if (!channels_[msg.channel].up) {
+        if (!channels_[msg.channel.value()].up) {
           ++drops_.in_flight;
           SCION_METRIC_COUNT("simnet.messages_dropped_in_flight", 1);
           SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_in_flight",
@@ -121,7 +121,7 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
                       {"bytes", msg.bytes});
           return;
         }
-        if (!nodes_[msg.to].up) {
+        if (!nodes_[msg.to.value()].up) {
           ++drops_.node_down;
           SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
           SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_node_down",
@@ -129,52 +129,52 @@ void Network::send(ChannelId ch, NodeId from, std::size_t bytes,
                       {"bytes", msg.bytes});
           return;
         }
-        const Handler& h = nodes_[msg.to].handler;
+        const Handler& h = nodes_[msg.to.value()].handler;
         if (h) h(msg);
       });
 }
 
 const std::string& Network::node_name(NodeId node) const {
-  SCION_CHECK(node < nodes_.size(), "node id out of range");
-  return nodes_[node].name;
+  SCION_CHECK(node.value() < nodes_.size(), "node id out of range");
+  return nodes_[node.value()].name;
 }
 
 NodeId Network::peer(ChannelId ch, NodeId self) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  const ChannelState& c = channels_[ch];
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  const ChannelState& c = channels_[ch.value()];
   SCION_CHECK(self == c.a || self == c.b, "node is not a channel endpoint");
   return self == c.a ? c.b : c.a;
 }
 
 NodeId Network::endpoint_a(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].a;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].a;
 }
 
 NodeId Network::endpoint_b(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].b;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].b;
 }
 
 Duration Network::latency(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].latency;
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].latency;
 }
 
 const DirectionStats& Network::stats_from(ChannelId ch, NodeId from) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  const ChannelState& c = channels_[ch];
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  const ChannelState& c = channels_[ch.value()];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
   return from == c.a ? c.a_to_b : c.b_to_a;
 }
 
-std::uint64_t Network::total_bytes(ChannelId ch) const {
-  SCION_CHECK(ch < channels_.size(), "channel id out of range");
-  return channels_[ch].a_to_b.bytes + channels_[ch].b_to_a.bytes;
+Bytes Network::total_bytes(ChannelId ch) const {
+  SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
+  return channels_[ch.value()].a_to_b.bytes + channels_[ch.value()].b_to_a.bytes;
 }
 
-std::uint64_t Network::total_bytes_all() const {
-  std::uint64_t sum = 0;
+Bytes Network::total_bytes_all() const {
+  Bytes sum{};
   for (const auto& c : channels_) sum += c.a_to_b.bytes + c.b_to_a.bytes;
   return sum;
 }

@@ -27,14 +27,20 @@
 
 #include "simnet/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/types.hpp"
 
 namespace scion::sim {
 
-using NodeId = std::uint32_t;
-using ChannelId = std::uint32_t;
+using util::Bytes;
 
-inline constexpr NodeId kInvalidNode = ~NodeId{0};
-inline constexpr ChannelId kInvalidChannel = ~ChannelId{0};
+/// Opaque endpoint handle. Strong: a node is not a channel, and neither is
+/// a raw integer — handing one to an API expecting the other is a compile
+/// error (pinned by tests/negative_compile/).
+using NodeId = util::StrongId<struct NodeIdTag, std::uint32_t>;
+using ChannelId = util::StrongId<struct ChannelIdTag, std::uint32_t>;
+
+inline constexpr NodeId kInvalidNode{~std::uint32_t{0}};
+inline constexpr ChannelId kInvalidChannel{~std::uint32_t{0}};
 
 /// A message in flight. `bytes` is the wire size used for accounting;
 /// `payload` carries the typed protocol message.
@@ -42,14 +48,14 @@ struct Message {
   NodeId from{kInvalidNode};
   NodeId to{kInvalidNode};
   ChannelId channel{kInvalidChannel};
-  std::size_t bytes{0};
+  Bytes bytes{};
   std::any payload;
 };
 
 /// Byte/message counters for one direction of a channel.
 struct DirectionStats {
   std::uint64_t messages{0};
-  std::uint64_t bytes{0};
+  Bytes bytes{};
 };
 
 /// Network-wide message-loss accounting, one counter per drop cause.
@@ -123,7 +129,7 @@ class Network {
   /// Sends `bytes` of payload from `from` across `ch`; delivery is scheduled
   /// after the channel latency (plus jitter, if configured). `from` must be
   /// an endpoint of `ch`.
-  void send(ChannelId ch, NodeId from, std::size_t bytes, std::any payload);
+  void send(ChannelId ch, NodeId from, Bytes bytes, std::any payload);
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t channel_count() const { return channels_.size(); }
@@ -142,10 +148,10 @@ class Network {
   const DropStats& drop_stats() const { return drops_; }
 
   /// Total bytes sent over `ch` in both directions.
-  std::uint64_t total_bytes(ChannelId ch) const;
+  Bytes total_bytes(ChannelId ch) const;
 
   /// Sum of total_bytes over all channels.
-  std::uint64_t total_bytes_all() const;
+  Bytes total_bytes_all() const;
 
   /// Resets all channel counters (e.g. to skip a warm-up phase). Drop
   /// counters are reset too.

@@ -18,26 +18,32 @@ void Simulator::schedule_after(Duration d, Callback fn) {
   schedule_at(now_ + d, std::move(fn));
 }
 
-std::uint64_t Simulator::schedule_periodic(TimePoint first, Duration period,
-                                           Callback fn) {
+TimerId Simulator::schedule_periodic(TimePoint first, Duration period,
+                                     Callback fn) {
   SCION_CHECK(period > Duration::zero(), "periodic event needs a positive period");
-  const auto id = static_cast<std::uint64_t>(periodics_.size());
+  const TimerId id{static_cast<std::uint64_t>(periodics_.size())};
   periodics_.push_back(Periodic{period, std::move(fn), false});
   schedule_at(first, [this, id, first] { fire_periodic(id, first); });
   return id;
 }
 
-void Simulator::fire_periodic(std::uint64_t id, TimePoint when) {
-  Periodic& p = periodics_[id];
+void Simulator::fire_periodic(TimerId id, TimePoint when) {
+  // `periodics_` is a deque, so this reference survives callbacks that
+  // register new periodic timers (a vector reallocation would dangle it).
+  Periodic& p = periodics_[id.value()];
   if (p.cancelled) return;
   p.fn();
+  // Re-check after the callback: a timer that cancels its own id must not
+  // leave a tombstone event in the queue (it would keep run() from draining
+  // until the next period tick).
+  if (p.cancelled) return;
   const TimePoint next = when + p.period;
   schedule_at(next, [this, id, next] { fire_periodic(id, next); });
 }
 
-void Simulator::cancel_periodic(std::uint64_t id) {
-  SCION_CHECK(id < periodics_.size(), "unknown periodic event id");
-  periodics_[id].cancelled = true;
+void Simulator::cancel_periodic(TimerId id) {
+  SCION_CHECK(id.value() < periodics_.size(), "unknown periodic event id");
+  periodics_[id.value()].cancelled = true;
 }
 
 void Simulator::pop_and_run() {

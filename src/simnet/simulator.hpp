@@ -6,16 +6,28 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
 #include "util/time.hpp"
+#include "util/types.hpp"
 
 namespace scion::sim {
 
 using util::Duration;
 using util::TimePoint;
+
+/// Handle for a periodic event registered with schedule_periodic(). Strong:
+/// a timer id is not a node, channel, or sequence number, and a raw integer
+/// does not convert into one.
+using TimerId = util::StrongId<struct TimerIdTag, std::uint64_t>;
+
+/// Sentinel for "no timer" (mirrors kInvalidNode / kInvalidChannel).
+inline constexpr TimerId kInvalidTimer{
+    std::numeric_limits<std::uint64_t>::max()};
 
 /// Event-driven virtual-time scheduler.
 class Simulator {
@@ -33,10 +45,19 @@ class Simulator {
 
   /// Schedules `fn` every `period` starting at `first`, until the simulation
   /// stops. Returns an id usable with cancel_periodic().
-  std::uint64_t schedule_periodic(TimePoint first, Duration period, Callback fn);
+  ///
+  /// Re-entrancy contract (audited; regression tests in test_simnet):
+  ///  * a callback may cancel its *own* id: the current firing completes and
+  ///    nothing further is scheduled (no tombstone event lingers in the
+  ///    queue, so run() drains immediately).
+  ///  * a callback may cancel another timer or register new periodic timers;
+  ///    the registry uses a deque, so outstanding references stay valid when
+  ///    a callback grows it.
+  TimerId schedule_periodic(TimePoint first, Duration period, Callback fn);
 
-  /// Stops future firings of a periodic event.
-  void cancel_periodic(std::uint64_t id);
+  /// Stops future firings of a periodic event. Safe to call from any
+  /// callback, including the timer's own.
+  void cancel_periodic(TimerId id);
 
   /// Runs until the queue drains.
   void run();
@@ -74,7 +95,7 @@ class Simulator {
   };
 
   void pop_and_run();
-  void fire_periodic(std::uint64_t id, TimePoint when);
+  void fire_periodic(TimerId id, TimePoint when);
   void publish_metrics() const;
 
   TimePoint now_{TimePoint::origin()};
@@ -82,7 +103,10 @@ class Simulator {
   std::uint64_t processed_{0};
   std::size_t queue_high_water_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<Periodic> periodics_;
+  // Deque, not vector: fire_periodic holds a reference across the user
+  // callback, and a callback that registers a new periodic timer must not
+  // invalidate it (a vector's push_back reallocation would).
+  std::deque<Periodic> periodics_;
 };
 
 }  // namespace scion::sim

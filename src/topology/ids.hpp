@@ -10,16 +10,26 @@
 #include <functional>
 #include <string>
 
+#include "util/types.hpp"
+
 namespace scion::topo {
 
-using IsdId = std::uint16_t;
+/// Isolation-domain identifier (strong: never interchangeable with an AS
+/// number, interface id, or any other 16-bit quantity).
+using IsdId = util::StrongId<struct IsdIdTag, std::uint16_t>;
 
-/// Interface identifier, unique within one AS. 0 is reserved ("no
-/// interface"), matching SCION's convention.
-using IfId = std::uint16_t;
-inline constexpr IfId kNoInterface = 0;
+/// Interface identifier, unique within one AS. IfId{0} is reserved ("no
+/// interface"), matching SCION's convention. Strong: parallel links mean an
+/// interface id is *not* an AS-equivalent neighbor handle, and the type
+/// system now enforces that.
+using IfId = util::StrongId<struct IfIdTag, std::uint16_t>;
+inline constexpr IfId kNoInterface{};
 
-/// Dense index of an AS inside a Topology; used on hot paths.
+/// Dense index of an AS inside a Topology; used on hot paths. Deliberately a
+/// raw integer: dense indices exist to index vectors and iterate ranges, and
+/// wrapping them would put .value() on every hot-path subscript. The strong
+/// types guard the *identity* handles (IsdId/IfId/IsdAsId, sim::NodeId/
+/// ChannelId); mixing an index into one of those no longer compiles.
 using AsIndex = std::uint32_t;
 inline constexpr AsIndex kInvalidAsIndex = ~AsIndex{0};
 
@@ -36,12 +46,18 @@ class IsdAsId {
   constexpr IsdAsId() = default;
 
   static constexpr IsdAsId make(IsdId isd, std::uint64_t as_number) {
-    return IsdAsId{(static_cast<std::uint64_t>(isd) << 48) |
+    return IsdAsId{(static_cast<std::uint64_t>(isd.value()) << 48) |
                    (as_number & 0x0000FFFFFFFFFFFFULL)};
+  }
+  /// Convenience for numeric-literal call sites: the 16-bit ISD number is
+  /// wrapped on entry. A strong IfId (or any other StrongId) still does not
+  /// convert to the raw parameter, so id mix-ups keep failing to compile.
+  static constexpr IsdAsId make(std::uint16_t isd, std::uint64_t as_number) {
+    return make(IsdId{isd}, as_number);
   }
   static constexpr IsdAsId from_value(std::uint64_t v) { return IsdAsId{v}; }
 
-  constexpr IsdId isd() const { return static_cast<IsdId>(value_ >> 48); }
+  constexpr IsdId isd() const { return IsdId{static_cast<std::uint16_t>(value_ >> 48)}; }
   constexpr std::uint64_t as_number() const { return value_ & 0x0000FFFFFFFFFFFFULL; }
   constexpr std::uint64_t value() const { return value_; }
 

@@ -11,7 +11,7 @@ namespace scion::topo {
 
 std::string IsdAsId::to_string() const {
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%u-%llu", static_cast<unsigned>(isd()),
+  std::snprintf(buf, sizeof buf, "%u-%llu", static_cast<unsigned>(isd().value()),
                 static_cast<unsigned long long>(as_number()));
   return buf;
 }
@@ -25,7 +25,7 @@ IsdAsId IsdAsId::parse(const std::string& s) {
   auto r2 = std::from_chars(s.data() + dash + 1, s.data() + s.size(), as);
   if (r1.ec != std::errc{} || r2.ec != std::errc{}) return IsdAsId{};
   if (isd > 0xFFFF) return IsdAsId{};
-  return IsdAsId::make(static_cast<IsdId>(isd), as);
+  return IsdAsId::make(static_cast<std::uint16_t>(isd), as);
 }
 
 const char* to_string(LinkType t) {
@@ -44,7 +44,7 @@ AsIndex Topology::add_as(IsdAsId id, bool is_core) {
   SCION_CHECK(id.valid(), "AS id must be valid");
   SCION_CHECK(!index_.contains(id), "duplicate AS id");
   const auto idx = static_cast<AsIndex>(ases_.size());
-  ases_.push_back(AsState{id, is_core, 1, {}});
+  ases_.push_back(AsState{id, is_core, IfId{1}, {}});
   index_.emplace(id, idx);
   return idx;
 }
@@ -53,7 +53,13 @@ LinkIndex Topology::add_link(AsIndex a, AsIndex b, LinkType type) {
   SCION_CHECK(a < ases_.size() && b < ases_.size() && a != b,
               "link endpoints must be distinct existing ASes");
   const auto l = static_cast<LinkIndex>(links_.size());
-  links_.push_back(Link{a, b, ases_[a].next_if++, ases_[b].next_if++, type});
+  // Interface ids are allocated sequentially per AS; allocation is the one
+  // place arithmetic on an IfId is meaningful, so it is spelled out.
+  const IfId if_a = ases_[a].next_if;
+  ases_[a].next_if = IfId{static_cast<std::uint16_t>(if_a.value() + 1)};
+  const IfId if_b = ases_[b].next_if;
+  ases_[b].next_if = IfId{static_cast<std::uint16_t>(if_b.value() + 1)};
+  links_.push_back(Link{a, b, if_a, if_b, type});
   ases_[a].links.push_back(l);
   ases_[b].links.push_back(l);
   return l;

@@ -1,0 +1,113 @@
+// Strong domain types: tagged identifiers and byte quantities.
+//
+// The simulator wires ISD/AS identifiers, per-link interface ids, node and
+// channel handles, and byte accounting through beaconing, BGP, and the
+// analysis pipeline. All of these are "just integers" on the wire, which
+// makes swapped arguments compile silently — exactly the mix-up the AS-level
+// multigraph invites (an IfId is *not* a neighbor handle: parallel links
+// give one neighbor many interfaces). StrongId turns each identifier into
+// its own type so the compiler rejects cross-assignments, and Bytes does the
+// same for wire-size accounting. The negative-compilation suite
+// (tests/negative_compile/) pins the rejections down.
+//
+// Design rules:
+//   * construction from the representation is explicit; there is no
+//     implicit conversion back (call value()).
+//   * ids of different tags never compare, convert, or assign to each other.
+//   * ids are ordered and hashable so they work as map keys.
+//   * Bytes supports the arithmetic a counter needs (+, +=, scaling by a
+//     count) but will not silently mix with plain integers.
+//
+// Rendering goes through the obs layer (obs::TraceField and the table
+// renderer accept any type with a value() member); to_string() exists for
+// diagnostics only and renders the raw number, so switching a field to a
+// strong type never changes serialized output.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace scion::util {
+
+/// A tagged integral identifier. `Tag` is an (usually incomplete) marker
+/// type that makes each instantiation a distinct, non-interconvertible type;
+/// `Rep` is the wire representation.
+template <class Tag, class Rep>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(Rep v) : v_{v} {}
+
+  /// The raw representation (for serialization, indexing, and rendering).
+  constexpr Rep value() const { return v_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Diagnostic rendering: the raw number, base 10.
+  std::string to_string() const { return std::to_string(v_); }
+
+ private:
+  Rep v_{};
+};
+
+/// A quantity of bytes (wire sizes, channel counters, overhead ledgers).
+/// Explicit construction keeps raw counts and byte totals from mixing; the
+/// arithmetic below is the closed set a counter needs.
+class Bytes {
+ public:
+  using rep = std::uint64_t;
+
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(std::uint64_t n) : n_{n} {}
+
+  static constexpr Bytes zero() { return Bytes{0}; }
+
+  constexpr std::uint64_t value() const { return n_; }
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes{n_ + o.n_}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{n_ - o.n_}; }
+  constexpr Bytes& operator+=(Bytes o) { n_ += o.n_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { n_ -= o.n_; return *this; }
+  /// Scaling by a count (e.g. bytes-per-entry * entries).
+  constexpr Bytes operator*(std::uint64_t k) const { return Bytes{n_ * k}; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  /// Diagnostic rendering: the raw byte count, base 10 (no unit suffix, so
+  /// emitted artifacts stay byte-identical to the pre-strong-type output).
+  std::string to_string() const { return std::to_string(n_); }
+
+ private:
+  std::uint64_t n_{0};
+};
+
+constexpr Bytes operator*(std::uint64_t k, Bytes b) { return b * k; }
+
+/// Concept matched by StrongId instantiations and Bytes: anything exposing
+/// its integral representation via value(). The obs renderer uses this to
+/// accept strong types wherever a number is expected.
+template <class T>
+concept StrongValueType = requires(const T& t) {
+  typename T::rep;
+  { t.value() } -> std::convertible_to<typename T::rep>;
+};
+
+}  // namespace scion::util
+
+template <class Tag, class Rep>
+struct std::hash<scion::util::StrongId<Tag, Rep>> {
+  std::size_t operator()(const scion::util::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<scion::util::Bytes> {
+  std::size_t operator()(const scion::util::Bytes& b) const noexcept {
+    return std::hash<std::uint64_t>{}(b.value());
+  }
+};

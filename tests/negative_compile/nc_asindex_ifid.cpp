@@ -1,0 +1,41 @@
+// Negative-compile case: an AS index is not an interface id.
+//
+// AsIndex is a deliberate raw dense index (hot-path vector subscripts);
+// IfId is strong. The guarded statement hands an AsIndex to an API whose
+// parameter is IfId — StrongId's explicit constructor must reject it.
+#include "core/pcb.hpp"
+#include "topology/ids.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+scion::ctrl::Pcb positive_control(const scion::crypto::SigningKey& sk,
+                                  const scion::crypto::ForwardingKey& fk) {
+  using scion::topo::IfId;
+  const auto origin = scion::topo::IsdAsId::make(1, 7);
+  return scion::ctrl::Pcb::originate(origin, IfId{3},
+                                     scion::util::TimePoint::origin(),
+                                     scion::util::Duration::hours(6), sk, fk);
+}
+
+#ifdef SCION_NEGATIVE
+scion::ctrl::Pcb must_not_compile(const scion::crypto::SigningKey& sk,
+                                  const scion::crypto::ForwardingKey& fk,
+                                  scion::topo::AsIndex as) {
+  const auto origin = scion::topo::IsdAsId::make(1, 7);
+  // AsIndex (raw std::uint32_t) where IfId is required: no implicit
+  // conversion into a strong id.
+  return scion::ctrl::Pcb::originate(origin, as,
+                                     scion::util::TimePoint::origin(),
+                                     scion::util::Duration::hours(6), sk, fk);
+}
+
+bool reverse_must_not_compile(const scion::topo::Topology& t,
+                              scion::topo::IfId if_id) {
+  // And the other direction: IfId where a raw AsIndex is required (no
+  // conversion operator back to the representation).
+  return t.is_core(if_id);
+}
+#endif
+
+}  // namespace

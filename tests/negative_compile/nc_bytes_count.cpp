@@ -1,0 +1,22 @@
+// Negative-compile case: a byte total is not a message count.
+//
+// Overhead accounting mixes per-channel byte counters and per-channel
+// message counters; before util::Bytes the two added together silently.
+// Bytes arithmetic is closed: Bytes +/- Bytes and Bytes * count only.
+#include "simnet/network.hpp"
+
+namespace {
+
+scion::util::Bytes positive_control(const scion::sim::DirectionStats& stats) {
+  // Closed arithmetic: Bytes + Bytes, and scaling by a count.
+  return stats.bytes + stats.bytes * 2u;
+}
+
+#ifdef SCION_NEGATIVE
+std::uint64_t must_not_compile(const scion::sim::DirectionStats& stats) {
+  // Adding a byte total to a message count is a category error.
+  return stats.messages + stats.bytes;
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,24 @@
+// Negative-compile case: a node handle is not a channel handle.
+//
+// The simulators rely on NodeId == AsIndex and ChannelId == LinkIndex
+// identity mappings; before the strong types, swapping the two id spaces
+// compiled silently. The guarded statement queries channel state with a
+// NodeId — distinct tags must make that a type error.
+#include "simnet/network.hpp"
+
+namespace {
+
+bool positive_control(const scion::sim::Network& net,
+                      scion::sim::ChannelId ch) {
+  return net.channel_up(ch);
+}
+
+#ifdef SCION_NEGATIVE
+bool must_not_compile(const scion::sim::Network& net, scion::sim::NodeId node) {
+  // NodeId and ChannelId share a representation but not a tag: no
+  // cross-conversion.
+  return net.channel_up(node);
+}
+#endif
+
+}  // namespace

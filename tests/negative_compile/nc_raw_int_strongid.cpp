@@ -1,0 +1,23 @@
+// Negative-compile case: raw integers do not implicitly become strong ids.
+//
+// Construction must always be spelled (NodeId{3}), so every boundary where
+// a raw index enters the typed world is visible in the source.
+#include "simnet/network.hpp"
+#include "topology/ids.hpp"
+
+namespace {
+
+scion::sim::NodeId positive_control() {
+  return scion::sim::NodeId{3};  // explicit construction is fine
+}
+
+#ifdef SCION_NEGATIVE
+scion::sim::NodeId must_not_compile() {
+  // Copy-initialization from a raw integer requires an implicit
+  // conversion, which StrongId's explicit constructor forbids.
+  scion::sim::NodeId node = 3;
+  return node;
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Negative-compile case: periodic-timer handles are opaque.
+//
+// cancel_periodic() takes the TimerId returned by schedule_periodic();
+// fabricating one from a raw integer (or treating it as a sequence
+// number) must not compile.
+#include "simnet/simulator.hpp"
+
+namespace {
+
+void positive_control(scion::sim::Simulator& sim, scion::sim::TimerId id) {
+  sim.cancel_periodic(id);
+}
+
+#ifdef SCION_NEGATIVE
+void must_not_compile(scion::sim::Simulator& sim) {
+  // A raw literal is not a timer handle.
+  sim.cancel_periodic(0);
+}
+#endif
+
+}  // namespace

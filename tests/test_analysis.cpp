@@ -190,24 +190,24 @@ TEST(QualityEvaluator, GreedyDisjointLowerBoundsFlow) {
 
 TEST(OverheadLedger, AccumulatesPerComponent) {
   OverheadLedger ledger;
-  ledger.record("Beaconing", Scope::kIntraIsd, 100);
-  ledger.record("Beaconing", Scope::kGlobal, 50);
-  ledger.record("Lookup", Scope::kIntraAs, 10);
+  ledger.record("Beaconing", Scope::kIntraIsd, util::Bytes{100});
+  ledger.record("Beaconing", Scope::kGlobal, util::Bytes{50});
+  ledger.record("Lookup", Scope::kIntraAs, util::Bytes{10});
   const auto rows = ledger.rows();
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].component, "Beaconing");
   EXPECT_EQ(rows[0].messages, 2u);
-  EXPECT_EQ(rows[0].bytes, 150u);
+  EXPECT_EQ(rows[0].bytes, util::Bytes{150});
   EXPECT_EQ(rows[0].scope(), Scope::kGlobal) << "widest scope wins";
   EXPECT_EQ(rows[1].scope(), Scope::kIntraAs);
-  EXPECT_EQ(ledger.total_bytes(), 160u);
+  EXPECT_EQ(ledger.total_bytes(), util::Bytes{160});
 }
 
 TEST(OverheadLedger, FrequencyClasses) {
   OverheadLedger ledger;
-  for (int i = 0; i < 3600; ++i) ledger.record("fast", Scope::kIntraAs, 1);
-  for (int i = 0; i < 10; ++i) ledger.record("medium", Scope::kIntraAs, 1);
-  ledger.record("slow", Scope::kIntraAs, 1);
+  for (int i = 0; i < 3600; ++i) ledger.record("fast", Scope::kIntraAs, util::Bytes{1});
+  for (int i = 0; i < 10; ++i) ledger.record("medium", Scope::kIntraAs, util::Bytes{1});
+  ledger.record("slow", Scope::kIntraAs, util::Bytes{1});
   const auto rows = ledger.rows();
   const util::Duration hour = util::Duration::hours(1);
   for (const auto& row : rows) {
@@ -222,9 +222,9 @@ TEST(OverheadLedger, FrequencyClasses) {
 }
 
 TEST(ExtrapolateToMonth, ScalesLinearly) {
-  EXPECT_DOUBLE_EQ(extrapolate_to_month(100, util::Duration::hours(6)),
+  EXPECT_DOUBLE_EQ(extrapolate_to_month(util::Bytes{100}, util::Duration::hours(6)),
                    100.0 * (30.0 * 24.0 / 6.0));
-  EXPECT_DOUBLE_EQ(extrapolate_to_month(7, util::Duration::days(30)), 7.0);
+  EXPECT_DOUBLE_EQ(extrapolate_to_month(util::Bytes{7}, util::Duration::days(30)), 7.0);
 }
 
 }  // namespace

@@ -148,7 +148,7 @@ TEST(BeaconServer, DropsPcbWithBogusInterfaces) {
   const crypto::SigningKey sk_b = keys.key_for(t.as_id(1).value());
   const auto fk_b = crypto::ForwardingKey::derive(t.as_id(1).value(), kDomain);
   // B claims an interface it does not have.
-  const Pcb pcb = Pcb::originate(t.as_id(1), 999, TimePoint::origin(),
+  const Pcb pcb = Pcb::originate(t.as_id(1), IfId{999}, TimePoint::origin(),
                                  Duration::hours(6), sk_b, fk_b);
   a_server.handle_pcb(std::make_shared<const Pcb>(pcb), 0, TimePoint::origin());
   EXPECT_EQ(a_server.store().total_stored(), 0u);

@@ -104,7 +104,7 @@ TEST(BeaconingSim, WarmupExcludedFromAccounting) {
   // less than the full 2 h accounting, and at least the cold first hour
   // (stores are fuller, so a steady hour carries at least as much).
   EXPECT_LT(warm.total_bytes(), cold2h.total_bytes());
-  EXPECT_GE(warm.total_bytes(), cold.total_bytes() / 2);
+  EXPECT_GE(warm.total_bytes().value(), cold.total_bytes().value() / 2);
   EXPECT_EQ(warm.total_bytes(), warm.aggregate_stats().bytes_sent)
       << "server counters reset together with link counters";
 }
@@ -136,8 +136,8 @@ TEST(BeaconingSim, DiversitySteadyStateOrdersOfMagnitudeBelowBaseline) {
     return sim.total_bytes();
   };
 
-  const std::uint64_t baseline = run_bytes(AlgorithmKind::kBaseline);
-  const std::uint64_t diversity = run_bytes(AlgorithmKind::kDiversity);
+  const std::uint64_t baseline = run_bytes(AlgorithmKind::kBaseline).value();
+  const std::uint64_t diversity = run_bytes(AlgorithmKind::kDiversity).value();
   EXPECT_GT(baseline, diversity * 20)
       << "steady-state reduction must be >20x (paper: two orders at scale); "
       << "baseline=" << baseline << " diversity=" << diversity;
@@ -148,7 +148,7 @@ TEST(BeaconingSim, ByteAccountingConsistent) {
   const topo::Topology t = small_core();
   BeaconingSim sim{t, quick_config(AlgorithmKind::kBaseline)};
   sim.run();
-  std::uint64_t interface_total = 0;
+  util::Bytes interface_total{};
   for (const InterfaceUsage& usage : sim.interface_usage()) {
     interface_total += usage.bytes;
   }

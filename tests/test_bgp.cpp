@@ -16,26 +16,29 @@ TEST(Messages, BgpUpdateSizeFollowsRfc4271) {
   // Header 19 + lengths 4 + origin 4 + next-hop 7 + extra attrs + as-path
   // header 5 + one NLRI.
   EXPECT_EQ(bgp_update_size(0, 1, 0),
-            19u + 4 + 4 + 7 + kBgpExtraAttrBytes + 5 + 5);
-  EXPECT_EQ(bgp_update_size(3, 1, 0), bgp_update_size(0, 1, 0) + 3 * 4);
-  EXPECT_EQ(bgp_update_size(3, 4, 0), bgp_update_size(3, 1, 0) + 3 * 5);
+            util::Bytes{19u + 4 + 4 + 7 + kBgpExtraAttrBytes + 5 + 5});
+  EXPECT_EQ(bgp_update_size(3, 1, 0),
+            bgp_update_size(0, 1, 0) + util::Bytes{3 * 4});
+  EXPECT_EQ(bgp_update_size(3, 4, 0),
+            bgp_update_size(3, 1, 0) + util::Bytes{3 * 5});
   // Pure withdrawal has no path attributes.
-  EXPECT_EQ(bgp_update_size(0, 0, 2), 19u + 4 + 2 * 5);
+  EXPECT_EQ(bgp_update_size(0, 0, 2), util::Bytes{19u + 4 + 2 * 5});
 }
 
 TEST(Messages, BgpsecPerHopCostDominates) {
-  const std::size_t one_hop = bgpsec_update_size(1);
-  const std::size_t two_hop = bgpsec_update_size(2);
+  const std::size_t one_hop = bgpsec_update_size(1).value();
+  const std::size_t two_hop = bgpsec_update_size(2).value();
   EXPECT_EQ(two_hop - one_hop, 6u + 118u);
-  EXPECT_GT(one_hop, bgp_update_size(1, 1, 0) * 2)
+  EXPECT_GT(one_hop, bgp_update_size(1, 1, 0).value() * 2)
       << "BGPsec updates are far larger than BGP";
-  EXPECT_GT(bgpsec_update_size(4), bgp_update_size(4, 1, 0) * 5);
+  EXPECT_GT(bgpsec_update_size(4).value(),
+            bgp_update_size(4, 1, 0).value() * 5);
 }
 
 TEST(Messages, AggregationOnlyHelpsBgp) {
   // 10 prefixes, 4-hop path: one BGP update vs 10 BGPsec updates.
-  const std::size_t bgp_bytes = bgp_update_size(4, 10, 0);
-  const std::size_t bgpsec_bytes = 10 * bgpsec_update_size(4);
+  const std::size_t bgp_bytes = bgp_update_size(4, 10, 0).value();
+  const std::size_t bgpsec_bytes = 10 * bgpsec_update_size(4).value();
   EXPECT_GT(bgpsec_bytes, 10 * bgp_bytes / 2);
 }
 

@@ -65,7 +65,7 @@ TEST_F(ControlPlaneFixture, ScopesMatchTableOne) {
 
 TEST_F(ControlPlaneFixture, BeaconingDominatesPushTraffic) {
   run();
-  std::uint64_t beaconing = 0, registrations = 0, revocations = 0;
+  util::Bytes beaconing{}, registrations{}, revocations{};
   for (const auto& row : sim.ledger().rows()) {
     if (row.component == component::kCoreBeaconing ||
         row.component == component::kIntraIsdBeaconing) {
@@ -79,7 +79,7 @@ TEST_F(ControlPlaneFixture, BeaconingDominatesPushTraffic) {
   // proportional and amortized by data traffic + caching, so it is not a
   // scalability driver — see the caching test below.)
   EXPECT_GT(beaconing, registrations);
-  EXPECT_GT(beaconing, revocations * 10);
+  EXPECT_GT(beaconing, revocations * 10u);
 }
 
 TEST_F(ControlPlaneFixture, ResolvePathsReturnsForwardablePaths) {

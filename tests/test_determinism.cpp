@@ -72,7 +72,7 @@ std::string scion_transcript(const topo::Topology& world) {
   }
   for (const auto& row : sim.ledger().rows()) {
     out << row.component << ' ' << row.messages << ' ' << row.operations
-        << ' ' << row.bytes << ' ' << row.messages_by_scope[0] << ' '
+        << ' ' << row.bytes.value() << ' ' << row.messages_by_scope[0] << ' '
         << row.messages_by_scope[1] << ' ' << row.messages_by_scope[2]
         << "\n";
   }
@@ -194,7 +194,8 @@ std::string faulted_transcript(const topo::Topology& world) {
 
   std::ostringstream out;
   for (const auto& row : sim.ledger().rows()) {
-    out << row.component << ' ' << row.messages << ' ' << row.bytes << "\n";
+    out << row.component << ' ' << row.messages << ' ' << row.bytes.value()
+        << "\n";
   }
   const faults::FaultInjectorStats& fs = sim.injector().stats();
   out << "faults " << fs.link_down_events << ' ' << fs.link_up_events << ' '
@@ -362,7 +363,7 @@ std::string grid_search_transcript(const topo::Topology& scion_view,
 
   std::ostringstream out;
   out << std::hexfloat;
-  out << "baseline " << result.baseline_bytes << '\n';
+  out << "baseline " << result.baseline_bytes.value() << '\n';
   for (const ctrl::EvaluatedPoint& p : result.evaluated) {
     out << p.params.alpha << ' ' << p.params.beta << ' ' << p.params.gamma
         << " q=" << p.quality << " o=" << p.overhead << " obj=" << p.objective

@@ -159,7 +159,8 @@ struct InjectorFixture : ::testing::Test {
     for (std::size_t i = 0; i < world.as_count(); ++i) net.add_node();
     for (topo::LinkIndex l = 0; l < world.link_count(); ++l) {
       const topo::Link& link = world.link(l);
-      net.add_channel(link.a, link.b, Duration::milliseconds(1));
+      net.add_channel(sim::NodeId{link.a}, sim::NodeId{link.b},
+                      Duration::milliseconds(1));
     }
   }
 };
@@ -172,10 +173,10 @@ TEST_F(InjectorFixture, ScheduledEventDownAndRestore) {
   injector.arm(TimePoint::origin() + Duration::minutes(1));
 
   simulator.run_until(TimePoint::origin() + Duration::seconds(12));
-  EXPECT_FALSE(net.channel_up(1));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{1}));
   EXPECT_FALSE(injector.link_up(1));
   simulator.run_until(TimePoint::origin() + Duration::seconds(20));
-  EXPECT_TRUE(net.channel_up(1));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{1}));
   EXPECT_TRUE(injector.link_up(1));
   EXPECT_EQ(injector.stats().link_down_events, 1u);
   EXPECT_EQ(injector.stats().link_up_events, 1u);
@@ -189,11 +190,11 @@ TEST_F(InjectorFixture, OverlappingOutagesRestoreCorrectly) {
   // *longer* one ends.
   injector.inject_link_down(1, Duration::seconds(10));
   injector.inject_link_down(1, Duration::seconds(30));
-  EXPECT_FALSE(net.channel_up(1));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{1}));
   simulator.run_until(TimePoint::origin() + Duration::seconds(15));
-  EXPECT_FALSE(net.channel_up(1)) << "second outage still holds the link";
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{1})) << "second outage still holds the link";
   simulator.run_until(TimePoint::origin() + Duration::seconds(31));
-  EXPECT_TRUE(net.channel_up(1));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{1}));
   // Two faults were injected, but the link transitioned back up only once.
   EXPECT_EQ(injector.stats().link_down_events, 2u);
   EXPECT_EQ(injector.stats().link_up_events, 1u);
@@ -214,7 +215,7 @@ TEST_F(InjectorFixture, HooksFireOnlyOnTransitions) {
   EXPECT_EQ(ups, 0) << "permanent outage still holds the link";
   injector.inject_link_up(2);
   EXPECT_EQ(ups, 1);
-  EXPECT_TRUE(net.channel_up(2));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{2}));
   injector.inject_link_up(2);  // extra up is a saturating no-op
   EXPECT_EQ(ups, 1);
 }
@@ -231,9 +232,9 @@ TEST_F(InjectorFixture, NodeOutageSuppressesAndRestores) {
   injector.arm(TimePoint::origin() + Duration::minutes(1));
 
   simulator.run_until(TimePoint::origin() + Duration::seconds(2));
-  EXPECT_FALSE(net.node_up(3));
+  EXPECT_FALSE(net.node_up(sim::NodeId{3}));
   simulator.run_until(TimePoint::origin() + Duration::seconds(10));
-  EXPECT_TRUE(net.node_up(3));
+  EXPECT_TRUE(net.node_up(sim::NodeId{3}));
   EXPECT_EQ(node_downs, 1);
   EXPECT_EQ(node_ups, 1);
   EXPECT_EQ(injector.stats().node_down_events, 1u);
@@ -249,17 +250,17 @@ TEST_F(InjectorFixture, IsdPartitionCutsOnlyBoundaryLinks) {
 
   simulator.run_until(TimePoint::origin() + Duration::seconds(2));
   // Cross-ISD links (0, 3, 4) are cut; intra-ISD links (1, 2) survive.
-  EXPECT_FALSE(net.channel_up(0));
-  EXPECT_TRUE(net.channel_up(1));
-  EXPECT_TRUE(net.channel_up(2));
-  EXPECT_FALSE(net.channel_up(3));
-  EXPECT_FALSE(net.channel_up(4));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{0}));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{1}));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{2}));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{3}));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{4}));
   EXPECT_EQ(injector.stats().partitions, 1u);
   EXPECT_EQ(injector.stats().link_down_events, 3u);
 
   simulator.run_until(TimePoint::origin() + Duration::seconds(15));
-  for (sim::ChannelId ch = 0; ch < 5; ++ch) {
-    EXPECT_TRUE(net.channel_up(ch)) << "channel " << ch;
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    EXPECT_TRUE(net.channel_up(sim::ChannelId{c})) << "channel " << c;
   }
 }
 
@@ -306,9 +307,9 @@ TEST_F(InjectorFixture, ArmInstallsPlanLossAndJitter) {
   plan.jitter_max = Duration::milliseconds(2);
   FaultInjector injector{net, plan, &world};
   injector.arm(TimePoint::origin() + Duration::minutes(1));
-  for (sim::ChannelId ch = 0; ch < net.channel_count(); ++ch) {
-    EXPECT_DOUBLE_EQ(net.loss_probability(ch), 0.25);
-    EXPECT_EQ(net.jitter(ch), Duration::milliseconds(2));
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    EXPECT_DOUBLE_EQ(net.loss_probability(sim::ChannelId{c}), 0.25);
+    EXPECT_EQ(net.jitter(sim::ChannelId{c}), Duration::milliseconds(2));
   }
 }
 
@@ -318,18 +319,18 @@ TEST_F(InjectorFixture, ChannelOfLinkHookMapsParallelLinks) {
   // down, and comes back when the first one recovers.
   FaultInjector::Hooks hooks;
   hooks.channel_of_link = [](topo::LinkIndex l) -> sim::ChannelId {
-    return l == 4 ? 0 : l;
+    return sim::ChannelId{l == 4 ? 0u : l};
   };
   FaultPlan plan;
   FaultInjector injector{net, plan, &world, hooks};
 
   injector.inject_link_down(0, Duration::zero());
-  EXPECT_FALSE(net.channel_up(0));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{0}));
   injector.inject_link_down(4, Duration::zero());
   injector.inject_link_up(0);
-  EXPECT_FALSE(net.channel_up(0)) << "link 4 still holds the channel";
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{0})) << "link 4 still holds the channel";
   injector.inject_link_up(4);
-  EXPECT_TRUE(net.channel_up(0));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{0}));
 }
 
 TEST(FaultInjector, SameSeedSameFlapSequence) {

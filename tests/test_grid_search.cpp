@@ -32,7 +32,7 @@ TEST(GridSearch, EvaluatesCoarsePlusRefinement) {
   const GridSearchResult result = grid_search_diversity_params(core, config);
   // 1x2x1 coarse + 6 refinement points.
   EXPECT_EQ(result.evaluated.size(), 2u + 6u);
-  EXPECT_GT(result.baseline_bytes, 0u);
+  EXPECT_GT(result.baseline_bytes, util::Bytes::zero());
 }
 
 TEST(GridSearch, BestIsArgmaxOfObjective) {
@@ -70,9 +70,9 @@ TEST(GridSearch, EvaluateSinglePointMatchesSearchSetup) {
   GridSearchConfig config = quick_config();
   DiversityParams params;
   const EvaluatedPoint a =
-      evaluate_diversity_params(core, params, config, 1000);
+      evaluate_diversity_params(core, params, config, util::Bytes{1000});
   const EvaluatedPoint b =
-      evaluate_diversity_params(core, params, config, 1000);
+      evaluate_diversity_params(core, params, config, util::Bytes{1000});
   EXPECT_EQ(a.quality, b.quality) << "evaluation is deterministic";
   EXPECT_EQ(a.overhead, b.overhead);
 }

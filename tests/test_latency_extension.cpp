@@ -32,29 +32,32 @@ TEST(LatencyFactor, WeightSharpensPenalty) {
 }
 
 TEST(LatencyExtension, WireSizeGrowsOnlyWhenCarried) {
-  const Pcb plain = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), 3,
+  const Pcb plain = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), topo::IfId{3},
                                             util::TimePoint::origin(),
                                             Duration::hours(6));
-  Pcb with = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), 3,
+  Pcb with = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), topo::IfId{3},
                                      util::TimePoint::origin(),
                                      Duration::hours(6));
   with.enable_latency_extension();
-  EXPECT_EQ(with.wire_size(), plain.wire_size() + kLatencyMetadataBytes);
+  EXPECT_EQ(with.wire_size(),
+            plain.wire_size() + util::Bytes{kLatencyMetadataBytes});
   // The flag survives extension.
-  const Pcb extended = with.extend_unsigned(topo::IsdAsId::make(1, 2), 1, 2,
+  const Pcb extended = with.extend_unsigned(topo::IsdAsId::make(1, 2), topo::IfId{1}, topo::IfId{2},
                                             {}, 12'000);
   EXPECT_EQ(extended.wire_size(),
-            plain.extend_unsigned(topo::IsdAsId::make(1, 2), 1, 2, {})
+            plain
+                    .extend_unsigned(topo::IsdAsId::make(1, 2), topo::IfId{1},
+                                     topo::IfId{2}, {})
                     .wire_size() +
-                2 * kLatencyMetadataBytes);
+                util::Bytes{2 * kLatencyMetadataBytes});
 }
 
 TEST(LatencyExtension, TotalLatencyAccumulates) {
-  Pcb pcb = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), 3,
+  Pcb pcb = Pcb::originate_unsigned(topo::IsdAsId::make(1, 1), topo::IfId{3},
                                     util::TimePoint::origin(),
                                     Duration::hours(6));
-  pcb = pcb.extend_unsigned(topo::IsdAsId::make(1, 2), 1, 2, {}, 10'000);
-  pcb = pcb.extend_unsigned(topo::IsdAsId::make(1, 3), 1, 2, {}, 20'000);
+  pcb = pcb.extend_unsigned(topo::IsdAsId::make(1, 2), topo::IfId{1}, topo::IfId{2}, {}, 10'000);
+  pcb = pcb.extend_unsigned(topo::IsdAsId::make(1, 3), topo::IfId{1}, topo::IfId{2}, {}, 20'000);
   EXPECT_EQ(pcb.total_latency_us(), 30'000u);
 }
 
@@ -64,10 +67,12 @@ TEST(LatencyExtension, LatencyIsSigned) {
   const auto origin = topo::IsdAsId::make(1, 1);
   const auto mid = topo::IsdAsId::make(1, 2);
   const Pcb p0 =
-      Pcb::originate(origin, 3, util::TimePoint::origin(), Duration::hours(6),
+      Pcb::originate(origin, topo::IfId{3}, util::TimePoint::origin(),
+                     Duration::hours(6),
                      keys.key_for(origin.value()),
                      crypto::ForwardingKey::derive(origin.value(), 7));
-  const Pcb p1 = p0.extend_signed(mid, 1, 2, {}, keys.key_for(mid.value()),
+  const Pcb p1 = p0.extend_signed(mid, topo::IfId{1}, topo::IfId{2}, {},
+                                  keys.key_for(mid.value()),
                                   crypto::ForwardingKey::derive(mid.value(), 7),
                                   10'000);
   ASSERT_TRUE(p1.verify(keys));

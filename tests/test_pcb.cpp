@@ -24,14 +24,14 @@ struct PcbFixture : ::testing::Test {
   }
 
   Pcb make_chain() {
-    const Pcb p0 = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
-    const Pcb p1 = p0.extend_signed(middle, 1, 2, {}, sk(middle), fk(middle));
-    return p1.extend_signed(last, 4, 5, {}, sk(last), fk(last));
+    const Pcb p0 = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
+    const Pcb p1 = p0.extend_signed(middle, IfId{1}, IfId{2}, {}, sk(middle), fk(middle));
+    return p1.extend_signed(last, IfId{4}, IfId{5}, {}, sk(last), fk(last));
   }
 };
 
 TEST_F(PcbFixture, OriginateFields) {
-  const Pcb pcb = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb pcb = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   EXPECT_EQ(pcb.origin(), origin);
   EXPECT_EQ(pcb.timestamp(), t0);
   EXPECT_EQ(pcb.expiry(), t0 + lifetime);
@@ -39,11 +39,11 @@ TEST_F(PcbFixture, OriginateFields) {
   EXPECT_EQ(pcb.hops(), 1u);
   ASSERT_EQ(pcb.entries().size(), 1u);
   EXPECT_EQ(pcb.entries()[0].in_if, topo::kNoInterface);
-  EXPECT_EQ(pcb.entries()[0].out_if, 3);
+  EXPECT_EQ(pcb.entries()[0].out_if, IfId{3});
 }
 
 TEST_F(PcbFixture, AgeAndExpiry) {
-  const Pcb pcb = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb pcb = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   const TimePoint later = t0 + Duration::hours(2);
   EXPECT_EQ(pcb.age(later), Duration::hours(2));
   EXPECT_EQ(pcb.remaining_lifetime(later), Duration::hours(4));
@@ -57,7 +57,7 @@ TEST_F(PcbFixture, ExtendAppendsAndPreservesTimestamps) {
   EXPECT_EQ(pcb.origin(), origin);
   EXPECT_EQ(pcb.timestamp(), t0);
   EXPECT_EQ(pcb.entries()[1].isd_as, middle);
-  EXPECT_EQ(pcb.entries()[2].out_if, 5);
+  EXPECT_EQ(pcb.entries()[2].out_if, IfId{5});
 }
 
 TEST_F(PcbFixture, ContainsAs) {
@@ -68,19 +68,23 @@ TEST_F(PcbFixture, ContainsAs) {
 }
 
 TEST_F(PcbFixture, WireSizeFollowsLayout) {
-  const Pcb p0 = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb p0 = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   EXPECT_EQ(p0.wire_size(),
-            kPcbHeaderBytes + kAsEntryFixedBytes + crypto::kSignatureBytes);
-  const Pcb p1 = p0.extend_signed(middle, 1, 2, {}, sk(middle), fk(middle));
+            util::Bytes{kPcbHeaderBytes + kAsEntryFixedBytes +
+                        crypto::kSignatureBytes});
+  const Pcb p1 = p0.extend_signed(middle, IfId{1}, IfId{2}, {}, sk(middle), fk(middle));
   EXPECT_EQ(p1.wire_size(),
-            p0.wire_size() + kAsEntryFixedBytes + crypto::kSignatureBytes);
+            p0.wire_size() + util::Bytes{kAsEntryFixedBytes +
+                                         crypto::kSignatureBytes});
 
   std::vector<PeerEntry> peers(2);
   peers[0].peer_as = last;
   peers[1].peer_as = origin;
-  const Pcb p2 = p1.extend_signed(last, 4, 5, peers, sk(last), fk(last));
-  EXPECT_EQ(p2.wire_size(), p1.wire_size() + kAsEntryFixedBytes +
-                                crypto::kSignatureBytes + 2 * kPeerEntryBytes);
+  const Pcb p2 = p1.extend_signed(last, IfId{4}, IfId{5}, peers, sk(last), fk(last));
+  EXPECT_EQ(p2.wire_size(),
+            p1.wire_size() + util::Bytes{kAsEntryFixedBytes +
+                                         crypto::kSignatureBytes +
+                                         2 * kPeerEntryBytes});
 }
 
 TEST_F(PcbFixture, VerifyAcceptsChain) {
@@ -97,11 +101,11 @@ TEST_F(PcbFixture, VerifyRejectsTamperedInterface) {
   Pcb pcb = make_chain();
   // Re-extend with a modified middle entry: simulate tampering by building
   // a PCB whose middle interface was altered after signing.
-  const Pcb p0 = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb p0 = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   AsEntry forged;
   forged.isd_as = middle;
-  forged.in_if = 1;
-  forged.out_if = 99;  // altered
+  forged.in_if = IfId{1};
+  forged.out_if = IfId{99};  // altered
   // Copy the legitimate signature from the honest chain.
   forged.signature = pcb.entries()[1].signature;
   forged.hop_mac = pcb.entries()[1].hop_mac;
@@ -111,43 +115,43 @@ TEST_F(PcbFixture, VerifyRejectsTamperedInterface) {
 
 TEST_F(PcbFixture, VerifyRejectsRemovedMiddleEntry) {
   const Pcb pcb = make_chain();
-  const Pcb p0 = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb p0 = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   // Splice the last entry directly after the origin (cutting out middle).
   const Pcb spliced = p0.extend(pcb.entries()[2]);
   EXPECT_FALSE(spliced.verify(keys));
 }
 
 TEST_F(PcbFixture, PathKeyIgnoresTimestamps) {
-  const Pcb a = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
-  const Pcb b = Pcb::originate(origin, 3, t0 + Duration::minutes(10), lifetime,
+  const Pcb a = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
+  const Pcb b = Pcb::originate(origin, IfId{3}, t0 + Duration::minutes(10), lifetime,
                                sk(origin), fk(origin));
   EXPECT_EQ(a.path_key(), b.path_key());
 }
 
 TEST_F(PcbFixture, PathKeyDistinguishesPathsAndInterfaces) {
-  const Pcb a = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
-  const Pcb b = Pcb::originate(origin, 4, t0, lifetime, sk(origin), fk(origin));
+  const Pcb a = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
+  const Pcb b = Pcb::originate(origin, IfId{4}, t0, lifetime, sk(origin), fk(origin));
   EXPECT_NE(a.path_key(), b.path_key());
-  const Pcb c = a.extend_signed(middle, 1, 2, {}, sk(middle), fk(middle));
+  const Pcb c = a.extend_signed(middle, IfId{1}, IfId{2}, {}, sk(middle), fk(middle));
   EXPECT_NE(a.path_key(), c.path_key());
 }
 
 TEST_F(PcbFixture, UnsignedVariantsMatchWireSizeOfSigned) {
   const Pcb signed_pcb = make_chain();
-  const Pcb u0 = Pcb::originate_unsigned(origin, 3, t0, lifetime);
-  const Pcb u1 = u0.extend_unsigned(middle, 1, 2, {});
-  const Pcb u2 = u1.extend_unsigned(last, 4, 5, {});
+  const Pcb u0 = Pcb::originate_unsigned(origin, IfId{3}, t0, lifetime);
+  const Pcb u1 = u0.extend_unsigned(middle, IfId{1}, IfId{2}, {});
+  const Pcb u2 = u1.extend_unsigned(last, IfId{4}, IfId{5}, {});
   EXPECT_EQ(u2.wire_size(), signed_pcb.wire_size());
   EXPECT_EQ(u2.path_key(), signed_pcb.path_key());
   EXPECT_FALSE(u2.verify(keys)) << "zeroed signatures must not verify";
 }
 
 TEST_F(PcbFixture, PeerEntryMacsChainFromPredecessor) {
-  const Pcb p0 = Pcb::originate(origin, 3, t0, lifetime, sk(origin), fk(origin));
+  const Pcb p0 = Pcb::originate(origin, IfId{3}, t0, lifetime, sk(origin), fk(origin));
   std::vector<PeerEntry> peers(1);
   peers[0].peer_as = last;
-  peers[0].peer_if = 9;
-  const Pcb p1 = p0.extend_signed(middle, 1, 2, peers, sk(middle), fk(middle));
+  peers[0].peer_if = IfId{9};
+  const Pcb p1 = p0.extend_signed(middle, IfId{1}, IfId{2}, peers, sk(middle), fk(middle));
   const auto& entry = p1.entries()[1];
   ASSERT_EQ(entry.peers.size(), 1u);
   const crypto::HopMac expected = crypto::hop_mac(

@@ -127,8 +127,9 @@ TEST_F(WorldFixture, MakeSegmentTerminatesWithOwnerEntry) {
 TEST_F(WorldFixture, SegmentWireSizeGrowsWithTermination) {
   const PathSegment seg = up_via_a();
   EXPECT_GT(seg.wire_size(),
-            ctrl::kPcbHeaderBytes + 2 * (ctrl::kAsEntryFixedBytes +
-                                         crypto::kSignatureBytes));
+            util::Bytes{ctrl::kPcbHeaderBytes +
+                        2 * (ctrl::kAsEntryFixedBytes +
+                             crypto::kSignatureBytes)});
 }
 
 // --- Combination -------------------------------------------------------------------
@@ -319,9 +320,9 @@ TEST_F(WorldFixture, PathServerCacheTtl) {
 
 TEST_F(WorldFixture, RegistrationBytesCoverSegments) {
   const std::vector<PathSegment> segs{down_to_t(), down_to_s2()};
-  EXPECT_EQ(registration_bytes(segs), kRegistrationHeaderBytes + 4 +
-                                          segs[0].wire_size() + 4 +
-                                          segs[1].wire_size());
+  EXPECT_EQ(registration_bytes(segs), kRegistrationHeaderBytes +
+                                          util::Bytes{4} + segs[0].wire_size() +
+                                          util::Bytes{4} + segs[1].wire_size());
 }
 
 // --- SCMP / failover ----------------------------------------------------------------
@@ -375,7 +376,8 @@ TEST_F(WorldFixture, InjectedFaultsDriveScmpFailover) {
   sim::Network net{simulator};
   for (std::size_t i = 0; i < t.as_count(); ++i) net.add_node();
   for (topo::LinkIndex l = 0; l < t.link_count(); ++l) {
-    net.add_channel(t.link(l).a, t.link(l).b, Duration::milliseconds(1));
+    net.add_channel(sim::NodeId{t.link(l).a}, sim::NodeId{t.link(l).b},
+                    Duration::milliseconds(1));
   }
 
   PathManager manager;
@@ -396,7 +398,7 @@ TEST_F(WorldFixture, InjectedFaultsDriveScmpFailover) {
   injector.arm(TimePoint::origin() + Duration::minutes(2));
 
   simulator.run_until(TimePoint::origin() + Duration::seconds(15));
-  EXPECT_FALSE(net.channel_up(8));
+  EXPECT_FALSE(net.channel_up(sim::ChannelId{8}));
   ASSERT_NE(manager.active(), nullptr);
   EXPECT_EQ(manager.active()->kind, EndToEndPath::Kind::kUpCoreDown)
       << "failed over off the dead peering link";
@@ -405,7 +407,7 @@ TEST_F(WorldFixture, InjectedFaultsDriveScmpFailover) {
   EXPECT_EQ(manager.usable_paths(), 2u);
 
   simulator.run_until(TimePoint::origin() + Duration::minutes(1));
-  EXPECT_TRUE(net.channel_up(8));
+  EXPECT_TRUE(net.channel_up(sim::ChannelId{8}));
   EXPECT_EQ(manager.usable_paths(), 3u)
       << "restoration re-enables the peering path";
   EXPECT_EQ(manager.active()->kind, EndToEndPath::Kind::kUpCoreDown)

@@ -74,10 +74,10 @@ struct SigFixture : ::testing::Test {
     sim = std::make_unique<ControlPlaneSim>(world, c);
     sim->run();
     for (const topo::AsIndex leaf : sim->leaves()) {
-      if (world.as_id(leaf).isd() == 1 && src_leaf == topo::kInvalidAsIndex) {
+      if (world.as_id(leaf).isd() == topo::IsdId{1} && src_leaf == topo::kInvalidAsIndex) {
         src_leaf = leaf;
       }
-      if (world.as_id(leaf).isd() == 2) dst_leaf = leaf;
+      if (world.as_id(leaf).isd() == topo::IsdId{2}) dst_leaf = leaf;
     }
     ASSERT_NE(src_leaf, topo::kInvalidAsIndex);
     ASSERT_NE(dst_leaf, topo::kInvalidAsIndex);
@@ -89,10 +89,11 @@ TEST_F(SigFixture, EncapsulatesAndDelivers) {
   sig.asmap().add(*IpPrefix::parse("10.2.0.0/16"), world.as_id(dst_leaf));
 
   const auto result =
-      sig.send_ip_packet(IpPrefix::parse("10.2.0.5")->address, 1200);
+      sig.send_ip_packet(IpPrefix::parse("10.2.0.5")->address, util::Bytes{1200});
   EXPECT_TRUE(result.delivered) << result.error;
   EXPECT_EQ(result.remote_as, dst_leaf);
-  EXPECT_GT(result.wire_bytes, 1200u) << "SCION header + SIG framing added";
+  EXPECT_GT(result.wire_bytes, util::Bytes{1200})
+      << "SCION header + SIG framing added";
   EXPECT_EQ(sig.stats().packets_delivered, 1u);
   EXPECT_EQ(sig.stats().path_resolutions, 1u);
 }
@@ -101,7 +102,7 @@ TEST_F(SigFixture, PathCacheAvoidsRepeatedResolution) {
   Sig sig{*sim, src_leaf};
   sig.asmap().add(*IpPrefix::parse("10.2.0.0/16"), world.as_id(dst_leaf));
   for (int i = 0; i < 10; ++i) {
-    sig.send_ip_packet(IpPrefix::parse("10.2.0.5")->address, 100);
+    sig.send_ip_packet(IpPrefix::parse("10.2.0.5")->address, util::Bytes{100});
   }
   EXPECT_EQ(sig.stats().path_resolutions, 1u);
   EXPECT_EQ(sig.stats().packets_delivered, 10u);
@@ -110,7 +111,7 @@ TEST_F(SigFixture, PathCacheAvoidsRepeatedResolution) {
 TEST_F(SigFixture, UnmappedDestinationDropped) {
   Sig sig{*sim, src_leaf};
   const auto result =
-      sig.send_ip_packet(IpPrefix::parse("8.8.8.8")->address, 100);
+      sig.send_ip_packet(IpPrefix::parse("8.8.8.8")->address, util::Bytes{100});
   EXPECT_FALSE(result.delivered);
   EXPECT_EQ(sig.stats().packets_dropped_no_mapping, 1u);
 }
@@ -119,16 +120,16 @@ TEST_F(SigFixture, LocalDeliveryNeedsNoEncap) {
   Sig sig{*sim, src_leaf};
   sig.asmap().add(*IpPrefix::parse("10.1.0.0/16"), world.as_id(src_leaf));
   const auto result =
-      sig.send_ip_packet(IpPrefix::parse("10.1.0.9")->address, 500);
+      sig.send_ip_packet(IpPrefix::parse("10.1.0.9")->address, util::Bytes{500});
   EXPECT_TRUE(result.delivered);
-  EXPECT_EQ(result.wire_bytes, 500u);
+  EXPECT_EQ(result.wire_bytes, util::Bytes{500});
 }
 
 TEST_F(SigFixture, FailsOverOnLinkFailure) {
   Sig sig{*sim, src_leaf};
   sig.asmap().add(*IpPrefix::parse("10.2.0.0/16"), world.as_id(dst_leaf));
   const auto dst_ip = IpPrefix::parse("10.2.0.5")->address;
-  const auto first = sig.send_ip_packet(dst_ip, 100);
+  const auto first = sig.send_ip_packet(dst_ip, util::Bytes{100});
   ASSERT_TRUE(first.delivered) << first.error;
 
   // Take down every link of the active path's first hop alternative by
@@ -137,7 +138,7 @@ TEST_F(SigFixture, FailsOverOnLinkFailure) {
   std::size_t failovers_or_drops = 0;
   for (int round = 0; round < 6; ++round) {
     // Fail the first link of the path the SIG would use now.
-    const auto probe = sig.send_ip_packet(dst_ip, 100);
+    const auto probe = sig.send_ip_packet(dst_ip, util::Bytes{100});
     if (!probe.delivered) {
       ++failovers_or_drops;
       break;
@@ -153,7 +154,7 @@ TEST_F(SigFixture, FailsOverOnLinkFailure) {
     }(), Duration::hours(1));
   }
   // After all provider links of dst are dead, delivery must fail cleanly.
-  const auto last = sig.send_ip_packet(dst_ip, 100);
+  const auto last = sig.send_ip_packet(dst_ip, util::Bytes{100});
   EXPECT_FALSE(last.delivered);
   EXPECT_GT(sig.stats().packets_dropped_no_path, 0u);
 }
@@ -165,8 +166,9 @@ TEST(DeployedLink, WireBytesPerModel) {
   native.model = InterIspModel::kNativeCrossConnect;
   DeployedLinkConfig roas = native;
   roas.model = InterIspModel::kRouterOnAStick;
-  EXPECT_EQ(DeployedLink{native}.wire_bytes(1000), 1000u);
-  EXPECT_EQ(DeployedLink{roas}.wire_bytes(1000), 1000u + kIpEncapOverheadBytes);
+  EXPECT_EQ(DeployedLink{native}.wire_bytes(util::Bytes{1000}), util::Bytes{1000});
+  EXPECT_EQ(DeployedLink{roas}.wire_bytes(util::Bytes{1000}),
+            util::Bytes{1000} + kIpEncapOverheadBytes);
 }
 
 TEST(DeployedLink, QueuingDisciplineGuaranteesShare) {

@@ -77,13 +77,58 @@ TEST(Simulator, PeriodicFiresRepeatedly) {
 TEST(Simulator, PeriodicCancelStopsFutureFirings) {
   Simulator sim;
   int fired = 0;
-  const std::uint64_t id = sim.schedule_periodic(
+  const TimerId id = sim.schedule_periodic(
       TimePoint::origin() + Duration::seconds(1), Duration::seconds(1),
       [&] { ++fired; });
   sim.schedule_at(TimePoint::origin() + Duration::milliseconds(3500),
                   [&] { sim.cancel_periodic(id); });
   sim.run_until(TimePoint::origin() + Duration::seconds(10));
   EXPECT_EQ(fired, 3);  // t = 1, 2, 3
+}
+
+TEST(Simulator, PeriodicSelfCancelLeavesNoTombstone) {
+  // A timer that cancels its own id mid-callback must not re-arm: run()
+  // drains at the cancellation tick instead of idling until the next period.
+  Simulator sim;
+  int fired = 0;
+  TimerId id = kInvalidTimer;
+  id = sim.schedule_periodic(TimePoint::origin() + Duration::seconds(1),
+                             Duration::hours(24), [&] {
+                               ++fired;
+                               sim.cancel_periodic(id);
+                             });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(1));
+}
+
+TEST(Simulator, PeriodicCallbackMayRegisterNewPeriodics) {
+  // Registering from inside a firing callback grows `periodics_` while
+  // fire_periodic holds a reference into it — the deque keeps it stable.
+  Simulator sim;
+  int outer = 0;
+  int inner = 0;
+  TimerId inner_id = kInvalidTimer;
+  const TimerId outer_id = sim.schedule_periodic(
+      TimePoint::origin() + Duration::seconds(1), Duration::seconds(1), [&] {
+        ++outer;
+        if (outer == 1) {
+          inner_id = sim.schedule_periodic(
+              TimePoint::origin() + Duration::milliseconds(1500),
+              Duration::seconds(1), [&] { ++inner; });
+        }
+      });
+  EXPECT_NE(outer_id, inner_id);
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(4800));
+  EXPECT_EQ(outer, 4);  // t = 1, 2, 3, 4
+  EXPECT_EQ(inner, 4);  // t = 1.5, 2.5, 3.5, 4.5
+  EXPECT_NE(outer_id, inner_id);
+  sim.cancel_periodic(inner_id);
+  sim.cancel_periodic(outer_id);
+  sim.run();
+  EXPECT_EQ(outer, 4);
+  EXPECT_EQ(inner, 4);
 }
 
 TEST(Network, DeliversAfterLatency) {
@@ -101,9 +146,9 @@ TEST(Network, DeliversAfterLatency) {
     EXPECT_EQ(msg.from, a);
     EXPECT_EQ(msg.to, b);
     EXPECT_EQ(msg.channel, ch);
-    EXPECT_EQ(msg.bytes, 100u);
+    EXPECT_EQ(msg.bytes, Bytes{100});
   });
-  net.send(ch, a, 100, std::string{"hello"});
+  net.send(ch, a, Bytes{100}, std::string{"hello"});
   sim.run();
   EXPECT_EQ(delivered, TimePoint::origin() + Duration::milliseconds(10));
   EXPECT_EQ(payload, "hello");
@@ -115,17 +160,17 @@ TEST(Network, CountsBytesPerDirection) {
   const NodeId a = net.add_node();
   const NodeId b = net.add_node();
   const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
-  net.send(ch, a, 100, 0);
-  net.send(ch, a, 50, 0);
-  net.send(ch, b, 7, 0);
+  net.send(ch, a, Bytes{100}, 0);
+  net.send(ch, a, Bytes{50}, 0);
+  net.send(ch, b, Bytes{7}, 0);
   sim.run();
-  EXPECT_EQ(net.stats_from(ch, a).bytes, 150u);
+  EXPECT_EQ(net.stats_from(ch, a).bytes, Bytes{150});
   EXPECT_EQ(net.stats_from(ch, a).messages, 2u);
-  EXPECT_EQ(net.stats_from(ch, b).bytes, 7u);
-  EXPECT_EQ(net.total_bytes(ch), 157u);
-  EXPECT_EQ(net.total_bytes_all(), 157u);
+  EXPECT_EQ(net.stats_from(ch, b).bytes, Bytes{7});
+  EXPECT_EQ(net.total_bytes(ch), Bytes{157});
+  EXPECT_EQ(net.total_bytes_all(), Bytes{157});
   net.reset_stats();
-  EXPECT_EQ(net.total_bytes_all(), 0u);
+  EXPECT_EQ(net.total_bytes_all(), Bytes::zero());
 }
 
 TEST(Network, DownChannelDropsSilently) {
@@ -138,13 +183,13 @@ TEST(Network, DownChannelDropsSilently) {
   net.set_handler(b, [&](const Message&) { ++received; });
 
   net.set_channel_up(ch, false);
-  net.send(ch, a, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(received, 0);
-  EXPECT_EQ(net.total_bytes(ch), 0u) << "down links carry no bytes";
+  EXPECT_EQ(net.total_bytes(ch), Bytes::zero()) << "down links carry no bytes";
 
   net.set_channel_up(ch, true);
-  net.send(ch, a, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(received, 1);
 }
@@ -157,14 +202,14 @@ TEST(Network, MessageInFlightDroppedIfChannelFails) {
   const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(10));
   int received = 0;
   net.set_handler(b, [&](const Message&) { ++received; });
-  net.send(ch, a, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
   sim.schedule_after(Duration::milliseconds(5),
                      [&] { net.set_channel_up(ch, false); });
   sim.run();
   EXPECT_EQ(received, 0);
   // Drop-at-delivery: the transmission happened, so bytes stay counted,
   // but the loss is accounted as an in-flight drop.
-  EXPECT_EQ(net.stats_from(ch, a).bytes, 10u);
+  EXPECT_EQ(net.stats_from(ch, a).bytes, Bytes{10});
   EXPECT_EQ(net.drop_stats().in_flight, 1u);
   EXPECT_EQ(net.drop_stats().total(), 1u);
 }
@@ -176,7 +221,7 @@ TEST(Network, DownChannelDropCounted) {
   const NodeId b = net.add_node();
   const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(1));
   net.set_channel_up(ch, false);
-  net.send(ch, a, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(net.drop_stats().link_down, 1u);
   net.reset_stats();
@@ -195,16 +240,16 @@ TEST(Network, NodeDownSuppressesBothDirections) {
 
   EXPECT_TRUE(net.node_up(b));
   net.set_node_up(b, false);
-  net.send(ch, a, 10, 0);  // dropped at delivery: destination is down
-  net.send(ch, b, 10, 0);  // dropped at source: sender is down
+  net.send(ch, a, Bytes{10}, 0);  // dropped at delivery: destination is down
+  net.send(ch, b, Bytes{10}, 0);  // dropped at source: sender is down
   sim.run();
   EXPECT_EQ(received_a, 0);
   EXPECT_EQ(received_b, 0);
   EXPECT_EQ(net.drop_stats().node_down, 2u);
 
   net.set_node_up(b, true);
-  net.send(ch, a, 10, 0);
-  net.send(ch, b, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
+  net.send(ch, b, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(received_a, 1);
   EXPECT_EQ(received_b, 1);
@@ -218,7 +263,7 @@ TEST(Network, NodeDownWhileMessageInFlight) {
   const ChannelId ch = net.add_channel(a, b, Duration::milliseconds(10));
   int received = 0;
   net.set_handler(b, [&](const Message&) { ++received; });
-  net.send(ch, a, 10, 0);
+  net.send(ch, a, Bytes{10}, 0);
   sim.schedule_after(Duration::milliseconds(5),
                      [&] { net.set_node_up(b, false); });
   sim.run();
@@ -239,14 +284,14 @@ TEST(Network, LossProbabilityExtremes) {
 
   net.set_loss_probability(ch, 1.0);
   EXPECT_EQ(net.loss_probability(ch), 1.0);
-  for (int i = 0; i < 20; ++i) net.send(ch, a, 10, 0);
+  for (int i = 0; i < 20; ++i) net.send(ch, a, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(net.drop_stats().loss, 20u);
-  EXPECT_EQ(net.total_bytes(ch), 0u) << "lost messages never enter the wire";
+  EXPECT_EQ(net.total_bytes(ch), Bytes::zero()) << "lost messages never enter the wire";
 
   net.set_loss_probability(ch, 0.0);
-  for (int i = 0; i < 20; ++i) net.send(ch, a, 10, 0);
+  for (int i = 0; i < 20; ++i) net.send(ch, a, Bytes{10}, 0);
   sim.run();
   EXPECT_EQ(received, 20);
   EXPECT_EQ(net.drop_stats().loss, 20u);
@@ -264,7 +309,7 @@ TEST(Network, LossProbabilityIsStatistical) {
   net.set_handler(b, [&](const Message&) { ++received; });
   net.set_loss_probability(ch, 0.5);
   const int n = 1000;
-  for (int i = 0; i < n; ++i) net.send(ch, a, 1, 0);
+  for (int i = 0; i < n; ++i) net.send(ch, a, Bytes{1}, 0);
   sim.run();
   EXPECT_GT(received, 400);
   EXPECT_LT(received, 600);
@@ -289,7 +334,7 @@ TEST(Network, JitterStaysWithinBounds) {
     delays.push_back(sim.now() - TimePoint::origin());
   });
   const int n = 50;
-  for (int i = 0; i < n; ++i) net.send(ch, a, 1, 0);
+  for (int i = 0; i < n; ++i) net.send(ch, a, Bytes{1}, 0);
   sim.run();
   ASSERT_EQ(delays.size(), static_cast<std::size_t>(n));
   bool any_jittered = false;
@@ -311,8 +356,8 @@ TEST(Network, ParallelChannelsBetweenSamePair) {
   EXPECT_NE(ch1, ch2);
   int received = 0;
   net.set_handler(b, [&](const Message&) { ++received; });
-  net.send(ch1, a, 1, 0);
-  net.send(ch2, a, 1, 0);
+  net.send(ch1, a, Bytes{1}, 0);
+  net.send(ch2, a, Bytes{1}, 0);
   sim.run();
   EXPECT_EQ(received, 2);
   EXPECT_EQ(net.peer(ch1, a), b);

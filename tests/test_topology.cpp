@@ -14,7 +14,7 @@ namespace {
 
 TEST(IsdAsId, PackAndUnpack) {
   const IsdAsId id = IsdAsId::make(200, 0xFFFFFFFFFFFF);
-  EXPECT_EQ(id.isd(), 200);
+  EXPECT_EQ(id.isd(), IsdId{200});
   EXPECT_EQ(id.as_number(), 0xFFFFFFFFFFFFULL);
   EXPECT_TRUE(id.valid());
   EXPECT_FALSE(IsdAsId{}.valid());
@@ -23,7 +23,7 @@ TEST(IsdAsId, PackAndUnpack) {
 TEST(IsdAsId, AsNumberTruncatesTo48Bits) {
   const IsdAsId id = IsdAsId::make(1, 0xFFFF'0000'0000'0001ULL);
   EXPECT_EQ(id.as_number(), 1u);
-  EXPECT_EQ(id.isd(), 1);
+  EXPECT_EQ(id.isd(), IsdId{1});
 }
 
 TEST(IsdAsId, StringRoundTrip) {
@@ -78,7 +78,7 @@ TEST(Topology, NeighborAndInterfaceLookup) {
   EXPECT_EQ(t.neighbor(0, 1), 0u);
   const IfId if_a = t.interface_of(0, 0);
   EXPECT_EQ(t.link_by_interface(0, if_a), std::optional<LinkIndex>{0});
-  EXPECT_EQ(t.link_by_interface(0, 999), std::nullopt);
+  EXPECT_EQ(t.link_by_interface(0, IfId{999}), std::nullopt);
 }
 
 TEST(Topology, LinksBetweenSeesParallelLinks) {

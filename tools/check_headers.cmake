@@ -1,0 +1,68 @@
+# Header self-containment gate: every public header must compile as its own
+# translation unit (all of its dependencies reachable through its own
+# includes). Run as a ctest via `cmake -P`:
+#
+#   cmake -DCXX=<compiler> -DINCLUDE_DIR=<root> -DOUT=<scratch dir>
+#         [-DSCAN=<dir>] [-DHEADER=<file>] [-DEXTRA_FLAGS=<flags>]
+#         -P check_headers.cmake
+#
+#   CXX          C++ compiler to invoke (-std=c++20 -fsyntax-only).
+#   INCLUDE_DIR  include root the headers are resolved against (src/).
+#   OUT          scratch directory for the generated one-line TUs.
+#   SCAN         directory to glob *.hpp under (default: INCLUDE_DIR).
+#   HEADER       check exactly one header instead of globbing (fixture mode;
+#                the WILL_FAIL ctest points this at a deliberately
+#                non-self-contained header).
+#   EXTRA_FLAGS  extra compiler flags, ;-separated.
+#
+# Headers are checked in sorted order; every failure is reported before the
+# script aborts, so one broken header does not mask another.
+
+if(NOT DEFINED CXX OR NOT DEFINED INCLUDE_DIR OR NOT DEFINED OUT)
+  message(FATAL_ERROR "check_headers.cmake needs -DCXX, -DINCLUDE_DIR, -DOUT")
+endif()
+if(NOT DEFINED SCAN)
+  set(SCAN ${INCLUDE_DIR})
+endif()
+
+if(DEFINED HEADER)
+  set(headers ${HEADER})
+else()
+  file(GLOB_RECURSE headers ${SCAN}/*.hpp)
+  list(SORT headers)
+endif()
+
+file(MAKE_DIRECTORY ${OUT})
+
+set(failures 0)
+set(checked 0)
+foreach(header IN LISTS headers)
+  # The TU includes the header by the path users spell (relative to the
+  # include root), so the check also proves the header's own includes
+  # resolve through that root.
+  file(RELATIVE_PATH rel ${INCLUDE_DIR} ${header})
+  string(REPLACE "/" "_" tu_name ${rel})
+  set(tu ${OUT}/${tu_name}.cpp)
+  file(WRITE ${tu} "#include \"${rel}\"\n")
+
+  set(flags -std=c++20 -fsyntax-only -I ${INCLUDE_DIR})
+  if(DEFINED EXTRA_FLAGS)
+    list(APPEND flags ${EXTRA_FLAGS})
+  endif()
+  execute_process(
+      COMMAND ${CXX} ${flags} ${tu}
+      RESULT_VARIABLE rc
+      ERROR_VARIABLE err
+      OUTPUT_QUIET)
+  math(EXPR checked "${checked} + 1")
+  if(NOT rc EQUAL 0)
+    math(EXPR failures "${failures} + 1")
+    message(SEND_ERROR "header not self-contained: ${rel}\n${err}")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR
+      "${failures} of ${checked} header(s) failed the self-containment gate")
+endif()
+message(STATUS "header self-containment: ${checked} header(s) OK")

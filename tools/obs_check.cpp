@@ -234,6 +234,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "obs_check: %d failure(s)\n", g_failures);
     return 1;
   }
-  std::printf("obs_check: all artifacts valid\n");
+  // The validator's verdict is its product, not simulation output.
+  std::printf("obs_check: all artifacts valid\n");  // simlint:allow(raw-output)
   return 0;
 }

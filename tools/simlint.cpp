@@ -1,12 +1,22 @@
 // simlint driver: lints the given files / directories (recursively, *.hpp
-// *.cpp *.h) and reports determinism hazards. See simlint_core.hpp for the
-// rule set and the `// simlint:allow(<rule>)` escape hatch.
+// *.cpp *.h) and reports determinism hazards plus architecture (layering)
+// violations. See simlint_core.hpp for the determinism rule set,
+// simlint_includes.hpp for the include-graph rules, and the
+// `// simlint:allow(<rule>)` escape hatch shared by both.
+//
+// --dot=PATH writes the observed module include graph as deterministic DOT
+// (sorted nodes/edges) so DESIGN.md's dependency table can be reviewed
+// against reality.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 //
-// Registered as a ctest (`ctest -R simlint`) over src/, so tier-1 keeps the
-// tree hazard-free.
+// Registered as a ctest (`ctest -R simlint`) over src/, bench/, and tools/,
+// so tier-1 keeps the tree hazard-free. Directories named simlint_fixtures
+// hold deliberately-broken test vectors and are skipped during directory
+// walks (they can still be linted by passing the files explicitly, which is
+// how the WILL_FAIL fixture tests invoke them).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -14,6 +24,7 @@
 #include <vector>
 
 #include "tools/simlint_core.hpp"
+#include "tools/simlint_includes.hpp"
 
 namespace {
 
@@ -24,12 +35,21 @@ bool lintable(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-bool add_path(scion::lint::Linter& linter, const fs::path& path) {
+bool fixture_dir(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "simlint_fixtures") return true;
+  }
+  return false;
+}
+
+bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
+              const fs::path& path) {
   std::error_code ec;
   if (fs::is_directory(path, ec)) {
     std::vector<fs::path> files;
     for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
-      if (entry.is_regular_file() && lintable(entry.path())) {
+      if (entry.is_regular_file() && lintable(entry.path()) &&
+          !fixture_dir(entry.path())) {
         files.push_back(entry.path());
       }
     }
@@ -41,7 +61,7 @@ bool add_path(scion::lint::Linter& linter, const fs::path& path) {
     // Deterministic report order regardless of directory enumeration.
     std::sort(files.begin(), files.end());
     for (const fs::path& f : files) {
-      if (!add_path(linter, f)) return false;
+      if (!add_path(linter, graph, f)) return false;
     }
     return true;
   }
@@ -53,33 +73,60 @@ bool add_path(scion::lint::Linter& linter, const fs::path& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  linter.add_file(path.generic_string(), std::move(buf).str());
+  std::string content = std::move(buf).str();
+  linter.add_file(path.generic_string(), content);
+  graph.add_file(path.generic_string(), content);
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::string dot_path;
+  std::vector<const char*> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dot=", 6) == 0) {
+      dot_path = argv[i] + 6;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: simlint <file-or-dir>...\n"
+                 "usage: simlint [--dot=PATH] <file-or-dir>...\n"
                  "rules: wall-clock std-rng unordered-iter float-accum "
-                 "raw-output\n"
+                 "raw-output raw-thread layering module-cycle\n"
                  "suppress with // simlint:allow(<rule>) on or above the "
-                 "offending line\n");
+                 "offending line\n"
+                 "--dot=PATH writes the observed module include graph as "
+                 "deterministic DOT\n");
     return 2;
   }
 
   scion::lint::Linter linter;
-  for (int i = 1; i < argc; ++i) {
-    if (!add_path(linter, argv[i])) return 2;
+  scion::lint::IncludeGraph graph;
+  for (const char* input : inputs) {
+    if (!add_path(linter, graph, input)) return 2;
   }
 
-  const std::vector<scion::lint::Finding> findings = linter.run();
+  std::vector<scion::lint::Finding> findings = linter.run();
+  for (scion::lint::Finding& f : graph.check()) {
+    findings.push_back(std::move(f));
+  }
   for (const scion::lint::Finding& f : findings) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                  f.rule.c_str(), f.message.c_str());
   }
+
+  if (!dot_path.empty()) {
+    std::ofstream out{dot_path, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "simlint: cannot write %s\n", dot_path.c_str());
+      return 2;
+    }
+    out << graph.to_dot();
+  }
+
   if (!findings.empty()) {
     std::fprintf(stderr, "simlint: %zu finding(s)\n", findings.size());
     return 1;

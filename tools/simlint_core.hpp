@@ -66,9 +66,11 @@ struct Finding {
 };
 
 inline const std::vector<std::string>& rule_names() {
+  // layering / module-cycle are produced by the include-graph analyzer
+  // (simlint_includes.hpp); the rest by Linter::run().
   static const std::vector<std::string> kNames{
-      "wall-clock", "std-rng",    "unordered-iter",
-      "float-accum", "raw-output", "raw-thread"};
+      "wall-clock",  "std-rng",    "unordered-iter", "float-accum",
+      "raw-output",  "raw-thread", "layering",       "module-cycle"};
   return kNames;
 }
 
