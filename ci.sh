@@ -29,18 +29,49 @@ case "$preset" in
 esac
 # Determinism + architecture lint: simulator sources, benches, and tools.
 # The observed module include graph lands in $build_dir/include_graph.dot
-# (deterministic DOT) for review against DESIGN.md's dependency table.
-"$build_dir/tools/simlint" --dot="$build_dir/include_graph.dot" src bench tools
+# (deterministic DOT) for review against DESIGN.md's dependency table, and
+# the hot-path cost report is diffed against the checked-in baseline
+# (tools/cost_baseline.json): any per-(file, rule) count increase inside an
+# annotated hot region — even a simlint:allow-suppressed one — fails here
+# until the baseline is updated deliberately.
+"$build_dir/tools/simlint" --dot="$build_dir/include_graph.dot" \
+  --cost-report="$build_dir/cost_report.json" \
+  --cost-baseline=tools/cost_baseline.json \
+  src bench tools
+
+# Both lint artifacts are published for review: the include graph for
+# DESIGN.md's dependency table, the cost report for hot-path cost triage.
+artifact_dir="$build_dir/artifacts"
+mkdir -p "$artifact_dir"
+cp "$build_dir/include_graph.dot" "$build_dir/cost_report.json" "$artifact_dir/"
+echo "ci: artifacts: $artifact_dir/include_graph.dot $artifact_dir/cost_report.json"
 
 # clang-tidy gate (check set pinned by .clang-tidy at the repo root, run
-# against the compile database the configure step exports). Not every image
-# ships clang-tidy; the skip is loud so a runner that should have it cannot
-# silently lose the gate.
-if command -v clang-tidy >/dev/null 2>&1; then
+# against the compile database the configure step exports). The binary is
+# pinned: CLANG_TIDY overrides, else the first pinned versioned name found
+# wins, so an unpinned distro default cannot drift the check set. A runner
+# without any of them fails hard — losing the gate must be explicit, via
+# CI_ALLOW_MISSING_CLANG_TIDY=1 (used by minimal images that bake only the
+# compiler toolchain; every run prints which path was taken).
+clang_tidy="${CLANG_TIDY:-}"
+if [ -z "$clang_tidy" ]; then
+  for candidate in clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clang_tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [ -n "$clang_tidy" ]; then
+  echo "ci: clang-tidy gate using $clang_tidy ($("$clang_tidy" --version | head -n 1))"
   find src -name '*.cpp' | sort | \
-    xargs clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*'
+    xargs "$clang_tidy" -p "$build_dir" --quiet --warnings-as-errors='*'
+elif [ "${CI_ALLOW_MISSING_CLANG_TIDY:-0}" = "1" ]; then
+  echo "ci: WARNING: clang-tidy not found; gate skipped because CI_ALLOW_MISSING_CLANG_TIDY=1" >&2
 else
-  echo "ci: WARNING: clang-tidy not found on PATH; skipping the clang-tidy gate" >&2
+  echo "ci: ERROR: no clang-tidy on PATH (tried CLANG_TIDY, clang-tidy-19/-18/-17, clang-tidy)." >&2
+  echo "ci: install one, set CLANG_TIDY=/path/to/clang-tidy, or opt out explicitly with CI_ALLOW_MISSING_CLANG_TIDY=1" >&2
+  exit 1
 fi
 
 obs_dir="$build_dir/obs_ci"
@@ -93,4 +124,4 @@ mkdir -p "$par_dir"
   --trace="$par_dir/trace.jsonl" --expect-cat=beacon,bgp \
   --bench="$par_dir/bench.json"
 
-echo "ci: $preset build, tests, simlint (determinism + layering), fault smoke, parallel smoke, and telemetry artifacts all green"
+echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, parallel smoke, and telemetry artifacts all green"

@@ -32,6 +32,11 @@ struct BgpUpdateMsg {
   std::vector<Prefix> withdrawn;
 };
 
+/// Immutable shared UPDATE, the form a message takes on the simulated wire:
+/// one allocation when sent, refcount bumps from there to every reader
+/// (delivery closure, monitor accounting, RIB ingestion).
+using BgpUpdateRef = std::shared_ptr<const BgpUpdateMsg>;
+
 // --- RFC 4271 field sizes -------------------------------------------------
 /// Fixed header: marker (16) + length (2) + type (1).
 inline constexpr std::size_t kBgpHeaderBytes = 19;

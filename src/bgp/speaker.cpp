@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 namespace scion::bgp {
 
@@ -142,6 +143,11 @@ void Speaker::reevaluate(Prefix p) {
   }
 }
 
+// Once per delivered UPDATE. The RIB maps are the protocol state itself:
+// per-event lookups and growth there are the decision process, not scratch
+// churn, and the ordered containers are load-bearing for determinism (see
+// the member comments) — hence the allows below.
+SCION_HOT_FN
 void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
   const std::size_t idx = index_of(from);
   NeighborState& n = neighbors_[idx];
@@ -152,6 +158,7 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
   SCION_METRIC_COUNT("bgp.prefixes_announced", msg.announced.size());
 
   for (Prefix p : msg.withdrawn) {
+    // simlint:allow(hot-map-lookup)
     const auto it = rib_in_.find(p);
     if (it == rib_in_.end() || !it->second[idx].path) continue;
     it->second[idx] = Route{};
@@ -162,7 +169,10 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
     SCION_CHECK(msg.path, "announcement without an AS path");
     if (contains(msg.path, self_)) return;  // AS-path loop, discard
     for (Prefix p : msg.announced) {
+      // simlint:allow(hot-alloc) simlint:allow(hot-map-lookup)
       auto [it, inserted] = rib_in_.try_emplace(p);
+      // One slot table the first time a prefix is ever seen; steady-state
+      // UPDATEs hit the existing row. simlint:allow(hot-alloc)
       if (inserted) it->second.resize(neighbors_.size());
       SCION_DCHECK(it->second.size() == neighbors_.size(),
                    "Adj-RIB-In slot table out of sync with neighbor set");
@@ -286,13 +296,13 @@ void Speaker::flush(std::size_t idx) {
       msg.withdrawn = std::move(withdrawals);
       ++updates_sent_;
       SCION_METRIC_COUNT("bgp.updates_sent", 1);
-      send_(n.info.as, msg);
+      send_(n.info.as, std::move(msg));
     }
   }
   for (BgpUpdateMsg& msg : grouped) {
     ++updates_sent_;
     SCION_METRIC_COUNT("bgp.updates_sent", 1);
-    send_(n.info.as, msg);
+    send_(n.info.as, std::move(msg));
   }
 }
 

@@ -43,8 +43,9 @@ class Speaker {
     std::size_t length() const { return path ? path->size() : 0; }
   };
 
-  using SendFn =
-      std::function<void(topo::AsIndex neighbor, const BgpUpdateMsg&)>;
+  /// By value: flush() hands each UPDATE over by move, so a sink that
+  /// wraps it in a BgpUpdateRef takes the prefix vectors without copying.
+  using SendFn = std::function<void(topo::AsIndex neighbor, BgpUpdateMsg)>;
   using ScheduleFn =
       std::function<void(util::Duration delay, std::function<void()>)>;
 

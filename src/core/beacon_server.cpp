@@ -3,6 +3,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 #include <algorithm>
 #include <array>
@@ -72,32 +73,38 @@ BeaconServer::BeaconServer(const topo::Topology& topology, topo::AsIndex self,
   }
 }
 
-std::vector<topo::LinkIndex> BeaconServer::resolve_links(
-    const Pcb& pcb, topo::LinkIndex ingress) const {
-  std::vector<topo::LinkIndex> links;
-  links.reserve(pcb.entries().size());
+// Once per received PCB. Writes into the caller's scratch vector, which
+// keeps its capacity across PCBs — resolution itself never allocates once
+// the scratch has grown to the longest path seen.
+SCION_HOT_FN
+bool BeaconServer::resolve_links(const Pcb& pcb, topo::LinkIndex ingress,
+                                 std::vector<topo::LinkIndex>& out) const {
+  out.clear();
   const auto& entries = pcb.entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto as = topology_.find(entries[i].isd_as);
-    if (!as) return {};
+    if (!as) return false;
     const auto link = topology_.link_by_interface(*as, entries[i].out_if);
-    if (!link) return {};
+    if (!link) return false;
     // The link must lead to the next AS on the path (or to us for the last
     // entry), entering on the interface recorded there.
     const topo::AsIndex next_as = topology_.neighbor(*link, *as);
     const topo::IfId next_in = topology_.interface_of(*link, next_as);
     if (i + 1 < entries.size()) {
       const auto expected = topology_.find(entries[i + 1].isd_as);
-      if (!expected || next_as != *expected) return {};
-      if (next_in != entries[i + 1].in_if) return {};
+      if (!expected || next_as != *expected) return false;
+      if (next_in != entries[i + 1].in_if) return false;
     } else {
-      if (next_as != self_ || *link != ingress) return {};
+      if (next_as != self_ || *link != ingress) return false;
     }
-    links.push_back(*link);
+    // simlint:allow(hot-alloc) — scratch capacity persists across PCBs.
+    out.push_back(*link);
   }
-  return links;
+  return true;
 }
 
+// The beaconing inner loop: every PCB the network delivers lands here.
+SCION_HOT_FN
 void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
                               TimePoint now) {
   SCION_CHECK(pcb && !pcb->entries().empty(), "received PCB must be non-empty");
@@ -117,19 +124,18 @@ void BeaconServer::handle_pcb(const PcbRef& pcb, topo::LinkIndex ingress,
     SCION_METRIC_COUNT("beacon.verify_failures", 1);
     return;
   }
-  std::vector<topo::LinkIndex> links = resolve_links(*pcb, ingress);
-  if (links.empty()) {
+  if (!resolve_links(*pcb, ingress, resolve_scratch_)) {
     ++stats_.resolve_failures;
     SCION_METRIC_COUNT("beacon.resolve_failures", 1);
     return;
   }
 
-  StoredPcb stored;
-  stored.pcb = pcb;
-  stored.links = std::move(links);
-  stored.received_at = now;
-  stored.path_key = pcb->path_key();
-  const auto outcome = store_.insert(std::move(stored));
+  // Span-based admission: the store copies the links only if it admits the
+  // PCB, so the common rejected/stale case allocates nothing (the insert
+  // call itself is not container growth).
+  const auto outcome =
+      // simlint:allow(hot-alloc)
+      store_.insert(pcb, resolve_scratch_, now, pcb->path_key());
   if (outcome == BeaconStore::InsertOutcome::kRejected ||
       outcome == BeaconStore::InsertOutcome::kStale) {
     ++stats_.store_rejected;
@@ -257,6 +263,10 @@ void BeaconServer::originate_diversity(TimePoint now) {
   }
 }
 
+// Once per propagated PCB each interval. The extend + one make_shared per
+// sent PCB is the message's intrinsic cost: the wire object must outlive
+// this call, shared by every queued delivery.
+SCION_HOT_FN
 void BeaconServer::send_extended(const StoredPcb& stored,
                                  topo::LinkIndex egress, TimePoint now) {
   const topo::IfId in_if = topology_.interface_of(stored.links.back(), self_);
@@ -265,6 +275,9 @@ void BeaconServer::send_extended(const StoredPcb& stored,
   if (config_.include_latency_metadata && config_.link_latency_us) {
     ingress_latency_us = config_.link_latency_us(stored.links.back());
   }
+  // The one wire-object allocation per sent PCB: the extended message must
+  // outlive this call, shared by every queued delivery.
+  // simlint:allow(hot-alloc)
   auto pcb = std::make_shared<const Pcb>(
       config_.compute_crypto
           ? stored.pcb->extend_signed(self_id_, in_if, out_if, peer_entries(),
@@ -276,8 +289,13 @@ void BeaconServer::send_extended(const StoredPcb& stored,
   stats_.bytes_sent += pcb->wire_size();
   SCION_METRIC_COUNT("beacon.pcbs_sent", 1);
   SCION_METRIC_OBSERVE("beacon.pcb_wire_bytes", pcb->wire_size().value());
+  // Trace fields are lazy: to_string runs only with a sink installed and
+  // the category enabled, never in measured runs.
+  // simlint:allow(hot-string)
   SCION_TRACE(obs::Category::kBeacon, now, "propagate",
+              // simlint:allow(hot-string)
               {"as", self_id_.to_string()},
+              // simlint:allow(hot-string)
               {"origin", stored.pcb->origin().to_string()},
               {"hops", pcb->hops()}, {"egress_if", out_if});
   send_(egress, pcb);

@@ -127,9 +127,11 @@ class BeaconServer {
   void send_origin_pcb(topo::LinkIndex egress, TimePoint now);
   std::vector<PeerEntry> peer_entries() const;
 
-  /// Resolves a PCB's entry chain to topology links; empty on mismatch.
-  std::vector<topo::LinkIndex> resolve_links(const Pcb& pcb,
-                                             topo::LinkIndex ingress) const;
+  /// Resolves a PCB's entry chain to topology links into `out` (cleared
+  /// first); false on mismatch. Callers pass a reused scratch vector so a
+  /// rejected PCB costs no allocation.
+  bool resolve_links(const Pcb& pcb, topo::LinkIndex ingress,
+                     std::vector<topo::LinkIndex>& out) const;
 
   const topo::Topology& topology_;
   topo::AsIndex self_;
@@ -144,6 +146,8 @@ class BeaconServer {
   std::vector<NeighborGroup> propagation_groups_;
   std::vector<topo::LinkIndex> origination_links_;
   BeaconServerStats stats_;
+  /// Reused by handle_pcb() for link resolution (capacity persists).
+  std::vector<topo::LinkIndex> resolve_scratch_;
 };
 
 }  // namespace scion::ctrl

@@ -1,9 +1,9 @@
 #include "core/beacon_store.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 namespace scion::ctrl {
 
@@ -16,32 +16,53 @@ bool shortest_fresh_better(const StoredPcb& x, const StoredPcb& y) {
   return x.pcb->expiry() > y.pcb->expiry();
 }
 
-/// Redundancy of a candidate path against the bucket coverage counts.
-double redundancy(const StoredPcb& entry,
-                  const std::unordered_map<topo::LinkIndex, int>& coverage) {
-  if (entry.links.empty()) return 0.0;
-  double sum = 0.0;
-  for (topo::LinkIndex l : entry.links) {
-    const auto it = coverage.find(l);
-    sum += it == coverage.end() ? 0.0 : static_cast<double>(it->second);
+/// Coverage count of one link in the scratch table (0 when absent).
+int coverage_of(const std::vector<std::pair<topo::LinkIndex, int>>& coverage,
+                topo::LinkIndex l) {
+  for (const auto& [link, n] : coverage) {
+    if (link == l) return n;
   }
-  return sum / static_cast<double>(entry.links.size());
+  return 0;
+}
+
+/// Redundancy of a candidate path against the bucket coverage counts.
+double redundancy(std::span<const topo::LinkIndex> links,
+                  const std::vector<std::pair<topo::LinkIndex, int>>& coverage) {
+  if (links.empty()) return 0.0;
+  double sum = 0.0;
+  for (topo::LinkIndex l : links) {
+    sum += static_cast<double>(coverage_of(coverage, l));
+  }
+  return sum / static_cast<double>(links.size());
 }
 
 }  // namespace
 
 BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
-  SCION_CHECK(entry.pcb && !entry.pcb->entries().empty(),
-              "stored PCB must be non-empty");
-  SCION_CHECK(entry.links.size() == entry.pcb->hops(),
-              "resolved link sequence must cover every hop");
-  auto& bucket = buckets_[entry.pcb->origin()];
+  return insert(entry.pcb, entry.links, entry.received_at, entry.path_key);
+}
 
-  // Same path already stored? Keep the newest instance only.
+// Once per received PCB that survives verification. Only an admitted
+// candidate may allocate (its link vector); the reject/stale paths are
+// allocation-free.
+SCION_HOT_FN
+BeaconStore::InsertOutcome BeaconStore::insert(
+    const PcbRef& pcb, std::span<const topo::LinkIndex> links,
+    TimePoint received_at, std::uint64_t path_key) {
+  SCION_CHECK(pcb && !pcb->entries().empty(), "stored PCB must be non-empty");
+  SCION_CHECK(links.size() == pcb->hops(),
+              "resolved link sequence must cover every hop");
+  // The bucket map is the store itself, one lookup per received PCB.
+  // simlint:allow(hot-map-lookup) simlint:allow(hot-alloc)
+  auto& bucket = buckets_[pcb->origin()];
+
+  // Same path already stored? Keep the newest instance only. Same path key
+  // means the same link sequence, so the slot's vector is reused as-is.
   for (StoredPcb& existing : bucket) {
-    if (existing.path_key == entry.path_key) {
-      if (entry.pcb->timestamp() > existing.pcb->timestamp()) {
-        existing = std::move(entry);
+    if (existing.path_key == path_key) {
+      if (pcb->timestamp() > existing.pcb->timestamp()) {
+        existing.pcb = pcb;
+        existing.received_at = received_at;
         return InsertOutcome::kRefreshed;
       }
       return InsertOutcome::kStale;
@@ -49,7 +70,11 @@ BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
   }
 
   if (limit_ == 0 || bucket.size() < limit_) {
-    bucket.push_back(std::move(entry));
+    // Admitted: this copy is the entry's one link-vector allocation.
+    // simlint:allow(hot-alloc)
+    bucket.push_back(StoredPcb{pcb,
+                               {links.begin(), links.end()},
+                               received_at, path_key});
     SCION_DCHECK(limit_ == 0 || bucket.size() <= limit_,
                  "bucket grew past the per-origin storage limit");
     return InsertOutcome::kInserted;
@@ -58,14 +83,23 @@ BeaconStore::InsertOutcome BeaconStore::insert(StoredPcb entry) {
                "a full bucket must hold exactly the storage limit");
 
   bool candidate_wins = false;
-  const std::size_t victim = pick_victim(bucket, entry, candidate_wins);
+  const std::size_t victim = pick_victim(bucket, pcb, links, candidate_wins);
   if (!candidate_wins) return InsertOutcome::kRejected;
-  bucket[victim] = std::move(entry);
+  StoredPcb& slot = bucket[victim];
+  slot.pcb = pcb;
+  // simlint:allow(hot-alloc) — assign reuses the victim's capacity.
+  slot.links.assign(links.begin(), links.end());
+  slot.received_at = received_at;
+  slot.path_key = path_key;
   return InsertOutcome::kReplaced;
 }
 
+// Runs whenever a PCB hits a full bucket — the steady state of every
+// long simulation.
+SCION_HOT_FN
 std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
-                                     const StoredPcb& candidate,
+                                     const PcbRef& candidate,
+                                     std::span<const topo::LinkIndex> candidate_links,
                                      bool& candidate_wins) const {
   SCION_CHECK(!bucket.empty(), "victim selection needs a non-empty bucket");
   // Replacement requires a *strictly better path*. Freshness must not break
@@ -80,14 +114,26 @@ std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
     for (std::size_t i = 1; i < bucket.size(); ++i) {
       if (shortest_fresh_better(bucket[worst], bucket[i])) worst = i;
     }
-    candidate_wins = candidate.pcb->hops() < bucket[worst].pcb->hops();
+    candidate_wins = candidate->hops() < bucket[worst].pcb->hops();
     return worst;
   }
 
-  // kDiversityAware: coverage of each link across the bucket.
-  std::unordered_map<topo::LinkIndex, int> coverage;
+  // kDiversityAware: coverage of each link across the bucket, tallied in
+  // the reused scratch table (allocation-free once warm).
+  coverage_scratch_.clear();
   for (const StoredPcb& e : bucket) {
-    for (topo::LinkIndex l : e.links) ++coverage[l];
+    for (topo::LinkIndex l : e.links) {
+      bool found = false;
+      for (auto& [link, n] : coverage_scratch_) {
+        if (link == l) {
+          ++n;
+          found = true;
+          break;
+        }
+      }
+      // simlint:allow(hot-alloc) — capacity is retained across calls.
+      if (!found) coverage_scratch_.emplace_back(l, 1);
+    }
   }
   std::size_t worst = 0;
   double worst_red = -1.0;
@@ -96,7 +142,7 @@ std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
     // one to each of its links' coverage counts.
     double sum = 0.0;
     for (topo::LinkIndex l : bucket[i].links) {
-      sum += static_cast<double>(coverage.at(l) - 1);
+      sum += static_cast<double>(coverage_of(coverage_scratch_, l) - 1);
     }
     const double red =
         bucket[i].links.empty()
@@ -108,7 +154,7 @@ std::size_t BeaconStore::pick_victim(const std::vector<StoredPcb>& bucket,
       worst = i;
     }
   }
-  const double cand_red = redundancy(candidate, coverage);
+  const double cand_red = redundancy(candidate_links, coverage_scratch_);
   candidate_wins = cand_red < worst_red;  // strictly more diverse only
   return worst;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +49,13 @@ class BeaconStore {
 
   InsertOutcome insert(StoredPcb entry);
 
+  /// Admission without a pre-built entry: the stored link vector is
+  /// allocated (or a victim's capacity reused) only when the candidate is
+  /// actually admitted, so a rejected or stale PCB costs no allocation
+  /// here. This is the beacon server's hot-path entry point.
+  InsertOutcome insert(const PcbRef& pcb, std::span<const topo::LinkIndex> links,
+                       TimePoint received_at, std::uint64_t path_key);
+
   /// Drops expired PCBs everywhere; returns how many were dropped.
   std::size_t expire(TimePoint now);
 
@@ -68,11 +76,18 @@ class BeaconStore {
 
  private:
   std::size_t pick_victim(const std::vector<StoredPcb>& bucket,
-                          const StoredPcb& candidate, bool& candidate_wins) const;
+                          const PcbRef& candidate,
+                          std::span<const topo::LinkIndex> candidate_links,
+                          bool& candidate_wins) const;
 
   std::size_t limit_;
   StorePolicy policy_;
   std::unordered_map<IsdAsId, std::vector<StoredPcb>> buckets_;
+  /// Per-link coverage counts reused across kDiversityAware victim picks.
+  /// A flat vector with linear scans: buckets hold at most the storage
+  /// limit (tens) of short paths, and unlike a hash map the scratch keeps
+  /// its capacity between inserts.
+  mutable std::vector<std::pair<topo::LinkIndex, int>> coverage_scratch_;
 };
 
 }  // namespace scion::ctrl

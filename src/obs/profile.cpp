@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/alloc_track.hpp"
 #include "obs/json.hpp"
 
 namespace scion::obs {
@@ -11,7 +12,8 @@ PhaseProfiler& PhaseProfiler::global() {
   return profiler;
 }
 
-void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns) {
+void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns,
+                           std::uint64_t allocs, std::uint64_t alloc_bytes) {
   const std::lock_guard<std::mutex> lock{mu_};
   auto it = phases_.find(name);
   if (it == phases_.end()) {
@@ -19,6 +21,8 @@ void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns) {
   }
   ++it->second.calls;
   it->second.wall_ns += wall_ns;
+  it->second.allocs += allocs;
+  it->second.alloc_bytes += alloc_bytes;
 }
 
 void PhaseProfiler::reset() {
@@ -35,6 +39,8 @@ std::string PhaseProfiler::to_json() const {
     w.kv("calls", p.calls);
     w.kv("wall_ns", p.wall_ns);
     w.kv("wall_s", static_cast<double>(p.wall_ns) / 1e9);
+    w.kv("allocs", p.allocs);
+    w.kv("alloc_bytes", p.alloc_bytes);
     w.end_object();
   }
   w.end_array();
@@ -57,12 +63,17 @@ std::int64_t wall_now_ns() {
 }  // namespace
 
 ProfilePhase::ProfilePhase(std::string_view name)
-    : name_{name}, start_ns_{wall_now_ns()} {}
+    : name_{name},
+      start_ns_{wall_now_ns()},
+      start_allocs_{thread_allocs()},
+      start_alloc_bytes_{thread_alloc_bytes()} {}
 
 void ProfilePhase::stop() {
   if (stopped_) return;
   stopped_ = true;
-  PhaseProfiler::global().record(name_, wall_now_ns() - start_ns_);
+  PhaseProfiler::global().record(name_, wall_now_ns() - start_ns_,
+                                 thread_allocs() - start_allocs_,
+                                 thread_alloc_bytes() - start_alloc_bytes_);
 }
 
 ProfilePhase::~ProfilePhase() { stop(); }

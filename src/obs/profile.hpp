@@ -27,6 +27,12 @@ class PhaseProfiler {
   struct Phase {
     std::uint64_t calls{0};
     std::int64_t wall_ns{0};
+    /// Calling-thread operator-new calls/bytes inside the phase, summed
+    /// over calls. Always 0 when SCION_MPR_ALLOC_TRACK is off. Unlike
+    /// wall_ns these ARE deterministic (same code path, same counts), which
+    /// is what lets test_alloc_budget gate allocations-per-event budgets.
+    std::uint64_t allocs{0};
+    std::uint64_t alloc_bytes{0};
   };
 
   static PhaseProfiler& global();
@@ -35,14 +41,18 @@ class PhaseProfiler {
   /// region (the accumulators are coarse per-stage scopes, not hot-path).
   /// Call counts stay deterministic across --jobs values; wall times are
   /// wall times and never feed determinism-compared output.
-  void record(std::string_view name, std::int64_t wall_ns);
+  void record(std::string_view name, std::int64_t wall_ns,
+              std::uint64_t allocs = 0, std::uint64_t alloc_bytes = 0);
   /// Main thread only, with no parallel region in flight.
   const std::map<std::string, Phase, std::less<>>& phases() const {
     return phases_;
   }
   void reset();
 
-  /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...}, ...]
+  /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...,
+  ///   "allocs": ..., "alloc_bytes": ...}, ...]
+  /// The alloc keys are present in every build (0 without
+  /// SCION_MPR_ALLOC_TRACK) so the BENCH_*.json phase schema is stable.
   std::string to_json() const;
 
  private:
@@ -66,6 +76,8 @@ class ProfilePhase {
  private:
   std::string name_;
   std::int64_t start_ns_;
+  std::uint64_t start_allocs_;
+  std::uint64_t start_alloc_bytes_;
   bool stopped_{false};
 };
 

@@ -3,6 +3,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 #include <algorithm>
 
@@ -105,13 +106,15 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
   // PCB delivery: dispatch on the link type the beacon arrived over.
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
     net_.set_handler(node_of(i), [this, i](const sim::Message& msg) {
-      const auto& pcb = std::any_cast<const ctrl::PcbRef&>(msg.payload);
+      SCION_HOT_PATH_BEGIN(control_plane_delivery);
+      const ctrl::PcbRef& pcb = msg.payload.get<ctrl::PcbRef>();
       const topo::LinkIndex link = link_of(msg.channel);
       if (topology_.link(link).type == topo::LinkType::kCore) {
         if (core_servers_[i]) core_servers_[i]->handle_pcb(pcb, link, sim_.now());
       } else {
         intra_servers_[i]->handle_pcb(pcb, link, sim_.now());
       }
+      SCION_HOT_PATH_END();
     });
   }
 

@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 namespace scion::sim {
 
@@ -69,8 +70,13 @@ Duration Network::jitter(ChannelId ch) const {
   return channels_[ch.value()].jitter;
 }
 
+// Once per message sent plus once per message delivered (the lambda below):
+// the busiest code in every simulation. The delivery closure must stay
+// within the Simulator::Callback inline capacity and the payload within
+// Payload's — both checked statically right here.
+SCION_HOT_FN
 void Network::send(ChannelId ch, NodeId from, Bytes bytes,
-                   std::any payload) {
+                   Payload payload) {
   SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
   ChannelState& c = channels_[ch.value()];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
@@ -107,31 +113,33 @@ void Network::send(ChannelId ch, NodeId from, Bytes bytes,
     delay = delay + Duration::nanoseconds(
                         fault_rng_->uniform_int(0, c.jitter.ns()));
   }
-  sim_.schedule_after(
-      delay,
-      [this, msg = Message{from, to, ch, bytes, std::move(payload)}]() mutable {
-        // Drop-at-delivery: the transmission already happened (bytes are
-        // counted), but the message is lost if the channel went down while
-        // it was in flight or the destination node is down on arrival.
-        if (!channels_[msg.channel.value()].up) {
-          ++drops_.in_flight;
-          SCION_METRIC_COUNT("simnet.messages_dropped_in_flight", 1);
-          SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_in_flight",
-                      {"channel", msg.channel}, {"to", msg.to},
-                      {"bytes", msg.bytes});
-          return;
-        }
-        if (!nodes_[msg.to.value()].up) {
-          ++drops_.node_down;
-          SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
-          SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_node_down",
-                      {"channel", msg.channel}, {"to", msg.to},
-                      {"bytes", msg.bytes});
-          return;
-        }
-        const Handler& h = nodes_[msg.to.value()].handler;
-        if (h) h(msg);
-      });
+  auto deliver = [this, msg = Message{from, to, ch, bytes,
+                                      std::move(payload)}]() mutable {
+    // Drop-at-delivery: the transmission already happened (bytes are
+    // counted), but the message is lost if the channel went down while
+    // it was in flight or the destination node is down on arrival.
+    if (!channels_[msg.channel.value()].up) {
+      ++drops_.in_flight;
+      SCION_METRIC_COUNT("simnet.messages_dropped_in_flight", 1);
+      SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_in_flight",
+                  {"channel", msg.channel}, {"to", msg.to},
+                  {"bytes", msg.bytes});
+      return;
+    }
+    if (!nodes_[msg.to.value()].up) {
+      ++drops_.node_down;
+      SCION_METRIC_COUNT("simnet.messages_dropped_node_down", 1);
+      SCION_TRACE(obs::Category::kSimnet, sim_.now(), "drop_node_down",
+                  {"channel", msg.channel}, {"to", msg.to},
+                  {"bytes", msg.bytes});
+      return;
+    }
+    const Handler& h = nodes_[msg.to.value()].handler;
+    if (h) h(msg);
+  };
+  static_assert(Simulator::Callback::fits_inline<decltype(deliver)>(),
+                "delivery closure must not allocate per message");
+  sim_.schedule_after(delay, std::move(deliver));
 }
 
 const std::string& Network::node_name(NodeId node) const {

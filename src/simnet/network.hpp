@@ -19,7 +19,6 @@
 // transmission happened), and the drop is accounted separately.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -27,6 +26,7 @@
 
 #include "simnet/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/small_any.hpp"
 #include "util/types.hpp"
 
 namespace scion::sim {
@@ -42,14 +42,21 @@ using ChannelId = util::StrongId<struct ChannelIdTag, std::uint32_t>;
 inline constexpr NodeId kInvalidNode{~std::uint32_t{0}};
 inline constexpr ChannelId kInvalidChannel{~std::uint32_t{0}};
 
+/// Typed protocol payload riding a Message. 16 bytes of inline storage fit
+/// a shared_ptr (PcbRef, shared_ptr<const BgpUpdateMsg>) without the
+/// per-send heap allocation std::any's pointer-sized buffer forces; larger
+/// payloads fall back to the heap and show up in the allocation budgets.
+using Payload = util::SmallAny<16>;
+
 /// A message in flight. `bytes` is the wire size used for accounting;
-/// `payload` carries the typed protocol message.
+/// `payload` carries the typed protocol message (move-only, so messages
+/// hand their payload through the event queue without copies).
 struct Message {
   NodeId from{kInvalidNode};
   NodeId to{kInvalidNode};
   ChannelId channel{kInvalidChannel};
   Bytes bytes{};
-  std::any payload;
+  Payload payload;
 };
 
 /// Byte/message counters for one direction of a channel.
@@ -129,7 +136,7 @@ class Network {
   /// Sends `bytes` of payload from `from` across `ch`; delivery is scheduled
   /// after the channel latency (plus jitter, if configured). `from` must be
   /// an endpoint of `ch`.
-  void send(ChannelId ch, NodeId from, Bytes bytes, std::any payload);
+  void send(ChannelId ch, NodeId from, Bytes bytes, Payload payload);
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t channel_count() const { return channels_.size(); }

@@ -142,7 +142,7 @@ TEST(Network, DeliversAfterLatency) {
   std::string payload;
   net.set_handler(b, [&](const Message& msg) {
     delivered = sim.now();
-    payload = std::any_cast<std::string>(msg.payload);
+    payload = msg.payload.get<std::string>();
     EXPECT_EQ(msg.from, a);
     EXPECT_EQ(msg.to, b);
     EXPECT_EQ(msg.channel, ch);

@@ -28,6 +28,12 @@ endif()
 if(DEFINED HEADER)
   set(headers ${HEADER})
 else()
+  # Runtime glob, the script-mode equivalent of CONFIGURE_DEPENDS: this
+  # script runs under `cmake -P` at ctest time, so the glob re-executes on
+  # every test run and a freshly added header is gated immediately — no
+  # reconfigure needed, no stale configure-time file list to go quietly
+  # blind. (CONFIGURE_DEPENDS itself is meaningless in script mode; there
+  # is no build system to attach the recheck to.)
   file(GLOB_RECURSE headers ${SCAN}/*.hpp)
   list(SORT headers)
 endif()

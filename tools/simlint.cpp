@@ -1,12 +1,18 @@
 // simlint driver: lints the given files / directories (recursively, *.hpp
-// *.cpp *.h) and reports determinism hazards plus architecture (layering)
-// violations. See simlint_core.hpp for the determinism rule set,
-// simlint_includes.hpp for the include-graph rules, and the
-// `// simlint:allow(<rule>)` escape hatch shared by both.
+// *.cpp *.h) and reports determinism hazards, architecture (layering)
+// violations, and hot-path cost hazards. See simlint_core.hpp for the
+// determinism rule set, simlint_includes.hpp for the include-graph rules,
+// simlint_hotpath.hpp for the hot-path-cost rules, and the
+// `// simlint:allow(<rule>)` escape hatch shared by all three.
 //
 // --dot=PATH writes the observed module include graph as deterministic DOT
 // (sorted nodes/edges) so DESIGN.md's dependency table can be reviewed
 // against reality.
+//
+// --cost-report=PATH writes the deterministic hot-path cost JSON (per-file
+// rule-match counts inside annotated regions, simlint:allow-suppressed
+// sites included). --cost-baseline=PATH diffs those counts against a
+// checked-in report (tools/cost_baseline.json) and fails on any increase.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 //
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "tools/simlint_core.hpp"
+#include "tools/simlint_hotpath.hpp"
 #include "tools/simlint_includes.hpp"
 
 namespace {
@@ -43,7 +50,7 @@ bool fixture_dir(const fs::path& p) {
 }
 
 bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
-              const fs::path& path) {
+              scion::lint::HotPathAnalyzer& hotpath, const fs::path& path) {
   std::error_code ec;
   if (fs::is_directory(path, ec)) {
     std::vector<fs::path> files;
@@ -61,7 +68,7 @@ bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
     // Deterministic report order regardless of directory enumeration.
     std::sort(files.begin(), files.end());
     for (const fs::path& f : files) {
-      if (!add_path(linter, graph, f)) return false;
+      if (!add_path(linter, graph, hotpath, f)) return false;
     }
     return true;
   }
@@ -76,6 +83,7 @@ bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
   std::string content = std::move(buf).str();
   linter.add_file(path.generic_string(), content);
   graph.add_file(path.generic_string(), content);
+  hotpath.add_file(path.generic_string(), content);
   return true;
 }
 
@@ -83,35 +91,63 @@ bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
 
 int main(int argc, char** argv) {
   std::string dot_path;
+  std::string cost_report_path;
+  std::string cost_baseline_path;
   std::vector<const char*> inputs;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dot=", 6) == 0) {
       dot_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--cost-report=", 14) == 0) {
+      cost_report_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--cost-baseline=", 16) == 0) {
+      cost_baseline_path = argv[i] + 16;
     } else {
       inputs.push_back(argv[i]);
     }
   }
   if (inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: simlint [--dot=PATH] <file-or-dir>...\n"
+                 "usage: simlint [--dot=PATH] [--cost-report=PATH] "
+                 "[--cost-baseline=PATH] <file-or-dir>...\n"
                  "rules: wall-clock std-rng unordered-iter float-accum "
                  "raw-output raw-thread layering module-cycle\n"
+                 "       hot-alloc hot-string hot-copy-arg hot-map-lookup "
+                 "(inside SCION_HOT_FN / SCION_HOT_PATH regions)\n"
                  "suppress with // simlint:allow(<rule>) on or above the "
                  "offending line\n"
                  "--dot=PATH writes the observed module include graph as "
-                 "deterministic DOT\n");
+                 "deterministic DOT\n"
+                 "--cost-report=PATH writes the hot-path cost JSON; "
+                 "--cost-baseline=PATH fails on regressions against it\n");
     return 2;
   }
 
   scion::lint::Linter linter;
   scion::lint::IncludeGraph graph;
+  scion::lint::HotPathAnalyzer hotpath;
   for (const char* input : inputs) {
-    if (!add_path(linter, graph, input)) return 2;
+    if (!add_path(linter, graph, hotpath, input)) return 2;
   }
 
   std::vector<scion::lint::Finding> findings = linter.run();
   for (scion::lint::Finding& f : graph.check()) {
     findings.push_back(std::move(f));
+  }
+  for (scion::lint::Finding& f : hotpath.check()) {
+    findings.push_back(std::move(f));
+  }
+  if (!cost_baseline_path.empty()) {
+    std::ifstream in{cost_baseline_path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "simlint: cannot read cost baseline %s\n",
+                   cost_baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    for (scion::lint::Finding& f : hotpath.diff_baseline(buf.str())) {
+      findings.push_back(std::move(f));
+    }
   }
   for (const scion::lint::Finding& f : findings) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
@@ -125,6 +161,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << graph.to_dot();
+  }
+  if (!cost_report_path.empty()) {
+    std::ofstream out{cost_report_path, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "simlint: cannot write %s\n",
+                   cost_report_path.c_str());
+      return 2;
+    }
+    out << hotpath.cost_report_json();
   }
 
   if (!findings.empty()) {
