@@ -7,9 +7,10 @@
 // wall time), and the figure's series are printed afterwards.
 //
 // Telemetry: every bench owns an obs::ObsSession, so the common flags
-// --metrics-out / --trace-out / --trace-filter work on all of them, and a
-// machine-readable report BENCH_<name>.json (manifest + metrics + phase
-// profile + per-figure data) is written after the run:
+// --metrics-out / --trace-out / --trace-filter / --chrome-trace-out work on
+// all of them, and a machine-readable report BENCH_<name>.json (manifest +
+// metrics + phase profile + event profile + per-figure data) is written
+// after the run:
 //   --bench-out=FILE   report path (default BENCH_<name>.json; "none"
 //                      disables the report)
 #pragma once
@@ -26,6 +27,7 @@
 
 #include "exec/task_pool.hpp"
 #include "experiments/scale.hpp"
+#include "obs/event_profile.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -84,8 +86,8 @@ class BenchReport {
 };
 
 /// {"schema": "scion-mpr-bench-v1", "name": ..., "manifest": {...},
-///  "metrics": {...}, "phases": [...], "scalars": {...}, "series": {...},
-///  "tables": [...]}
+///  "metrics": {...}, "phases": [...], "event_profile": {...},
+///  "scalars": {...}, "series": {...}, "tables": [...]}
 inline std::string bench_report_json(const std::string& name,
                                      const obs::ObsSession& session,
                                      const BenchReport& report) {
@@ -98,6 +100,7 @@ inline std::string bench_report_json(const std::string& name,
   w.end_object();
   w.key("metrics").value_raw(obs::MetricsRegistry::global().to_json());
   w.key("phases").value_raw(obs::PhaseProfiler::global().to_json());
+  w.key("event_profile").value_raw(obs::EventProfiler::global().to_json());
   report.append_json(w);
   w.end_object();
   return std::move(w).take();

@@ -9,8 +9,10 @@
 # --trace-out, --trace-filter, and --bench-out, and tools/obs_check
 # validates the emitted artifacts against their schemas. As a second,
 # independent check this script runs a telemetry-instrumented
-# bench_fig5_overhead (the acceptance figure) and validates its artifacts
-# too.
+# bench_fig5_overhead (the acceptance figure), validates its artifacts, and
+# diffs its BENCH report against the checked-in baseline with
+# tools/bench_diff (deterministic fields gate exactly; see
+# tools/bench_baseline/README.md).
 #
 # Usage: ./ci.sh [preset]   (default: asan-ubsan; try `tsan` or `checked`)
 set -eu
@@ -82,11 +84,24 @@ mkdir -p "$obs_dir"
   --metrics-out="$obs_dir/metrics.json" \
   --trace-out="$obs_dir/trace.jsonl" \
   --trace-filter=bgp,beacon \
-  --bench-out="$obs_dir/bench.json" > "$obs_dir/stdout.txt"
+  --chrome-trace-out="$obs_dir/chrome_trace.json" \
+  --bench-out="$obs_dir/BENCH_fig5_overhead.json" > "$obs_dir/stdout.txt"
 "$build_dir/tools/obs_check" \
   --metrics="$obs_dir/metrics.json" \
   --trace="$obs_dir/trace.jsonl" --expect-cat=bgp,beacon \
-  --bench="$obs_dir/bench.json"
+  --chrome-trace="$obs_dir/chrome_trace.json" \
+  --bench="$obs_dir/BENCH_fig5_overhead.json"
+
+# Bench regression gate: diff the smoke report against the checked-in
+# baseline (tools/bench_baseline/). Deterministic fields (figure scalars,
+# counters, phase calls, per-label event counts) gate exactly; allocs gate
+# with a +25% band; wall time only warns. The baseline is preset-independent
+# — the deterministic fields are byte-identical across release/checked/
+# asan-ubsan/tsan — so this runs under whichever preset was selected.
+"$build_dir/tools/bench_diff" \
+  --baseline=tools/bench_baseline/BENCH_fig5_overhead.json \
+  --current="$obs_dir/BENCH_fig5_overhead.json" \
+  --report-out="$obs_dir/bench_diff.txt"
 
 # Fault-injection smoke: the dynamic-resilience bench under the example
 # scenario (flaps, AS outage, ISD partition) with the fault category traced.
@@ -124,4 +139,14 @@ mkdir -p "$par_dir"
   --trace="$par_dir/trace.jsonl" --expect-cat=beacon,bgp \
   --bench="$par_dir/bench.json"
 
-echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, parallel smoke, and telemetry artifacts all green"
+# Publish the profiling artifacts next to the lint ones: every smoke BENCH
+# report, the Chrome trace (load it at chrome://tracing or ui.perfetto.dev),
+# and the bench_diff verdict table.
+cp "$obs_dir/BENCH_fig5_overhead.json" \
+   "$obs_dir/chrome_trace.json" \
+   "$obs_dir/bench_diff.txt" "$artifact_dir/"
+cp "$fault_dir/bench.json" "$artifact_dir/BENCH_dyn_resilience_smoke.json"
+cp "$par_dir/bench.json" "$artifact_dir/BENCH_fig6b_capacity_smoke.json"
+echo "ci: artifacts: $artifact_dir/BENCH_fig5_overhead.json $artifact_dir/chrome_trace.json $artifact_dir/bench_diff.txt"
+
+echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, parallel smoke, bench regression gate, and telemetry artifacts all green"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -19,6 +20,14 @@ std::uint64_t pair_key(topo::AsIndex a, topo::AsIndex b) {
 /// Decorrelates the injector's RNG stream from the simulation's own when
 /// both derive from the same config seed.
 constexpr std::uint64_t kFaultSeedMix = 0x9E3779B97F4A7C15ULL;
+
+// Event-cost attribution labels (interned once at static init).
+const obs::EventLabel kUpdateDeliverLabel =
+    obs::event_label("bgp.update.deliver");
+const obs::EventLabel kUpdateProcessLabel =
+    obs::event_label("bgp.update.process");
+const obs::EventLabel kMraiTimerLabel = obs::event_label("bgp.timer.mrai");
+const obs::EventLabel kOriginateLabel = obs::event_label("bgp.originate");
 
 }  // namespace
 
@@ -66,10 +75,11 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
       SCION_CHECK(it != channel_by_pair_.end(), "no channel for adjacency");
       const util::Bytes wire = update_wire_size(msg);
       net_.send(it->second, node_of(i), wire,
-                std::make_shared<const BgpUpdateMsg>(std::move(msg)));
+                std::make_shared<const BgpUpdateMsg>(std::move(msg)),
+                kUpdateDeliverLabel);
     };
     auto schedule = [this](util::Duration delay, std::function<void()> fn) {
-      sim_.schedule_after(delay, std::move(fn));
+      sim_.schedule_after(delay, kMraiTimerLabel, std::move(fn));
     };
     speakers_.push_back(std::make_unique<Speaker>(
         i, std::move(neighbors), config_.mrai, std::move(send),
@@ -164,7 +174,7 @@ void BgpSim::deliver(topo::AsIndex to, const sim::Message& msg) {
   const BgpUpdateRef& update = msg.payload.get<BgpUpdateRef>();
   const topo::AsIndex from = as_of(msg.from);
   SCION_METRIC_OBSERVE("bgp.update_wire_bytes", update_wire_size(*update).value());
-  sim_.schedule_at(start, [this, to, from, update] {
+  sim_.schedule_at(start, kUpdateProcessLabel, [this, to, from, update] {
     SCION_TRACE(obs::Category::kBgp, sim_.now(), "update", {"to", to},
                 {"from", from}, {"announced", update->announced.size()},
                 {"withdrawn", update->withdrawn.size()});
@@ -214,7 +224,8 @@ void BgpSim::run() {
   for (Prefix p : origins_) {
     const auto offset =
         util::Duration::milliseconds(rng_.uniform_int(0, 5000));
-    sim_.schedule_after(offset, [this, p] { speakers_[p]->originate(p); });
+    sim_.schedule_after(offset, kOriginateLabel,
+                        [this, p] { speakers_[p]->originate(p); });
   }
   sim_.run_until(util::TimePoint::origin() + config_.convergence_window);
   SCION_TRACE(obs::Category::kBgp, sim_.now(), "converged",

@@ -1,5 +1,6 @@
 #include "core/beaconing_sim.hpp"
 
+#include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/hot_path.hpp"
@@ -14,6 +15,11 @@ namespace {
 /// One key store shared by all servers of a simulation (stands in for the
 /// ISD trust infrastructure).
 constexpr std::uint64_t kKeyDomainSeed = crypto::kDefaultKeyDomainSeed;
+
+// Event-cost attribution labels (interned once at static init; see
+// DESIGN.md's event-labeling recipe).
+const obs::EventLabel kPropagateLabel = obs::event_label("beacon.propagate");
+const obs::EventLabel kIntervalLabel = obs::event_label("beacon.interval");
 
 }  // namespace
 
@@ -53,7 +59,8 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
   servers_.reserve(topology_.as_count());
   for (topo::AsIndex i = 0; i < topology_.as_count(); ++i) {
     auto send = [this, i](topo::LinkIndex egress, const PcbRef& pcb) {
-      net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb);
+      net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb,
+                kPropagateLabel);
     };
     servers_.push_back(std::make_unique<BeaconServer>(
         topology_, i, server_config, *keys_, kKeyDomainSeed, std::move(send)));
@@ -76,7 +83,7 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
         rng.uniform_int(0, config_.server.interval.ns() - 1));
     sim_.schedule_periodic(
         util::TimePoint::origin() + offset, config_.server.interval,
-        [this, i] { servers_[i]->on_interval(sim_.now()); });
+        kIntervalLabel, [this, i] { servers_[i]->on_interval(sim_.now()); });
   }
 
   // Fault scenario: a downed link stops carrying PCBs (the network drops

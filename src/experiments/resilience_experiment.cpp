@@ -5,6 +5,7 @@
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
 #include "exec/task_pool.hpp"
+#include "obs/event_profile.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "util/rng.hpp"
@@ -12,6 +13,9 @@
 namespace scion::exp {
 
 namespace {
+
+// Event-cost attribution label for the connectivity probe timers.
+const obs::EventLabel kProbeLabel = obs::event_label("experiment.probe");
 
 /// Per-pair connectivity state machine fed by the periodic probe.
 struct PairState {
@@ -123,7 +127,8 @@ DynResilienceResult run_dyn_resilience_experiment(
     const util::TimePoint measure_start =
         util::TimePoint::origin() + config.warmup;
     sim.simulator().schedule_periodic(
-        measure_start + config.probe_interval, config.probe_interval, [&] {
+        measure_start + config.probe_interval, config.probe_interval,
+        kProbeLabel, [&] {
           probe_round(series, states, sim.simulator().now(), [&](std::size_t i) {
             const auto [s, t] = result.pairs[i];
             std::vector<std::vector<topo::LinkIndex>> paths =
@@ -159,7 +164,8 @@ DynResilienceResult run_dyn_resilience_experiment(
     const util::TimePoint measure_start =
         util::TimePoint::origin() + config.warmup;
     sim.simulator().schedule_periodic(
-        measure_start + config.probe_interval, config.probe_interval, [&] {
+        measure_start + config.probe_interval, config.probe_interval,
+        kProbeLabel, [&] {
           probe_round(series, states, sim.simulator().now(), [&](std::size_t i) {
             const auto [s, t] = result.pairs[i];
             return sim.has_live_route(s, t) && sim.has_live_route(t, s);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -10,6 +11,15 @@ namespace scion::faults {
 
 using util::Duration;
 using util::TimePoint;
+
+namespace {
+
+// Event-cost attribution labels (interned once at static init).
+const obs::EventLabel kFaultEventLabel = obs::event_label("fault.event");
+const obs::EventLabel kFaultRestoreLabel = obs::event_label("fault.restore");
+const obs::EventLabel kFaultFlapLabel = obs::event_label("fault.flap");
+
+}  // namespace
 
 FaultInjector::FaultInjector(sim::Network& net, FaultPlan plan,
                              const topo::Topology* topology, Hooks hooks)
@@ -55,7 +65,8 @@ void FaultInjector::arm(TimePoint until) {
               {"loss", plan_.loss_probability},
               {"jitter_ns", plan_.jitter_max.ns()});
   for (const Event& ev : plan_.events) {
-    sim.schedule_at(sim.now() + ev.at, [this, ev] { run_event(ev); });
+    sim.schedule_at(sim.now() + ev.at, kFaultEventLabel,
+                    [this, ev] { run_event(ev); });
   }
   for (const FlapProcess& flap : plan_.flaps) {
     start_flap_process(flap, until);
@@ -102,8 +113,8 @@ void FaultInjector::inject_link_down(topo::LinkIndex link, Duration downtime) {
               {"link", link}, {"downtime_ns", downtime.ns()});
   link_down_ref(link);
   if (downtime > Duration::zero()) {
-    net_.simulator().schedule_after(downtime,
-                                    [this, link] { link_down_unref(link); });
+    net_.simulator().schedule_after(
+        downtime, kFaultRestoreLabel, [this, link] { link_down_unref(link); });
   }
 }
 
@@ -120,8 +131,8 @@ void FaultInjector::inject_node_down(sim::NodeId node, Duration downtime) {
               {"node", node}, {"downtime_ns", downtime.ns()});
   node_down_ref(node);
   if (downtime > Duration::zero()) {
-    net_.simulator().schedule_after(downtime,
-                                    [this, node] { node_down_unref(node); });
+    net_.simulator().schedule_after(
+        downtime, kFaultRestoreLabel, [this, node] { node_down_unref(node); });
   }
 }
 
@@ -164,8 +175,8 @@ void FaultInjector::start_flap_process(const FlapProcess& flap,
       Duration::nanoseconds(static_cast<std::int64_t>(gap_s * 1e9));
   const TimePoint at = net_.simulator().now() + gap;
   if (at > until) return;
-  net_.simulator().schedule_at(at,
-                               [this, idx, until] { fire_flap(idx, until); });
+  net_.simulator().schedule_at(
+      at, kFaultFlapLabel, [this, idx, until] { fire_flap(idx, until); });
 }
 
 void FaultInjector::fire_flap(std::size_t flap_idx, TimePoint until) {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/event_profile.hpp"
+
 #ifdef SCION_MPR_ALLOC_TRACK
 #include <cstdlib>
 #include <new>
@@ -82,6 +84,18 @@ AllocBudgetResult check_alloc_budget(std::string_view phase,
                   static_cast<unsigned long long>(allocs),
                   static_cast<unsigned long long>(events), budget_per_event);
     out.message = buf;
+    // Point the breach at its handler: the event profiler knows which event
+    // labels allocated the most during the measured run.
+    const auto top = EventProfiler::global().top_allocating_labels(3);
+    if (!top.empty()) {
+      out.message += "; top allocating event labels:";
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%s %s (%llu allocs)",
+                      i == 0 ? "" : ",", top[i].first.c_str(),
+                      static_cast<unsigned long long>(top[i].second));
+        out.message += buf;
+      }
+    }
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "obs/profile.hpp"
 
+#include <atomic>
 #include <chrono>
 
 #include "obs/alloc_track.hpp"
@@ -25,9 +26,23 @@ void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns,
   it->second.alloc_bytes += alloc_bytes;
 }
 
+void PhaseProfiler::record_span(std::string_view name, std::int64_t start_ns,
+                                std::int64_t end_ns,
+                                std::uint32_t thread_ordinal) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  if (spans_.size() >= kMaxSpans) return;
+  spans_.push_back(Span{std::string{name}, start_ns, end_ns, thread_ordinal});
+}
+
+std::vector<PhaseProfiler::Span> PhaseProfiler::spans() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return spans_;
+}
+
 void PhaseProfiler::reset() {
   const std::lock_guard<std::mutex> lock{mu_};
   phases_.clear();
+  spans_.clear();
 }
 
 std::string PhaseProfiler::to_json() const {
@@ -49,31 +64,58 @@ std::string PhaseProfiler::to_json() const {
 
 #ifdef SCION_MPR_OBS_ENABLED
 
-namespace {
-
 // The single sanctioned wall-clock read in the tree. Safe for determinism:
-// the value only ever flows into PhaseProfiler accumulators, which nothing
-// in the simulation reads back (see the header comment for the full proof).
-std::int64_t wall_now_ns() {
+// the value only ever flows into PhaseProfiler / EventProfiler
+// accumulators, which nothing in the simulation reads back (see the header
+// comment for the full proof).
+std::int64_t profiler_wall_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(  // simlint:allow(wall-clock)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+namespace {
+
+// Per-thread phase stack head (innermost active phase) for nested alloc
+// attribution, plus a stable small ordinal per thread for trace slices.
+thread_local ProfilePhase* t_current_phase = nullptr;
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
 }
 
 }  // namespace
 
 ProfilePhase::ProfilePhase(std::string_view name)
     : name_{name},
-      start_ns_{wall_now_ns()},
+      start_ns_{profiler_wall_now_ns()},
       start_allocs_{thread_allocs()},
-      start_alloc_bytes_{thread_alloc_bytes()} {}
+      start_alloc_bytes_{thread_alloc_bytes()},
+      parent_{t_current_phase} {
+  t_current_phase = this;
+}
 
 void ProfilePhase::stop() {
   if (stopped_) return;
   stopped_ = true;
-  PhaseProfiler::global().record(name_, wall_now_ns() - start_ns_,
-                                 thread_allocs() - start_allocs_,
-                                 thread_alloc_bytes() - start_alloc_bytes_);
+  const std::int64_t end_ns = profiler_wall_now_ns();
+  // Raw delta over the whole interval; what the children already claimed is
+  // subtracted so allocations land in the innermost active phase only.
+  const std::uint64_t raw_allocs = thread_allocs() - start_allocs_;
+  const std::uint64_t raw_bytes = thread_alloc_bytes() - start_alloc_bytes_;
+  PhaseProfiler::global().record(name_, end_ns - start_ns_,
+                                 raw_allocs - child_allocs_,
+                                 raw_bytes - child_alloc_bytes_);
+  PhaseProfiler::global().record_span(name_, start_ns_, end_ns,
+                                      thread_ordinal());
+  if (t_current_phase == this) t_current_phase = parent_;
+  if (parent_ != nullptr) {
+    parent_->child_allocs_ += raw_allocs;
+    parent_->child_alloc_bytes_ += raw_bytes;
+  }
 }
 
 ProfilePhase::~ProfilePhase() { stop(); }

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace scion::obs {
 
@@ -31,8 +32,19 @@ class PhaseProfiler {
     /// over calls. Always 0 when SCION_MPR_ALLOC_TRACK is off. Unlike
     /// wall_ns these ARE deterministic (same code path, same counts), which
     /// is what lets test_alloc_budget gate allocations-per-event budgets.
+    /// Nested phases attribute to the innermost active phase: a parent's
+    /// counters exclude what its children already claimed.
     std::uint64_t allocs{0};
     std::uint64_t alloc_bytes{0};
+  };
+
+  /// One closed ProfilePhase interval, kept (bounded) for the Chrome-trace
+  /// exporter. Wall-clock data only; never determinism-compared.
+  struct Span {
+    std::string name;
+    std::int64_t start_ns{0};
+    std::int64_t end_ns{0};
+    std::uint32_t thread_ordinal{0};
   };
 
   static PhaseProfiler& global();
@@ -43,10 +55,17 @@ class PhaseProfiler {
   /// wall times and never feed determinism-compared output.
   void record(std::string_view name, std::int64_t wall_ns,
               std::uint64_t allocs = 0, std::uint64_t alloc_bytes = 0);
+  /// Logs one closed phase interval for the Chrome-trace export. Capped at
+  /// kMaxSpans (further spans still accumulate via record(), they just stop
+  /// appearing as individual trace slices).
+  void record_span(std::string_view name, std::int64_t start_ns,
+                   std::int64_t end_ns, std::uint32_t thread_ordinal);
   /// Main thread only, with no parallel region in flight.
   const std::map<std::string, Phase, std::less<>>& phases() const {
     return phases_;
   }
+  /// Snapshot of the span log (main thread / reporting only).
+  std::vector<Span> spans() const;
   void reset();
 
   /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...,
@@ -56,11 +75,20 @@ class PhaseProfiler {
   std::string to_json() const;
 
  private:
-  std::mutex mu_;
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  mutable std::mutex mu_;
   std::map<std::string, Phase, std::less<>> phases_;
+  std::vector<Span> spans_;
 };
 
 #ifdef SCION_MPR_OBS_ENABLED
+
+/// The single sanctioned wall-clock read in the tree (implemented in
+/// profile.cpp next to its simlint:allow). ProfilePhase and the event loop's
+/// EventProfiler instrumentation both route through it; the values flow only
+/// into write-only profiler accumulators, never back into simulation state.
+std::int64_t profiler_wall_now_ns();
 
 class ProfilePhase {
  public:
@@ -68,6 +96,11 @@ class ProfilePhase {
   ~ProfilePhase();
 
   /// Ends the phase early (before scope exit); idempotent.
+  ///
+  /// Nesting contract: phases on one thread form a LIFO stack; allocations
+  /// are attributed to the *innermost* active phase (a parent's counters
+  /// exclude its children's). Phases must stop in reverse order of
+  /// construction on a given thread (scope-based RAII guarantees this).
   void stop();
 
   ProfilePhase(const ProfilePhase&) = delete;
@@ -78,6 +111,11 @@ class ProfilePhase {
   std::int64_t start_ns_;
   std::uint64_t start_allocs_;
   std::uint64_t start_alloc_bytes_;
+  /// The phase this one nested inside (same thread), if any; children add
+  /// their full allocation delta here so the parent can subtract it.
+  ProfilePhase* parent_{nullptr};
+  std::uint64_t child_allocs_{0};
+  std::uint64_t child_alloc_bytes_{0};
   bool stopped_{false};
 };
 

@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/event_profile.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -14,8 +16,10 @@ ObsSession::ObsSession(std::string_view binary, const util::Flags& flags,
     : manifest_{RunManifest::capture(binary, flags, seed)} {
   MetricsRegistry::global().reset();
   PhaseProfiler::global().reset();
+  EventProfiler::global().reset_counters();
 
   metrics_path_ = flags.get("metrics-out", "");
+  chrome_trace_path_ = flags.get("chrome-trace-out", "");
 
   const std::string trace_path = flags.get("trace-out", "");
   if (!trace_path.empty()) {
@@ -27,8 +31,8 @@ ObsSession::ObsSession(std::string_view binary, const util::Flags& flags,
       const std::string filter = flags.get("trace-filter", "all");
       if (!sink_->set_filter(filter)) {
         std::cerr << "obs: unknown category in --trace-filter=" << filter
-                  << " (known: simnet,beacon,bgp,scion,sig,experiment); "
-                     "tracing everything\n";
+                  << " (known: simnet,beacon,bgp,scion,sig,experiment,"
+                     "fault,event); tracing everything\n";
         sink_->enable_all();
       }
       set_trace_sink(sink_.get());
@@ -47,6 +51,7 @@ std::string ObsSession::metrics_json() const {
   w.end_object();
   w.key("metrics").value_raw(MetricsRegistry::global().to_json());
   w.key("phases").value_raw(PhaseProfiler::global().to_json());
+  w.key("event_profile").value_raw(EventProfiler::global().to_json());
   w.end_object();
   return std::move(w).take();
 }
@@ -54,6 +59,10 @@ std::string ObsSession::metrics_json() const {
 void ObsSession::finish() {
   if (finished_) return;
   finished_ = true;
+
+  if (!chrome_trace_path_.empty()) {
+    write_chrome_trace(chrome_trace_path_);
+  }
 
   if (!metrics_path_.empty()) {
     std::ofstream out{metrics_path_};

@@ -12,6 +12,9 @@
 //   --trace-out=FILE     stream structured events as JSONL during the run
 //   --trace-filter=CSV   category filter for the trace ("beacon,bgp";
 //                        default "all")
+//   --chrome-trace-out=FILE  write a Chrome-trace/Perfetto JSON (phases +
+//                        top-K event labels + queue-depth counters) on
+//                        finish()
 //
 // The session resets the global metrics registry and phase profiler on
 // construction so each harness run starts from zero.
@@ -46,7 +49,7 @@ class ObsSession {
 
   /// The full metrics document as a JSON string:
   /// {"schema": "scion-mpr-metrics-v1", "manifest": {...},
-  ///  "metrics": {...}, "phases": [...]}
+  ///  "metrics": {...}, "phases": [...], "event_profile": {...}}
   std::string metrics_json() const;
 
   /// Writes --metrics-out (if given), flushes and closes --trace-out, and
@@ -57,6 +60,7 @@ class ObsSession {
  private:
   RunManifest manifest_;
   std::string metrics_path_;
+  std::string chrome_trace_path_;
   std::ofstream trace_file_;
   std::unique_ptr<TraceSink> sink_;
   bool finished_{false};

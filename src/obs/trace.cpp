@@ -25,6 +25,7 @@ const char* to_string(Category c) {
     case Category::kSig: return "sig";
     case Category::kExperiment: return "experiment";
     case Category::kFault: return "fault";
+    case Category::kEvent: return "event";
     case Category::kCount: break;
   }
   return "?";

@@ -36,6 +36,8 @@ enum class Category : std::uint8_t {
   kSig,
   kExperiment,
   kFault,
+  /// Event-label diagnostics (label-table dumps, event-profile summaries).
+  kEvent,
   kCount,
 };
 

@@ -1,5 +1,6 @@
 #include "scion/control_plane_sim.hpp"
 
+#include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -16,6 +17,15 @@ constexpr std::uint64_t kKeyDomain = crypto::kDefaultKeyDomainSeed;
 /// Decorrelates the injector's RNG stream from the simulation's own when
 /// both derive from the same config seed.
 constexpr std::uint64_t kFaultSeedMix = 0x9E3779B97F4A7C15ULL;
+
+// Event-cost attribution labels (interned once at static init).
+const obs::EventLabel kPropagateLabel = obs::event_label("beacon.propagate");
+const obs::EventLabel kIntervalLabel = obs::event_label("beacon.interval");
+const obs::EventLabel kRegistrationLabel =
+    obs::event_label("path.registration");
+const obs::EventLabel kRegisterDownLabel =
+    obs::event_label("path.register_down");
+const obs::EventLabel kLookupLabel = obs::event_label("path.lookup");
 
 }  // namespace
 
@@ -84,7 +94,8 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
         // periodic driver; individual PCBs only contribute bytes.
         ledger_.record(comp, scope_between(i, to), pcb->wire_size(),
                        /*counts_as_operation=*/false);
-        net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb);
+        net_.send(channel_of(egress), node_of(i), pcb->wire_size(), pcb,
+                  kPropagateLabel);
       };
     };
 
@@ -123,7 +134,7 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
     const auto offset = util::Duration::nanoseconds(
         rng_.uniform_int(0, config_.beacon_interval.ns() - 1));
     sim_.schedule_periodic(util::TimePoint::origin() + offset,
-                           config_.beacon_interval, [this, i] {
+                           config_.beacon_interval, kIntervalLabel, [this, i] {
                              if (core_servers_[i]) {
                                ledger_.record_operation(component::kCoreBeaconing);
                                core_servers_[i]->on_interval(sim_.now());
@@ -141,7 +152,7 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
         util::Duration::nanoseconds(
             rng_.uniform_int(0, config_.registration_interval.ns() - 1));
     sim_.schedule_periodic(util::TimePoint::origin() + offset,
-                           config_.registration_interval,
+                           config_.registration_interval, kRegistrationLabel,
                            [this, leaf] { do_registration(leaf); });
   }
 
@@ -222,7 +233,7 @@ void ControlPlaneSim::do_registration(topo::AsIndex leaf) {
     record_service_message(component::kRegistration, leaf, *origin_idx,
                            registration_bytes(segments));
     const topo::AsIndex origin_as = *origin_idx;
-    sim_.schedule_after(util::Duration::milliseconds(10),
+    sim_.schedule_after(util::Duration::milliseconds(10), kRegisterDownLabel,
                         [this, origin_as, segments = std::move(segments)] {
                           for (const PathSegment& seg : segments) {
                             path_servers_[origin_as]->register_down_segment(seg);
@@ -366,7 +377,7 @@ void ControlPlaneSim::schedule_next_lookup() {
   if (config_.lookups_per_second <= 0.0) return;
   const auto gap = util::Duration::nanoseconds(static_cast<std::int64_t>(
       rng_.exponential(1.0 / config_.lookups_per_second) * 1e9));
-  sim_.schedule_after(gap, [this] {
+  sim_.schedule_after(gap, kLookupLabel, [this] {
     do_lookup();
     schedule_next_lookup();
   });

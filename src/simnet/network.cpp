@@ -70,13 +70,25 @@ Duration Network::jitter(ChannelId ch) const {
   return channels_[ch.value()].jitter;
 }
 
+namespace {
+
+// Default attribution for deliveries whose sender did not pass a protocol
+// label (interned once at static init; never re-interned on the hot path).
+const obs::EventLabel kNetDeliverLabel = obs::event_label("net.deliver");
+
+}  // namespace
+
+void Network::send(ChannelId ch, NodeId from, Bytes bytes, Payload payload) {
+  send(ch, from, bytes, std::move(payload), kNetDeliverLabel);
+}
+
 // Once per message sent plus once per message delivered (the lambda below):
 // the busiest code in every simulation. The delivery closure must stay
 // within the Simulator::Callback inline capacity and the payload within
 // Payload's — both checked statically right here.
 SCION_HOT_FN
 void Network::send(ChannelId ch, NodeId from, Bytes bytes,
-                   Payload payload) {
+                   Payload payload, obs::EventLabel label) {
   SCION_CHECK(ch.value() < channels_.size(), "channel id out of range");
   ChannelState& c = channels_[ch.value()];
   SCION_CHECK(from == c.a || from == c.b, "sender is not a channel endpoint");
@@ -139,7 +151,7 @@ void Network::send(ChannelId ch, NodeId from, Bytes bytes,
   };
   static_assert(Simulator::Callback::fits_inline<decltype(deliver)>(),
                 "delivery closure must not allocate per message");
-  sim_.schedule_after(delay, std::move(deliver));
+  sim_.schedule_after(delay, label, std::move(deliver));
 }
 
 const std::string& Network::node_name(NodeId node) const {

@@ -135,7 +135,12 @@ class Network {
 
   /// Sends `bytes` of payload from `from` across `ch`; delivery is scheduled
   /// after the channel latency (plus jitter, if configured). `from` must be
-  /// an endpoint of `ch`.
+  /// an endpoint of `ch`. The delivery event is attributed to `label` by the
+  /// event profiler; the unlabeled form uses the interned "net.deliver"
+  /// default (hot-path call sites must pass their protocol's label — the
+  /// simlint hot-unlabeled-schedule rule enforces it).
+  void send(ChannelId ch, NodeId from, Bytes bytes, Payload payload,
+            obs::EventLabel label);
   void send(ChannelId ch, NodeId from, Bytes bytes, Payload payload);
 
   std::size_t node_count() const { return nodes_.size(); }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/alloc_track.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/hot_path.hpp"
 
@@ -11,23 +13,24 @@ namespace scion::sim {
 // Once per scheduled event: the queue push is the only permitted growth
 // (amortized vector doubling), and Callback keeps closures inline.
 SCION_HOT_FN
-void Simulator::schedule_at(TimePoint t, Callback fn) {
+void Simulator::schedule_at(TimePoint t, obs::EventLabel label, Callback fn) {
   SCION_CHECK(t >= now_, "cannot schedule events in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push(Event{t, next_seq_++, label, std::move(fn)});
   if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 }
 
-void Simulator::schedule_after(Duration d, Callback fn) {
+void Simulator::schedule_after(Duration d, obs::EventLabel label,
+                               Callback fn) {
   SCION_CHECK(d >= Duration::zero(), "negative delay");
-  schedule_at(now_ + d, std::move(fn));
+  schedule_at(now_ + d, label, std::move(fn));
 }
 
 TimerId Simulator::schedule_periodic(TimePoint first, Duration period,
-                                     Callback fn) {
+                                     obs::EventLabel label, Callback fn) {
   SCION_CHECK(period > Duration::zero(), "periodic event needs a positive period");
   const TimerId id{static_cast<std::uint64_t>(periodics_.size())};
-  periodics_.push_back(Periodic{period, std::move(fn), false});
-  schedule_at(first, [this, id, first] { fire_periodic(id, first); });
+  periodics_.push_back(Periodic{period, label, std::move(fn), false});
+  schedule_at(first, label, [this, id, first] { fire_periodic(id, first); });
   return id;
 }
 
@@ -42,7 +45,7 @@ void Simulator::fire_periodic(TimerId id, TimePoint when) {
   // until the next period tick).
   if (p.cancelled) return;
   const TimePoint next = when + p.period;
-  schedule_at(next, [this, id, next] { fire_periodic(id, next); });
+  schedule_at(next, p.label, [this, id, next] { fire_periodic(id, next); });
 }
 
 void Simulator::cancel_periodic(TimerId id) {
@@ -63,18 +66,38 @@ void Simulator::pop_and_run() {
   now_ = ev.time;
   ++processed_;
   SCION_METRIC_COUNT("simnet.events_processed", 1);
+#ifdef SCION_MPR_OBS_ENABLED
+  // Event-cost attribution: snapshot the thread's alloc counters and the
+  // sanctioned wall clock around the handler, record the delta under the
+  // event's label. Write-only (the shard feeds reports, never the
+  // simulation), so runs are byte-identical with this on, off, or compiled
+  // out — test_determinism proves it.
+  if (obs::event_profiling_enabled()) {
+    shard_.maybe_sample_queue(now_.ns(), queue_.size());
+    const std::uint64_t allocs0 = obs::thread_allocs();
+    const std::uint64_t bytes0 = obs::thread_alloc_bytes();
+    const std::int64_t wall0 = obs::profiler_wall_now_ns();
+    ev.fn();
+    shard_.record(ev.label, obs::thread_allocs() - allocs0,
+                  obs::thread_alloc_bytes() - bytes0,
+                  obs::profiler_wall_now_ns() - wall0);
+    return;
+  }
+#endif
   ev.fn();
 }
 
 void Simulator::run() {
   while (!queue_.empty()) pop_and_run();
   publish_metrics();
+  shard_.flush();
 }
 
 void Simulator::run_until(TimePoint end) {
   while (!queue_.empty() && queue_.top().time <= end) pop_and_run();
   now_ = std::max(now_, end);
   publish_metrics();
+  shard_.flush();
 }
 
 // Write-only gauge export at the end of each run segment; never read back

@@ -9,8 +9,10 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "obs/event_profile.hpp"
 #include "util/small_fn.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -43,14 +45,27 @@ class Simulator {
   /// Current virtual time.
   TimePoint now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t`; `t` must not be in the past.
-  void schedule_at(TimePoint t, Callback fn);
+  /// Schedules `fn` at absolute time `t` under the event-cost attribution
+  /// `label` (see obs/event_profile.hpp and DESIGN.md's event-labeling
+  /// recipe); `t` must not be in the past.
+  void schedule_at(TimePoint t, obs::EventLabel label, Callback fn);
+
+  /// Unlabeled form: the event lands under the "(unlabeled)" default label.
+  /// Hot-path call sites must use the labeled overload (enforced by the
+  /// simlint hot-unlabeled-schedule rule).
+  void schedule_at(TimePoint t, Callback fn) {
+    schedule_at(t, obs::EventLabel{}, std::move(fn));
+  }
 
   /// Schedules `fn` after `d` (>= 0) from now.
-  void schedule_after(Duration d, Callback fn);
+  void schedule_after(Duration d, obs::EventLabel label, Callback fn);
+  void schedule_after(Duration d, Callback fn) {
+    schedule_after(d, obs::EventLabel{}, std::move(fn));
+  }
 
   /// Schedules `fn` every `period` starting at `first`, until the simulation
-  /// stops. Returns an id usable with cancel_periodic().
+  /// stops. Returns an id usable with cancel_periodic(). Every firing (and
+  /// the internal re-arm event) is attributed to `label`.
   ///
   /// Re-entrancy contract (audited; regression tests in test_simnet):
   ///  * a callback may cancel its *own* id: the current firing completes and
@@ -59,7 +74,11 @@ class Simulator {
   ///  * a callback may cancel another timer or register new periodic timers;
   ///    the registry uses a deque, so outstanding references stay valid when
   ///    a callback grows it.
-  TimerId schedule_periodic(TimePoint first, Duration period, Callback fn);
+  TimerId schedule_periodic(TimePoint first, Duration period,
+                            obs::EventLabel label, Callback fn);
+  TimerId schedule_periodic(TimePoint first, Duration period, Callback fn) {
+    return schedule_periodic(first, period, obs::EventLabel{}, std::move(fn));
+  }
 
   /// Stops future firings of a periodic event. Safe to call from any
   /// callback, including the timer's own.
@@ -85,6 +104,9 @@ class Simulator {
   struct Event {
     TimePoint time;
     std::uint64_t seq;
+    /// Cost-attribution tag; an empty type under SCION_MPR_OBS=OFF, so the
+    /// queue slot pays nothing when telemetry is compiled out.
+    [[no_unique_address]] obs::EventLabel label;
     Callback fn;
   };
   struct Later {
@@ -96,6 +118,7 @@ class Simulator {
 
   struct Periodic {
     Duration period;
+    [[no_unique_address]] obs::EventLabel label;
     Callback fn;
     bool cancelled{false};
   };
@@ -113,6 +136,10 @@ class Simulator {
   // callback, and a callback that registers a new periodic timer must not
   // invalidate it (a vector's push_back reallocation would).
   std::deque<Periodic> periodics_;
+  // Per-simulator event-cost accumulator (empty type under
+  // SCION_MPR_OBS=OFF); folded into obs::EventProfiler::global() at the end
+  // of each run segment and on destruction.
+  [[no_unique_address]] obs::EventShard shard_;
 };
 
 }  // namespace scion::sim

@@ -18,11 +18,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "bgp/bgp_sim.hpp"
 #include "core/beaconing_sim.hpp"
 #include "obs/alloc_track.hpp"
+#include "obs/event_profile.hpp"
 #include "scion/control_plane_sim.hpp"
 #include "topology/generator.hpp"
 
@@ -180,6 +183,43 @@ TEST(AllocBudget, ExceededBudgetNamesPhaseAndPerEventCount) {
   EXPECT_NE(r.message.find("budget 2.000"), std::string::npos) << r.message;
   EXPECT_NE(r.message.find("1000 allocs"), std::string::npos) << r.message;
   EXPECT_NE(r.message.find("100 events"), std::string::npos) << r.message;
+}
+
+// A breach must also point at its handler: the message names the top-3
+// allocating event labels (from the event profiler) in allocs-descending
+// order, so a CI log alone is enough to locate the offending event kind.
+TEST(AllocBudget, ExceededBudgetNamesTopAllocatingEventLabels) {
+  auto& profiler = obs::EventProfiler::global();
+  profiler.reset_counters();
+  const obs::EventLabel heavy = profiler.intern("test.budget_heavy");
+  const obs::EventLabel mid = profiler.intern("test.budget_mid");
+  const obs::EventLabel light = profiler.intern("test.budget_light");
+  const obs::EventLabel spare = profiler.intern("test.budget_spare");
+  std::vector<obs::LabelStats> stats(profiler.label_count());
+  stats[heavy.id()] = obs::LabelStats{10, 500, 8000, 0};
+  stats[mid.id()] = obs::LabelStats{10, 200, 3200, 0};
+  stats[light.id()] = obs::LabelStats{10, 100, 1600, 0};
+  stats[spare.id()] = obs::LabelStats{10, 7, 112, 0};
+  profiler.merge(stats, {});
+
+  const auto r = obs::check_alloc_budget("label-contract", 1000, 100, 2.0);
+  profiler.reset_counters();
+  ASSERT_FALSE(r.ok);
+  const std::string& msg = r.message;
+  ASSERT_NE(msg.find("top allocating event labels:"), std::string::npos)
+      << msg;
+#ifdef SCION_MPR_OBS_ENABLED
+  const auto heavy_at = msg.find("test.budget_heavy (500 allocs)");
+  const auto mid_at = msg.find("test.budget_mid (200 allocs)");
+  const auto light_at = msg.find("test.budget_light (100 allocs)");
+  ASSERT_NE(heavy_at, std::string::npos) << msg;
+  ASSERT_NE(mid_at, std::string::npos) << msg;
+  ASSERT_NE(light_at, std::string::npos) << msg;
+  EXPECT_LT(heavy_at, mid_at) << msg;
+  EXPECT_LT(mid_at, light_at) << msg;
+  // Top-3 means the fourth-heaviest label stays out of the message.
+  EXPECT_EQ(msg.find("test.budget_spare"), std::string::npos) << msg;
+#endif
 }
 
 TEST(AllocBudget, RealRunExceedsZeroBudget) {

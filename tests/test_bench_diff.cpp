@@ -1,0 +1,247 @@
+// Unit tests for the bench regression comparator (tools/bench_diff_core.hpp).
+//
+// The comparator is the brain of tools/bench_diff, the gate ci.sh runs
+// against the checked-in smoke baseline. Its verdict semantics are a
+// contract: deterministic fields (figure scalars, counters, phase calls,
+// per-label event counts) fail on ANY drift; allocation counters fail only
+// beyond the tolerance band; wall time warns unless a wall tolerance is
+// explicitly requested. These tests pin each verdict on small handwritten
+// scion-mpr-bench-v1 documents.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "tools/bench_diff_core.hpp"
+
+namespace scion::tools {
+namespace {
+
+// A minimal but fully-populated bench report. Tests derive variants by
+// textual substitution so every case reads as "baseline vs baseline with
+// one value changed".
+constexpr const char* kBaseDoc = R"({
+  "name": "fig5_overhead",
+  "manifest": {"obs_enabled": true, "jobs": 1},
+  "scalars": {"beacons": 120, "lookups": 7235},
+  "metrics": {"counters": {"pcbs_received": 500, "updates_sent": 80}},
+  "phases": [
+    {"phase": "beaconing", "calls": 10, "wall_ns": 5000,
+     "allocs": 100, "alloc_bytes": 4000}
+  ],
+  "event_profile": {
+    "enabled": true,
+    "total_events": 600,
+    "attributed_events": 590,
+    "queue_samples": [{"t_ns": 100000000, "depth": 4}],
+    "labels": [
+      {"label": "beacon.propagate", "events": 400, "allocs": 80,
+       "alloc_bytes": 3000, "wall_ns": 1000, "wall_s": 0.000001}
+    ]
+  }
+})";
+
+obs::JsonValue parse(const std::string& text) {
+  std::string error;
+  auto doc = obs::parse_json(text, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return doc.has_value() ? *doc : obs::JsonValue{};
+}
+
+// Replaces the first occurrence of `from` (which must exist — tests break
+// loudly if the base doc drifts away from a substitution).
+std::string replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  const auto at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  if (at != std::string::npos) text.replace(at, from.size(), to);
+  return text;
+}
+
+const DiffEntry* find_metric(const DiffReport& r, const std::string& metric) {
+  for (const DiffEntry& e : r.entries) {
+    if (e.metric == metric) return &e;
+  }
+  return nullptr;
+}
+
+TEST(BenchDiff, IdenticalDocsHaveNoFindings) {
+  const obs::JsonValue doc = parse(kBaseDoc);
+  const DiffReport r = diff_bench_docs(doc, doc);
+  EXPECT_EQ(r.name, "fig5_overhead");
+  EXPECT_GT(r.compared, 0u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(BenchDiff, ScalarDriftFailsNamingTheMetric) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"lookups\": 7235", "\"lookups\": 7236"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "scalars.lookups");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+  EXPECT_EQ(e->baseline, "7235");
+  EXPECT_EQ(e->current, "7236");
+  EXPECT_EQ(e->note, "deterministic field changed");
+}
+
+TEST(BenchDiff, CounterDriftFails) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur = parse(
+      replaced(kBaseDoc, "\"pcbs_received\": 500", "\"pcbs_received\": 499"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "counters.pcbs_received");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, MissingScalarFailsAndNewScalarWarns) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"lookups\": 7235", "\"probes\": 7"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  const DiffEntry* missing = find_metric(r, "scalars.lookups");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_EQ(missing->severity, DiffSeverity::kFail);
+  EXPECT_EQ(missing->current, "-");
+  const DiffEntry* added = find_metric(r, "scalars.probes");
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->severity, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiff, PhaseCallDriftFails) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"calls\": 10", "\"calls\": 11"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "phases.beaconing.calls");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, PhaseWallIncreaseOnlyWarnsByDefault) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"wall_ns\": 5000", "\"wall_ns\": 50000"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_FALSE(r.failed());
+  const DiffEntry* e = find_metric(r, "phases.beaconing.wall_ns");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kWarn);
+  EXPECT_NE(e->note.find("wall time: warn only"), std::string::npos);
+
+  // An explicit wall tolerance turns the same regression into a failure.
+  DiffOptions opts;
+  opts.wall_tolerance = 0.5;
+  const DiffReport gated = diff_bench_docs(base, cur, opts);
+  EXPECT_TRUE(gated.failed());
+  const DiffEntry* g = find_metric(gated, "phases.beaconing.wall_ns");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, PhaseAllocIncreaseGatesOnToleranceBand) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  // +25% of 100 plus the 16-alloc slack allows up to 141.
+  const obs::JsonValue within =
+      parse(replaced(kBaseDoc, "\"allocs\": 100", "\"allocs\": 141"));
+  EXPECT_FALSE(diff_bench_docs(base, within).failed());
+
+  const obs::JsonValue beyond =
+      parse(replaced(kBaseDoc, "\"allocs\": 100", "\"allocs\": 142"));
+  const DiffReport r = diff_bench_docs(base, beyond);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "phases.beaconing.allocs");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+  EXPECT_NE(e->note.find("alloc regression"), std::string::npos);
+
+  // Decreases always pass, however large.
+  const obs::JsonValue fewer =
+      parse(replaced(kBaseDoc, "\"allocs\": 100", "\"allocs\": 1"));
+  EXPECT_FALSE(diff_bench_docs(base, fewer).failed());
+}
+
+TEST(BenchDiff, LabelEventCountDriftFails) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"events\": 400", "\"events\": 401"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "events.beacon.propagate.events");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiff, EventProfileTotalsGateExactly) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur = parse(
+      replaced(kBaseDoc, "\"total_events\": 600", "\"total_events\": 601"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  EXPECT_NE(find_metric(r, "event_profile.total_events"), nullptr);
+}
+
+TEST(BenchDiff, MissingLabelFailsNewLabelWarns) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur = parse(replaced(
+      kBaseDoc, "\"label\": \"beacon.propagate\"", "\"label\": \"bgp.flap\""));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* missing = find_metric(r, "events.beacon.propagate.events");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_EQ(missing->severity, DiffSeverity::kFail);
+  EXPECT_NE(missing->note.find("missing"), std::string::npos);
+  const DiffEntry* added = find_metric(r, "events.bgp.flap");
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->severity, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiff, ObsDisabledSkipsObsSectionsWithWarning) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur = parse(
+      replaced(kBaseDoc, "\"obs_enabled\": true", "\"obs_enabled\": false"));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.warnings, 1u);
+  const DiffEntry* e = find_metric(r, "metrics");
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->note.find("skipping"), std::string::npos);
+  // Scalars still compared exactly; obs-gated sections were not.
+  EXPECT_EQ(find_metric(r, "counters.pcbs_received"), nullptr);
+}
+
+TEST(BenchDiff, DifferentBenchNamesRefuseToCompare) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur = parse(replaced(
+      kBaseDoc, "\"name\": \"fig5_overhead\"", "\"name\": \"fig6a\""));
+  const DiffReport r = diff_bench_docs(base, cur);
+  EXPECT_TRUE(r.failed());
+  const DiffEntry* e = find_metric(r, "name");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->note, "comparing different benches");
+}
+
+TEST(BenchDiff, ReportTableRendersFindingsAndCleanRuns) {
+  const obs::JsonValue base = parse(kBaseDoc);
+  const obs::JsonValue cur =
+      parse(replaced(kBaseDoc, "\"lookups\": 7235", "\"lookups\": 9999"));
+  DiffReport clean = diff_bench_docs(base, base);
+  DiffReport dirty = diff_bench_docs(base, cur);
+  const std::string text = diff_report_table({clean, dirty}).to_text();
+  EXPECT_NE(text.find("no regressions"), std::string::npos) << text;
+  EXPECT_NE(text.find("FAIL"), std::string::npos) << text;
+  EXPECT_NE(text.find("scalars.lookups"), std::string::npos) << text;
+  EXPECT_NE(text.find("9999"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace scion::tools

@@ -15,6 +15,7 @@
 #include "experiments/quality_experiment.hpp"
 #include "experiments/scale.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
@@ -279,6 +280,50 @@ TEST(Determinism, TelemetryOnOffRunsAreByteIdentical) {
   EXPECT_GT(sink.events_written(), 0u);
   EXPECT_FALSE(obs::MetricsRegistry::global().counters().empty());
 #endif
+  obs::MetricsRegistry::global().reset();
+}
+
+// Event-level cost attribution is write-only like the rest of the telemetry
+// layer: profiling every event (counts, allocations, queue depth, handler
+// wall time) must not change a single byte of simulation output. This is
+// the runtime ON/OFF half; the compiled-out half is the same test under
+// SCION_MPR_OBS=OFF, where the record path does not exist.
+TEST(Determinism, EventProfilingOnOffRunsAreByteIdentical) {
+  const topo::Topology world = make_world();
+
+  obs::EventProfiler::global().set_enabled(false);
+  obs::EventProfiler::global().reset_counters();
+  const std::string off = scion_transcript(world) + bgp_transcript(world);
+  EXPECT_EQ(obs::EventProfiler::global().total_events(), 0u);
+
+  obs::EventProfiler::global().set_enabled(true);
+  obs::EventProfiler::global().reset_counters();
+  const std::string on = scion_transcript(world) + bgp_transcript(world);
+
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
+#ifdef SCION_MPR_OBS_ENABLED
+  // The profiled run actually attributed events (not a vacuous comparison),
+  // and a second profiled run reproduces the deterministic counters exactly.
+  EXPECT_GT(obs::EventProfiler::global().total_events(), 0u);
+  EXPECT_GT(obs::EventProfiler::global().attributed_events(), 0u);
+  const std::uint64_t total = obs::EventProfiler::global().total_events();
+  const std::uint64_t attributed =
+      obs::EventProfiler::global().attributed_events();
+  const auto timeline = obs::EventProfiler::global().queue_timeline();
+  obs::EventProfiler::global().reset_counters();
+  const std::string again = scion_transcript(world) + bgp_transcript(world);
+  EXPECT_EQ(again, on);
+  EXPECT_EQ(obs::EventProfiler::global().total_events(), total);
+  EXPECT_EQ(obs::EventProfiler::global().attributed_events(), attributed);
+  const auto timeline_again = obs::EventProfiler::global().queue_timeline();
+  ASSERT_EQ(timeline_again.size(), timeline.size());
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    EXPECT_EQ(timeline_again[i].t_ns, timeline[i].t_ns);
+    EXPECT_EQ(timeline_again[i].depth, timeline[i].depth);
+  }
+#endif
+  obs::EventProfiler::global().reset_counters();
   obs::MetricsRegistry::global().reset();
 }
 

@@ -8,6 +8,10 @@
 // Usage:
 //   obs_check [--metrics <file>] [--bench <file>]
 //             [--trace <file>] [--expect-cat <csv>]
+//             [--chrome-trace <file>]
+//
+// --chrome-trace validates a Chrome-trace export (--chrome-trace-out):
+// traceEvents array shape, known phase types, required timing fields.
 //
 // --expect-cat restricts a trace stream: every event's "cat" must be one of
 // the comma-separated names and at least one event must be present (this is
@@ -106,6 +110,101 @@ void check_metrics_block(const JsonValue& doc, const std::string& artifact) {
   }
 }
 
+void check_event_profile(const JsonValue& doc, const std::string& artifact) {
+  const JsonValue* profile = require(doc, artifact, "event_profile",
+                                     &JsonValue::is_object, "an object");
+  if (profile == nullptr) return;
+  require(*profile, artifact, "enabled", &JsonValue::is_bool, "a bool");
+  require(*profile, artifact, "total_events", &JsonValue::is_number,
+          "a number");
+  require(*profile, artifact, "attributed_events", &JsonValue::is_number,
+          "a number");
+  const JsonValue* samples = require(*profile, artifact, "queue_samples",
+                                     &JsonValue::is_array, "an array");
+  if (samples != nullptr) {
+    for (const JsonValue& s : samples->as_array()) {
+      if (!s.is_object()) {
+        fail(artifact, "queue sample is not an object");
+        continue;
+      }
+      require(s, artifact, "t_ns", &JsonValue::is_number, "a number");
+      require(s, artifact, "depth", &JsonValue::is_number, "a number");
+    }
+  }
+  const JsonValue* labels =
+      require(*profile, artifact, "labels", &JsonValue::is_array, "an array");
+  if (labels != nullptr) {
+    std::string prev;
+    for (const JsonValue& l : labels->as_array()) {
+      if (!l.is_object()) {
+        fail(artifact, "label entry is not an object");
+        continue;
+      }
+      const JsonValue* name =
+          require(l, artifact, "label", &JsonValue::is_string, "a string");
+      require(l, artifact, "events", &JsonValue::is_number, "a number");
+      require(l, artifact, "allocs", &JsonValue::is_number, "a number");
+      require(l, artifact, "alloc_bytes", &JsonValue::is_number, "a number");
+      require(l, artifact, "wall_ns", &JsonValue::is_number, "a number");
+      require(l, artifact, "wall_s", &JsonValue::is_number, "a number");
+      if (name != nullptr) {
+        // Sorted label order is part of the determinism contract.
+        if (!prev.empty() && !(prev < name->as_string())) {
+          fail(artifact, "label \"" + name->as_string() +
+                             "\" out of sorted order (after \"" + prev + "\")");
+        }
+        prev = name->as_string();
+      }
+    }
+  }
+}
+
+/// Chrome-trace document: {"traceEvents": [...], "displayTimeUnit": "ms"};
+/// every entry needs name/ph/pid, and "X"/"C" entries need a numeric ts.
+void check_chrome_trace(const std::string& path) {
+  const std::string artifact = "chrome-trace " + path;
+  std::string text;
+  if (!read_file(path, &text)) {
+    fail(artifact, "cannot read file");
+    return;
+  }
+  std::string error;
+  const auto doc = scion::obs::parse_json(text, &error);
+  if (!doc) {
+    fail(artifact, "parse error: " + error);
+    return;
+  }
+  require(*doc, artifact, "displayTimeUnit", &JsonValue::is_string,
+          "a string");
+  const JsonValue* events = require(*doc, artifact, "traceEvents",
+                                    &JsonValue::is_array, "an array");
+  if (events == nullptr) return;
+  std::size_t index = 0;
+  for (const JsonValue& e : events->as_array()) {
+    const std::string where = artifact + " event #" + std::to_string(index++);
+    if (!e.is_object()) {
+      fail(where, "trace event is not an object");
+      continue;
+    }
+    require(e, where, "name", &JsonValue::is_string, "a string");
+    const JsonValue* ph =
+        require(e, where, "ph", &JsonValue::is_string, "a string");
+    require(e, where, "pid", &JsonValue::is_number, "a number");
+    if (ph == nullptr) continue;
+    const std::string& kind = ph->as_string();
+    if (kind != "X" && kind != "C" && kind != "M") {
+      fail(where, "unexpected phase type \"" + kind + "\"");
+      continue;
+    }
+    if (kind == "X" || kind == "C") {
+      require(e, where, "ts", &JsonValue::is_number, "a number");
+    }
+    if (kind == "X") {
+      require(e, where, "dur", &JsonValue::is_number, "a number");
+    }
+  }
+}
+
 void check_schema_tag(const JsonValue& doc, const std::string& artifact,
                       const std::string& expected) {
   const JsonValue* schema =
@@ -132,6 +231,7 @@ void check_metrics_doc(const std::string& path) {
   check_schema_tag(*doc, artifact, "scion-mpr-metrics-v1");
   check_manifest(*doc, artifact);
   check_metrics_block(*doc, artifact);
+  check_event_profile(*doc, artifact);
 }
 
 void check_bench_doc(const std::string& path) {
@@ -151,6 +251,7 @@ void check_bench_doc(const std::string& path) {
   require(*doc, artifact, "name", &JsonValue::is_string, "a string");
   check_manifest(*doc, artifact);
   check_metrics_block(*doc, artifact);
+  check_event_profile(*doc, artifact);
   const JsonValue* scalars =
       require(*doc, artifact, "scalars", &JsonValue::is_object, "an object");
   if (scalars != nullptr) {
@@ -217,18 +318,22 @@ int main(int argc, char** argv) {
   const std::string metrics = flags.get("metrics", "");
   const std::string bench = flags.get("bench", "");
   const std::string trace = flags.get("trace", "");
+  const std::string chrome_trace = flags.get("chrome-trace", "");
   const std::string expect_cat = flags.get("expect-cat", "");
 
-  if (metrics.empty() && bench.empty() && trace.empty()) {
+  if (metrics.empty() && bench.empty() && trace.empty() &&
+      chrome_trace.empty()) {
     std::fprintf(stderr,
                  "usage: obs_check [--metrics <file>] [--bench <file>]\n"
-                 "                 [--trace <file>] [--expect-cat <csv>]\n");
+                 "                 [--trace <file>] [--expect-cat <csv>]\n"
+                 "                 [--chrome-trace <file>]\n");
     return 2;
   }
 
   if (!metrics.empty()) check_metrics_doc(metrics);
   if (!bench.empty()) check_bench_doc(bench);
   if (!trace.empty()) check_trace_stream(trace, expect_cat);
+  if (!chrome_trace.empty()) check_chrome_trace(chrome_trace);
 
   if (g_failures > 0) {
     std::fprintf(stderr, "obs_check: %d failure(s)\n", g_failures);

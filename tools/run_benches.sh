@@ -1,7 +1,13 @@
 #!/bin/sh
 # Runs every bench binary, headline figures first, capturing combined output
 # and collecting each binary's BENCH_<name>.json report into one directory.
-# Usage: tools/run_benches.sh [--checked] [--jobs=N] [output-file] [json-dir]
+# Usage: tools/run_benches.sh [--checked] [--jobs=N] [--baseline=DIR]
+#                             [output-file] [json-dir]
+#
+# --baseline=DIR diffs the collected reports against a directory of
+# baseline BENCH_*.json files with tools/bench_diff after the suite
+# completes (report written next to the json output); the script then
+# exits non-zero on any deterministic regression.
 #
 # --checked runs the binaries from the build-checked tree (CMake preset
 # `checked`, SCION_MPR_CHECKED=ON) so every SCION_CHECK/SCION_DCHECK
@@ -13,6 +19,7 @@
 # and the value is recorded in each BENCH json manifest.
 build_dir="build"
 jobs_flag=""
+baseline_dir=""
 while :; do
   case "${1:-}" in
     --checked)
@@ -25,6 +32,10 @@ while :; do
       ;;
     --jobs=*)
       jobs_flag="$1"
+      shift
+      ;;
+    --baseline=*)
+      baseline_dir="${1#--baseline=}"
       shift
       ;;
     *) break ;;
@@ -61,3 +72,11 @@ for b in "$build_dir"/bench/*; do
   fi
 done
 echo "bench suite complete: $out (reports in $json_dir/)"
+
+if [ -n "$baseline_dir" ]; then
+  "$build_dir/tools/bench_diff" "--baseline=$baseline_dir" \
+    "--current=$json_dir" "--report-out=$json_dir/bench_diff.txt" || {
+    echo "bench suite regressed vs baseline $baseline_dir (see $json_dir/bench_diff.txt)" >&2
+    exit 1
+  }
+fi

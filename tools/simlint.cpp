@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
                  "rules: wall-clock std-rng unordered-iter float-accum "
                  "raw-output raw-thread layering module-cycle\n"
                  "       hot-alloc hot-string hot-copy-arg hot-map-lookup "
-                 "(inside SCION_HOT_FN / SCION_HOT_PATH regions)\n"
+                 "hot-unlabeled-schedule\n"
+                 "       (inside SCION_HOT_FN / SCION_HOT_PATH regions)\n"
                  "suppress with // simlint:allow(<rule>) on or above the "
                  "offending line\n"
                  "--dot=PATH writes the observed module include graph as "

@@ -21,6 +21,13 @@
 //                   (find/at/count/contains/bounds or operator[]) on names
 //                   declared as map containers — hash/tree lookups in a
 //                   per-event path belong in precomputed dense arrays.
+//   hot-unlabeled-schedule
+//                   a schedule_at / schedule_after / schedule_periodic /
+//                   send member call in a hot region whose argument list
+//                   carries no event label (no case-insensitive "label"
+//                   token). Unlabeled events land in the profiler's
+//                   "(unlabeled)" bucket and defeat per-event cost
+//                   attribution exactly where it matters most.
 //
 // Like every simlint rule, a finding is silenced with
 // `// simlint:allow(<rule>)` on the offending line or the line above; the
@@ -139,6 +146,39 @@ inline bool starts_with_marker(std::string_view code, std::string_view marker) {
   return code.substr(i).starts_with(marker);
 }
 
+/// Scans the balanced-paren argument list of a call whose '(' sits at
+/// `first_line_code[col]`; continuation lines come from `lines` starting at
+/// `line + 1` (line comments stripped). True when the argument text holds a
+/// case-insensitive "label" token. The scan is bounded to 32 lines; an
+/// unterminated list counts as labeled so the rule never false-positives on
+/// code the scanner cannot follow.
+inline bool call_args_have_label(const std::string& first_line_code,
+                                 const std::vector<std::string>& lines,
+                                 std::size_t line, std::size_t col) {
+  int depth = 0;
+  std::string args;
+  for (std::size_t j = line; j < lines.size() && j < line + 32; ++j) {
+    const std::string_view code =
+        j == line ? std::string_view{first_line_code} : code_part(lines[j]);
+    for (std::size_t k = j == line ? col : 0; k < code.size(); ++k) {
+      const char c = code[k];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;  // the call's own open paren
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          return args.find("label") != std::string::npos;
+        }
+      }
+      args.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+    args.push_back(' ');
+  }
+  return true;  // unterminated within the window: give the benefit of doubt
+}
+
 inline void json_escape_into(std::string& out, std::string_view s) {
   for (char c : s) {
     if (c == '"' || c == '\\') out.push_back('\\');
@@ -163,6 +203,10 @@ inline std::vector<Finding> HotPathAnalyzer::check() {
   static const std::regex kLookup{
       R"((\w+)\s*\.\s*(?:find|at|count|contains|lower_bound|upper_bound|equal_range)\s*\()"};
   static const std::regex kSubscript{R"((\w+)\s*\[)"};
+  // Member-call form only: the unlabeled convenience overloads forward to
+  // the labeled ones via unqualified calls, which must not match.
+  static const std::regex kSchedule{
+      R"((?:\.|->)\s*(?:schedule_at|schedule_after|schedule_periodic|send)\s*\()"};
 
   // By-value declarations / parameters / range-for bindings and by-value
   // any_casts of table types at or above the copy threshold.
@@ -325,6 +369,21 @@ inline std::vector<Finding> HotPathAnalyzer::check() {
                  "map lookup in a hot-path region; index a precomputed "
                  "dense array instead");
         }
+
+        for (std::sregex_iterator it{code_str.begin(), code_str.end(),
+                                     kSchedule},
+             end;
+             it != end; ++it) {
+          const std::size_t open =
+              static_cast<std::size_t>(it->position(0)) +
+              static_cast<std::size_t>(it->length(0)) - 1;
+          if (!call_args_have_label(code_str, lines, i, open)) {
+            report("hot-unlabeled-schedule",
+                   "event scheduled/sent in a hot-path region without an "
+                   "event label; pass an obs::EventLabel so profiler cost "
+                   "attribution covers this path");
+          }
+        }
       }
 
       for (char c : code_str) {
@@ -349,8 +408,9 @@ inline std::vector<Finding> HotPathAnalyzer::check() {
 }
 
 inline std::string HotPathAnalyzer::cost_report_json() const {
-  static const std::vector<std::string> kRules{"hot-alloc", "hot-copy-arg",
-                                              "hot-map-lookup", "hot-string"};
+  static const std::vector<std::string> kRules{
+      "hot-alloc", "hot-copy-arg", "hot-map-lookup", "hot-string",
+      "hot-unlabeled-schedule"};
   std::map<std::string, int> totals;
   int total_hot_lines = 0;
   std::set<std::string> file_set;
