@@ -122,6 +122,32 @@ mkdir -p "$fault_dir"
   --trace="$fault_dir/trace.jsonl" --expect-cat=fault \
   --bench="$fault_dir/bench.json"
 
+# Churn-survival smoke: the five-series churn-response bench (plain BGP,
+# damping, graceful restart, SCION baseline, SCION robust) under the
+# example sustained-churn scenario, validated and then diffed against the
+# checked-in baseline so availability/amplification and the survival
+# counters (suppressed, stale-retained, quarantined, re-originated) cannot
+# drift silently. The 60-minute window is load-bearing: the example's burst
+# storm and session restarts start at 15m+.
+churn_dir="$build_dir/churn_ci"
+mkdir -p "$churn_dir"
+"$build_dir/bench/bench_churn_response" \
+  --core-isds=3 --core-ases=12 --internet-ases=200 \
+  --sampled-pairs=18 --churn-minutes=60 --probe-interval-s=30 \
+  --faults=examples/churn.faults \
+  --metrics-out="$churn_dir/metrics.json" \
+  --trace-out="$churn_dir/trace.jsonl" \
+  --trace-filter=fault \
+  --bench-out="$churn_dir/BENCH_churn_response.json" > "$churn_dir/stdout.txt"
+"$build_dir/tools/obs_check" \
+  --metrics="$churn_dir/metrics.json" \
+  --trace="$churn_dir/trace.jsonl" --expect-cat=fault \
+  --bench="$churn_dir/BENCH_churn_response.json"
+"$build_dir/tools/bench_diff" \
+  --baseline=tools/bench_baseline/BENCH_churn_response.json \
+  --current="$churn_dir/BENCH_churn_response.json" \
+  --report-out="$churn_dir/bench_diff.txt"
+
 # Parallel-execution smoke: a quality bench on the exec::TaskPool with
 # --jobs=4. Under the tsan preset this is the data-race gate for the
 # worker pool and the sharded telemetry merge; under the other presets it
@@ -146,7 +172,9 @@ cp "$obs_dir/BENCH_fig5_overhead.json" \
    "$obs_dir/chrome_trace.json" \
    "$obs_dir/bench_diff.txt" "$artifact_dir/"
 cp "$fault_dir/bench.json" "$artifact_dir/BENCH_dyn_resilience_smoke.json"
+cp "$churn_dir/BENCH_churn_response.json" "$artifact_dir/"
+cp "$churn_dir/bench_diff.txt" "$artifact_dir/churn_bench_diff.txt"
 cp "$par_dir/bench.json" "$artifact_dir/BENCH_fig6b_capacity_smoke.json"
 echo "ci: artifacts: $artifact_dir/BENCH_fig5_overhead.json $artifact_dir/chrome_trace.json $artifact_dir/bench_diff.txt"
 
-echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, parallel smoke, bench regression gate, and telemetry artifacts all green"
+echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, churn smoke + regression gate, parallel smoke, bench regression gate, and telemetry artifacts all green"

@@ -27,7 +27,22 @@ const obs::EventLabel kUpdateDeliverLabel =
 const obs::EventLabel kUpdateProcessLabel =
     obs::event_label("bgp.update.process");
 const obs::EventLabel kMraiTimerLabel = obs::event_label("bgp.timer.mrai");
+const obs::EventLabel kDampingTimerLabel =
+    obs::event_label("bgp.timer.damping");
+const obs::EventLabel kGrStaleTimerLabel =
+    obs::event_label("bgp.timer.gr_stale");
+const obs::EventLabel kSessionRestartLabel =
+    obs::event_label("bgp.session.restart");
 const obs::EventLabel kOriginateLabel = obs::event_label("bgp.originate");
+
+obs::EventLabel timer_label(TimerKind kind) {
+  switch (kind) {
+    case TimerKind::kMrai: return kMraiTimerLabel;
+    case TimerKind::kDamping: return kDampingTimerLabel;
+    case TimerKind::kGrStale: return kGrStaleTimerLabel;
+  }
+  return kMraiTimerLabel;
+}
 
 }  // namespace
 
@@ -78,12 +93,19 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
                 std::make_shared<const BgpUpdateMsg>(std::move(msg)),
                 kUpdateDeliverLabel);
     };
-    auto schedule = [this](util::Duration delay, std::function<void()> fn) {
-      sim_.schedule_after(delay, kMraiTimerLabel, std::move(fn));
+    auto schedule = [this](util::Duration delay, TimerKind kind,
+                           std::function<void()> fn) {
+      sim_.schedule_after(delay, timer_label(kind), std::move(fn));
     };
+    auto clock = [this] { return sim_.now(); };
+    SpeakerOptions options;
+    options.mrai = config_.mrai;
+    options.mrai_jitter = config_.mrai_jitter;
+    options.damping = config_.damping;
+    options.graceful_restart = config_.graceful_restart;
     speakers_.push_back(std::make_unique<Speaker>(
-        i, std::move(neighbors), config_.mrai, std::move(send),
-        std::move(schedule), rng_()));
+        i, std::move(neighbors), options, std::move(send),
+        std::move(schedule), std::move(clock), rng_()));
   }
 
   // Delivery with per-speaker serial processing delay.
@@ -122,6 +144,9 @@ BgpSim::BgpSim(const topo::Topology& topology, BgpSimConfig config)
   faults::FaultInjector::Hooks hooks;
   hooks.on_link_down = [this](topo::LinkIndex l) { on_link_down(l); };
   hooks.on_link_up = [this](topo::LinkIndex l) { on_link_up(l); };
+  hooks.on_session_restart = [this](topo::LinkIndex l, util::Duration d) {
+    on_session_restart(l, d);
+  };
   hooks.channel_of_link = [this](topo::LinkIndex l) {
     return session_channel(l);
   };
@@ -154,6 +179,28 @@ void BgpSim::on_link_up(topo::LinkIndex l) {
   if (speakers_[link.a]->session_is_up(link.b)) return;
   speakers_[link.a]->session_up(link.b);
   speakers_[link.b]->session_up(link.a);
+}
+
+void BgpSim::on_session_restart(topo::LinkIndex l, util::Duration duration) {
+  // The transport stays up; only the protocol session bounces (router /
+  // process restart). With graceful restart the stale routes keep
+  // forwarding across the gap — without it, the table drains and refills.
+  const topo::Link& link = topology_.link(l);
+  if (!speakers_[link.a]->session_is_up(link.b)) return;  // already down
+  SCION_METRIC_COUNT("bgp.session_restarts", 1);
+  SCION_TRACE(obs::Category::kBgp, sim_.now(), "session_restart",
+              {"a", link.a}, {"b", link.b}, {"duration_ns", duration.ns()});
+  speakers_[link.a]->session_down(link.b, /*forwarding_preserved=*/true);
+  speakers_[link.b]->session_down(link.a, /*forwarding_preserved=*/true);
+  sim_.schedule_after(duration, kSessionRestartLabel, [this, l] {
+    const topo::Link& link = topology_.link(l);
+    // A physical outage may have started meanwhile; if so, on_link_up
+    // restores the session when the channel itself comes back.
+    if (!net_.channel_up(session_channel(l))) return;
+    if (speakers_[link.a]->session_is_up(link.b)) return;
+    speakers_[link.a]->session_up(link.b);
+    speakers_[link.b]->session_up(link.a);
+  });
 }
 
 void BgpSim::add_monitor(topo::AsIndex as) {
@@ -339,6 +386,30 @@ bool BgpSim::has_live_route(topo::AsIndex src, Prefix t) const {
 std::uint64_t BgpSim::total_updates_sent() const {
   std::uint64_t n = 0;
   for (const auto& s : speakers_) n += s->updates_sent();
+  return n;
+}
+
+std::uint64_t BgpSim::total_routes_suppressed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : speakers_) n += s->routes_suppressed();
+  return n;
+}
+
+std::uint64_t BgpSim::total_routes_reused() const {
+  std::uint64_t n = 0;
+  for (const auto& s : speakers_) n += s->routes_reused();
+  return n;
+}
+
+std::uint64_t BgpSim::total_stale_retained() const {
+  std::uint64_t n = 0;
+  for (const auto& s : speakers_) n += s->stale_retained();
+  return n;
+}
+
+std::uint64_t BgpSim::total_stale_expired() const {
+  std::uint64_t n = 0;
+  for (const auto& s : speakers_) n += s->stale_expired();
   return n;
 }
 

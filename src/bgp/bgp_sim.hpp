@@ -23,6 +23,12 @@ namespace scion::bgp {
 
 struct BgpSimConfig {
   util::Duration mrai{util::Duration::seconds(15)};
+  /// MRAI jitter amplitude (see SpeakerOptions::mrai_jitter).
+  double mrai_jitter{0.2};
+  /// Churn-survival mechanisms, both default-off (steady-state runs stay
+  /// byte-identical to the pre-churn configuration).
+  DampingConfig damping{};
+  GracefulRestartConfig graceful_restart{};
   util::Duration processing_delay{util::Duration::milliseconds(5)};
   /// Warm-up: cold-start convergence, excluded from the measurement.
   util::Duration convergence_window{util::Duration::minutes(30)};
@@ -103,6 +109,11 @@ class BgpSim {
   bool has_live_route(topo::AsIndex src, Prefix t) const;
 
   std::uint64_t total_updates_sent() const;
+  /// Network-wide churn-survival counters, summed over all speakers.
+  std::uint64_t total_routes_suppressed() const;
+  std::uint64_t total_routes_reused() const;
+  std::uint64_t total_stale_retained() const;
+  std::uint64_t total_stale_expired() const;
   sim::Simulator& simulator() { return sim_; }
   const sim::Network& network() const { return net_; }
 
@@ -120,6 +131,7 @@ class BgpSim {
   void account(topo::AsIndex monitor, const BgpUpdateMsg& msg);
   void on_link_down(topo::LinkIndex l);
   void on_link_up(topo::LinkIndex l);
+  void on_session_restart(topo::LinkIndex l, util::Duration duration);
   sim::ChannelId session_channel(topo::LinkIndex l) const;
   double accounting_scale() const;
 

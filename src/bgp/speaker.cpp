@@ -1,6 +1,7 @@
 #include "bgp/speaker.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
@@ -35,18 +36,32 @@ bool same_path(const AsPath& a, const AsPath& b) {
 }  // namespace
 
 Speaker::Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
-                 util::Duration mrai, SendFn send, ScheduleFn schedule,
-                 std::uint64_t seed)
+                 SpeakerOptions options, SendFn send, ScheduleFn schedule,
+                 ClockFn clock, std::uint64_t seed)
     : self_{self},
-      mrai_{mrai},
+      options_{options},
       send_{std::move(send)},
       schedule_{std::move(schedule)},
+      clock_{std::move(clock)},
       rng_{seed} {
   SCION_CHECK(send_ && schedule_, "speaker needs send and schedule hooks");
+  SCION_CHECK(!options_.damping.enabled || clock_,
+              "flap damping needs the simulator clock for penalty decay");
+  if (options_.damping.enabled) {
+    const DampingConfig& d = options_.damping;
+    SCION_CHECK(d.penalty_per_flap > 0.0 && d.reuse_threshold > 0.0 &&
+                    d.suppress_threshold > d.reuse_threshold &&
+                    d.half_life > util::Duration::zero(),
+                "damping thresholds inverted");
+    // RFC 2439 penalty ceiling: a fully charged penalty decays to the
+    // reuse threshold within max_suppress.
+    penalty_cap_ = d.reuse_threshold *
+                   std::exp2(d.max_suppress / d.half_life);
+  }
   neighbors_.reserve(neighbors.size());
   for (const NeighborInfo& info : neighbors) {
     neighbor_index_.emplace(info.as, neighbors_.size());
-    neighbors_.push_back(NeighborState{info, true, false, {}, {}});
+    neighbors_.push_back(NeighborState{info, true, false, {}, {}, {}, 0});
   }
 }
 
@@ -73,10 +88,89 @@ std::optional<Speaker::Route> Speaker::compute_best(Prefix p) const {
     for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
       const Route& r = it->second[idx];
       if (!r.path) continue;
+      // Damping removes suppressed adjacencies from the decision process;
+      // graceful-restart stale routes stay eligible (that is the point).
+      if (slot_suppressed(idx, p)) continue;
       if (!best || better(r, *best)) best = r;
     }
   }
   return best;
+}
+
+bool Speaker::slot_suppressed(std::size_t idx, Prefix p) const {
+  if (!options_.damping.enabled) return false;
+  // One per candidate slot of a re-decision, damping-enabled runs only.
+  // simlint:allow(hot-map-lookup)
+  const auto it = neighbors_[idx].damping.find(p);
+  return it != neighbors_[idx].damping.end() && it->second.suppressed;
+}
+
+bool Speaker::is_suppressed(topo::AsIndex neighbor, Prefix p) const {
+  return slot_suppressed(index_of(neighbor), p);
+}
+
+double Speaker::decayed_penalty(const DampingState& st,
+                                util::TimePoint now) const {
+  const double half_lives =
+      (now - st.last_charge) / options_.damping.half_life;
+  return st.penalty * std::exp2(-half_lives);
+}
+
+void Speaker::damping_charge(std::size_t idx, Prefix p) {
+  SCION_DCHECK(options_.damping.enabled, "charge with damping off");
+  const util::TimePoint now = clock_();
+  // Entries appear the first time a prefix flaps on this adjacency;
+  // steady-state charges hit the existing node. simlint:allow(hot-alloc)
+  // simlint:allow(hot-map-lookup)
+  DampingState& st = neighbors_[idx].damping[p];
+  st.penalty = std::min(decayed_penalty(st, now) +
+                            options_.damping.penalty_per_flap,
+                        penalty_cap_);
+  st.last_charge = now;
+  if (!st.suppressed && st.penalty >= options_.damping.suppress_threshold) {
+    st.suppressed = true;
+    ++st.epoch;
+    ++routes_suppressed_;
+    SCION_METRIC_COUNT("bgp.routes_suppressed", 1);
+    arm_reuse_timer(idx, p, st);
+  }
+}
+
+void Speaker::arm_reuse_timer(std::size_t idx, Prefix p, DampingState& st) {
+  // Deterministic reuse instant: when the penalty decays to the reuse
+  // threshold (capped by max_suppress via the penalty ceiling). Ceil, not
+  // truncate: a timer landing a sub-nanosecond early finds the penalty
+  // still above threshold and re-arms for 0 ns, looping at one virtual
+  // instant without ever decaying.
+  const double half_lives =
+      std::log2(st.penalty / options_.damping.reuse_threshold);
+  const auto delay = util::Duration::nanoseconds(
+      static_cast<std::int64_t>(std::ceil(
+          static_cast<double>(options_.damping.half_life.ns()) *
+          std::max(half_lives, 0.0))));
+  const std::uint32_t epoch = st.epoch;
+  schedule_(delay, TimerKind::kDamping,
+            [this, idx, p, epoch] { damping_reuse(idx, p, epoch); });
+}
+
+void Speaker::damping_reuse(std::size_t idx, Prefix p, std::uint32_t epoch) {
+  const auto it = neighbors_[idx].damping.find(p);
+  if (it == neighbors_[idx].damping.end()) return;
+  DampingState& st = it->second;
+  if (!st.suppressed || st.epoch != epoch) return;  // re-armed meanwhile
+  const util::TimePoint now = clock_();
+  if (decayed_penalty(st, now) > options_.damping.reuse_threshold) {
+    // Charged again while waiting; re-arm for the new decay horizon.
+    st.penalty = decayed_penalty(st, now);
+    st.last_charge = now;
+    arm_reuse_timer(idx, p, st);
+    return;
+  }
+  st.suppressed = false;
+  ++st.epoch;
+  ++routes_reused_;
+  SCION_METRIC_COUNT("bgp.routes_reused", 1);
+  reevaluate(p);  // the adjacency's route is eligible again
 }
 
 AsPath Speaker::make_export_path(const Route& best) const {
@@ -125,12 +219,13 @@ void Speaker::reevaluate(Prefix p) {
   if (!changed) return;
 
   ++best_changes_;
-  // Loc-RIB consistency: the winning route must be self-originated or
-  // learned over a session that is still up (session_down flushes its
-  // Adj-RIB-In slots before re-deciding).
-  SCION_DCHECK(
-      !best || best->neighbor == self_ || neighbors_[index_of(best->neighbor)].up,
-      "best route learned from a session that is down");
+  // Loc-RIB consistency: the winning route must be self-originated,
+  // learned over a session that is still up, or a graceful-restart stale
+  // survivor (session_down without GR flushes its Adj-RIB-In slots before
+  // re-deciding; with GR the stale flag licenses the down session).
+  SCION_DCHECK(!best || best->neighbor == self_ || best->stale ||
+                   neighbors_[index_of(best->neighbor)].up,
+               "best route learned from a session that is down");
   if (best) {
     loc_rib_[p] = *best;
   } else {
@@ -162,6 +257,8 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
     const auto it = rib_in_.find(p);
     if (it == rib_in_.end() || !it->second[idx].path) continue;
     it->second[idx] = Route{};
+    // A withdrawal of a previously held route is one flap (RFC 2439).
+    if (options_.damping.enabled) damping_charge(idx, p);
     reevaluate(p);
   }
 
@@ -176,6 +273,13 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
       if (inserted) it->second.resize(neighbors_.size());
       SCION_DCHECK(it->second.size() == neighbors_.size(),
                    "Adj-RIB-In slot table out of sync with neighbor set");
+      // A path change over a held route is one flap; a fresh announcement
+      // (including a graceful-restart refresh of the same path) is not.
+      if (options_.damping.enabled && it->second[idx].path &&
+          !it->second[idx].stale &&
+          !same_path(it->second[idx].path, msg.path)) {
+        damping_charge(idx, p);
+      }
       it->second[idx] = Route{msg.path, n.info.rel, from};
       reevaluate(p);
     }
@@ -184,17 +288,46 @@ void Speaker::handle_update(topo::AsIndex from, const BgpUpdateMsg& msg) {
   SCION_METRIC_GAUGE_MAX("bgp.rib_in_prefixes", rib_in_.size());
 }
 
-void Speaker::session_down(topo::AsIndex neighbor) {
+void Speaker::session_down(topo::AsIndex neighbor, bool forwarding_preserved) {
   const std::size_t idx = index_of(neighbor);
   NeighborState& n = neighbors_[idx];
   if (!n.up) return;
   n.up = false;
   n.pending.clear();
   n.rib_out.clear();
-  // Drop everything learned from this neighbor and re-decide.
+  ++n.gr_epoch;
+
+  // Graceful restart only helps when the data plane through the neighbor
+  // still works (a process restart, not a link loss): retaining a stale
+  // route through a dead link would mask live alternatives in the decision
+  // process instead of preserving anything.
+  if (options_.graceful_restart.enabled && forwarding_preserved) {
+    // Preserve forwarding: mark this neighbor's routes stale instead of
+    // flushing. They stay in the decision process; the stale timer flushes
+    // them if the session never comes back.
+    std::size_t retained = 0;
+    for (auto& [p, slots] : rib_in_) {
+      if (slots[idx].path && !slots[idx].stale) {
+        slots[idx].stale = true;
+        ++retained;
+      }
+    }
+    stale_retained_ += retained;
+    SCION_METRIC_COUNT("bgp.gr_stale_retained", retained);
+    if (retained > 0) {
+      const std::uint32_t epoch = n.gr_epoch;
+      schedule_(options_.graceful_restart.stale_timer, TimerKind::kGrStale,
+                [this, idx, epoch] { flush_stale(idx, epoch); });
+    }
+    return;
+  }
+
+  // Drop everything learned from this neighbor and re-decide. Each lost
+  // route counts as one flap against its adjacency.
   for (auto& [p, slots] : rib_in_) {
     if (slots[idx].path) {
       slots[idx] = Route{};
+      if (options_.damping.enabled) damping_charge(idx, p);
       reevaluate(p);
     }
   }
@@ -205,9 +338,43 @@ void Speaker::session_up(topo::AsIndex neighbor) {
   NeighborState& n = neighbors_[idx];
   if (n.up) return;
   n.up = true;
+  ++n.gr_epoch;
+
+  if (options_.graceful_restart.enabled) {
+    // Re-sync: the peer replays its full table, refreshing stale routes as
+    // the announcements land. Whatever is still stale once the replay
+    // window closes no longer exists on the peer and must be swept.
+    bool any_stale = false;
+    for (const auto& [p, slots] : rib_in_) {
+      if (slots[idx].stale) {
+        any_stale = true;
+        break;
+      }
+    }
+    if (any_stale) {
+      const std::uint32_t epoch = n.gr_epoch;
+      schedule_(options_.graceful_restart.resync_flush_delay,
+                TimerKind::kGrStale,
+                [this, idx, epoch] { flush_stale(idx, epoch); });
+    }
+  }
+
   // Full table export towards the restored session.
   for (const auto& [p, best] : loc_rib_) {
     sync_neighbor(idx, p, best, make_export_path(best));
+  }
+}
+
+void Speaker::flush_stale(std::size_t idx, std::uint32_t epoch) {
+  NeighborState& n = neighbors_[idx];
+  if (n.gr_epoch != epoch) return;  // session flipped since this was armed
+  for (auto& [p, slots] : rib_in_) {
+    if (slots[idx].stale) {
+      slots[idx] = Route{};
+      ++stale_expired_;
+      SCION_METRIC_COUNT("bgp.gr_stale_expired", 1);
+      reevaluate(p);
+    }
   }
 }
 
@@ -235,6 +402,7 @@ std::vector<Speaker::Route> Speaker::multipath(Prefix p) const {
   for (std::size_t idx = 0; idx < neighbors_.size(); ++idx) {
     const Route& r = it->second[idx];
     if (!r.path) continue;
+    if (slot_suppressed(idx, p)) continue;
     if (local_pref(r.learned_from) == local_pref(best.learned_from) &&
         r.length() == best.length()) {
       out.push_back(r);
@@ -247,10 +415,13 @@ void Speaker::arm_mrai(std::size_t idx) {
   NeighborState& n = neighbors_[idx];
   if (n.mrai_armed) return;
   n.mrai_armed = true;
-  // +/-20% jitter desynchronizes neighbors, as deployed MRAI timers do.
+  // Seeded jitter desynchronizes neighbors, as deployed MRAI timers do
+  // (+/-20% by default). The draw happens even for zero jitter so the RNG
+  // stream is identical across jitter settings.
+  const double j = options_.mrai_jitter;
   const auto delay = util::Duration::nanoseconds(static_cast<std::int64_t>(
-      static_cast<double>(mrai_.ns()) * rng_.uniform(0.8, 1.2)));
-  schedule_(delay, [this, idx] {
+      static_cast<double>(options_.mrai.ns()) * rng_.uniform(1.0 - j, 1.0 + j)));
+  schedule_(delay, TimerKind::kMrai, [this, idx] {
     neighbors_[idx].mrai_armed = false;
     flush(idx);
   });

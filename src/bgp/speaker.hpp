@@ -5,10 +5,26 @@
 //
 // Implements Adj-RIB-In / Loc-RIB / Adj-RIB-Out, the Gao-Rexford decision
 // process (local-pref by relationship, then shortest AS path, then lowest
-// neighbor id), per-neighbor MRAI batching (15 s in the evaluation), route
-// aggregation (announcements sharing a path go into one UPDATE), session
-// up/down handling for link-flap churn, and a multipath accessor returning
-// the equal-best route set used by the Fig. 6 BGP series.
+// neighbor id), per-neighbor MRAI batching (15 s in the evaluation) with
+// seeded jitter, route aggregation (announcements sharing a path go into
+// one UPDATE), session up/down handling for link-flap churn, and a
+// multipath accessor returning the equal-best route set used by the Fig. 6
+// BGP series.
+//
+// Churn-survival mechanisms (both default-off so steady-state runs are
+// byte-identical to the pre-churn configuration):
+//
+//  - Route-flap damping (RFC 2439 shape): each (neighbor, prefix) carries a
+//    penalty charged on withdrawal / path change / session loss, decayed
+//    exponentially with a configured half-life. Crossing the suppress
+//    threshold removes the route from the decision process until the
+//    penalty decays back under the reuse threshold (re-checked by a seeded
+//    reuse timer, never by wall-clock polling).
+//  - Graceful restart: a session drop marks the neighbor's routes stale
+//    instead of flushing them, preserving forwarding through the outage. A
+//    stale timer flushes if the session never returns; after it returns,
+//    the peer's full-table replay refreshes routes and a re-sync sweep
+//    drops whatever stayed stale (the End-of-RIB substitute).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +41,48 @@
 
 namespace scion::bgp {
 
+/// What a deferred speaker callback is for; the owning simulator maps each
+/// kind to its own obs::EventLabel so the event profiler attributes MRAI
+/// flushes, damping reuse checks, and graceful-restart sweeps separately.
+enum class TimerKind : std::uint8_t {
+  kMrai,
+  kDamping,
+  kGrStale,
+};
+
+/// RFC 2439-shaped route-flap damping knobs. Defaults follow the RFC's
+/// example figures (penalty 1000 per flap, suppress at 2000, reuse at 750,
+/// 15 min half-life, one hour maximum suppression).
+struct DampingConfig {
+  bool enabled{false};
+  double penalty_per_flap{1000.0};
+  double suppress_threshold{2000.0};
+  double reuse_threshold{750.0};
+  util::Duration half_life{util::Duration::minutes(15)};
+  /// Bounds suppression via the RFC's penalty ceiling: the penalty is
+  /// capped so that decaying to the reuse threshold never takes longer
+  /// than this.
+  util::Duration max_suppress{util::Duration::hours(1)};
+};
+
+struct GracefulRestartConfig {
+  bool enabled{false};
+  /// How long stale routes survive a dead session before being flushed.
+  util::Duration stale_timer{util::Duration::minutes(3)};
+  /// After the session returns, how long the peer's full-table replay may
+  /// take before still-stale routes are swept (End-of-RIB substitute).
+  util::Duration resync_flush_delay{util::Duration::minutes(1)};
+};
+
+struct SpeakerOptions {
+  util::Duration mrai{util::Duration::seconds(15)};
+  /// MRAI jitter amplitude: each flush waits mrai * uniform(1-j, 1+j),
+  /// desynchronizing neighbors the way deployed timers do.
+  double mrai_jitter{0.2};
+  DampingConfig damping{};
+  GracefulRestartConfig graceful_restart{};
+};
+
 class Speaker {
  public:
   struct NeighborInfo {
@@ -34,11 +92,13 @@ class Speaker {
 
   /// A route in Adj-RIB-In (or the Loc-RIB best). `path` starts at the
   /// sending neighbor and ends at the origin; self-originated routes have
-  /// an empty path.
+  /// an empty path. `stale` marks graceful-restart survivors: still used
+  /// for forwarding, flushed if re-sync does not refresh them.
   struct Route {
     AsPath path;
     Relationship learned_from{Relationship::kCustomer};
     topo::AsIndex neighbor{topo::kInvalidAsIndex};
+    bool stale{false};
 
     std::size_t length() const { return path ? path->size() : 0; }
   };
@@ -46,12 +106,15 @@ class Speaker {
   /// By value: flush() hands each UPDATE over by move, so a sink that
   /// wraps it in a BgpUpdateRef takes the prefix vectors without copying.
   using SendFn = std::function<void(topo::AsIndex neighbor, BgpUpdateMsg)>;
-  using ScheduleFn =
-      std::function<void(util::Duration delay, std::function<void()>)>;
+  using ScheduleFn = std::function<void(util::Duration delay, TimerKind kind,
+                                        std::function<void()>)>;
+  /// The simulator's virtual clock; damping penalty decay is a pure
+  /// function of it. May be null when damping is disabled.
+  using ClockFn = std::function<util::TimePoint()>;
 
   Speaker(topo::AsIndex self, std::vector<NeighborInfo> neighbors,
-          util::Duration mrai, SendFn send, ScheduleFn schedule,
-          std::uint64_t seed);
+          SpeakerOptions options, SendFn send, ScheduleFn schedule,
+          ClockFn clock, std::uint64_t seed);
 
   topo::AsIndex self() const { return self_; }
 
@@ -62,7 +125,10 @@ class Speaker {
   void handle_update(topo::AsIndex from, const BgpUpdateMsg& msg);
 
   /// eBGP session to `neighbor` went down: flush its routes and re-decide.
-  void session_down(topo::AsIndex neighbor);
+  /// `forwarding_preserved` means the data plane through the neighbor still
+  /// works (a process restart rather than a link loss); only then does
+  /// graceful restart retain the routes as stale instead of flushing.
+  void session_down(topo::AsIndex neighbor, bool forwarding_preserved = false);
 
   /// Session restored: full table export per policy (a session reset
   /// triggers a full RIB exchange, the dominant churn cost in practice).
@@ -81,7 +147,30 @@ class Speaker {
   std::uint64_t updates_received() const { return updates_received_; }
   std::uint64_t best_changes() const { return best_changes_; }
 
+  /// Damping: (neighbor, prefix) adjacencies currently / ever suppressed.
+  std::uint64_t routes_suppressed() const { return routes_suppressed_; }
+  std::uint64_t routes_reused() const { return routes_reused_; }
+  /// Graceful restart: routes retained as stale across session drops, and
+  /// stale routes eventually expired by the stale timer or re-sync sweep.
+  std::uint64_t stale_retained() const { return stale_retained_; }
+  std::uint64_t stale_expired() const { return stale_expired_; }
+
+  /// True if the (neighbor, prefix) adjacency is damping-suppressed.
+  bool is_suppressed(topo::AsIndex neighbor, Prefix p) const;
+
  private:
+  /// Per-(neighbor, prefix) flap-damping state. The penalty decays lazily:
+  /// it is only re-evaluated when charged or when a reuse timer fires, so
+  /// the figure-of-merit never depends on when an observer looks.
+  struct DampingState {
+    double penalty{0.0};
+    util::TimePoint last_charge{util::TimePoint::origin()};
+    bool suppressed{false};
+    /// Bumped on every suppress/unsuppress flip; in-flight reuse timers
+    /// carry the epoch they were armed under and no-op on mismatch.
+    std::uint32_t epoch{0};
+  };
+
   struct NeighborState {
     NeighborInfo info;
     bool up{true};
@@ -92,6 +181,13 @@ class Speaker {
     /// prefix -> path to announce (null = withdraw), flushed on MRAI fire.
     /// Ordered: flush() iterates it, and that order decides UPDATE packing.
     std::map<Prefix, AsPath> pending;
+    /// Damping state per flapped prefix (entries appear on first charge;
+    /// steady-state charges are lookups). Ordered for deterministic
+    /// debugging walks; never iterated on the hot path.
+    std::map<Prefix, DampingState> damping;
+    /// Bumped on every session up/down flip; graceful-restart timers
+    /// no-op when the session state changed after they were armed.
+    std::uint32_t gr_epoch{0};
   };
 
   std::size_t index_of(topo::AsIndex neighbor) const;
@@ -105,10 +201,25 @@ class Speaker {
   /// Builds [self] + best.path once per re-decision.
   AsPath make_export_path(const Route& best) const;
 
+  /// Damping machinery: charge one flap against (neighbor idx, prefix);
+  /// the caller reevaluates afterwards. Suppression state may flip inside.
+  void damping_charge(std::size_t idx, Prefix p);
+  void damping_reuse(std::size_t idx, Prefix p, std::uint32_t epoch);
+  void arm_reuse_timer(std::size_t idx, Prefix p, DampingState& st);
+  bool slot_suppressed(std::size_t idx, Prefix p) const;
+  double decayed_penalty(const DampingState& st, util::TimePoint now) const;
+
+  /// Graceful restart: flush every still-stale route of the neighbor
+  /// (armed by both the stale timer and the re-sync sweep).
+  void flush_stale(std::size_t idx, std::uint32_t epoch);
+
   topo::AsIndex self_;
-  util::Duration mrai_;
+  SpeakerOptions options_;
+  /// RFC 2439 penalty ceiling derived from max_suppress and half_life.
+  double penalty_cap_{0.0};
   SendFn send_;
   ScheduleFn schedule_;
+  ClockFn clock_;
   util::Rng rng_;
 
   std::vector<NeighborState> neighbors_;
@@ -124,6 +235,10 @@ class Speaker {
   std::uint64_t updates_sent_{0};
   std::uint64_t updates_received_{0};
   std::uint64_t best_changes_{0};
+  std::uint64_t routes_suppressed_{0};
+  std::uint64_t routes_reused_{0};
+  std::uint64_t stale_retained_{0};
+  std::uint64_t stale_expired_{0};
 };
 
 }  // namespace scion::bgp

@@ -34,6 +34,7 @@ std::vector<Candidate> baseline_select(std::span<const StoredPcb> bucket,
   eligible.reserve(bucket.size());
   for (const StoredPcb& s : bucket) {
     if (s.pcb->expired(now)) continue;
+    if (s.stale()) continue;  // quarantined: a link on the path is down
     if (s.pcb->contains_as(neighbor_as)) continue;  // loop prevention
     eligible.push_back(&s);
   }
@@ -98,6 +99,7 @@ std::vector<Candidate> DiversityState::select_and_commit(
 
     for (const StoredPcb& s : bucket) {
       if (s.pcb->expired(now)) continue;
+      if (s.stale()) continue;  // quarantined: a link on the path is down
       if (s.pcb->contains_as(neighbor_as)) continue;  // loop prevention
       for (topo::LinkIndex egress : egress_links) {
         const SentKey key{s.path_key, egress};

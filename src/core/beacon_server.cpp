@@ -37,8 +37,19 @@ BeaconServer::BeaconServer(const topo::Topology& topology, topo::AsIndex self,
       forwarding_key_{
           crypto::ForwardingKey::derive(self_id_.value(), key_domain_seed)},
       send_{std::move(send)},
-      store_{config.storage_limit, config.store_policy} {
+      store_{config.storage_limit, config.store_policy},
+      backoff_rng_{util::Rng::substream(config.backoff_seed, self)} {
   SCION_CHECK(send_, "beacon server needs a send hook");
+  SCION_CHECK(!config_.reorigination.enabled || config_.schedule,
+              "reorigination backoff needs a schedule hook");
+  if (config_.reorigination.enabled) {
+    const auto& b = config_.reorigination;
+    SCION_CHECK(b.base > Duration::zero() && b.max >= b.base &&
+                    b.multiplier >= 1.0 && b.jitter >= 0.0 && b.jitter < 1.0,
+                "reorigination backoff parameters out of range");
+  }
+  SCION_CHECK(config_.stale_timeout > Duration::zero(),
+              "staleness timeout must be positive");
   if (config_.algorithm == AlgorithmKind::kDiversity) {
     diversity_ = std::make_unique<DiversityState>(
         config_.diversity, config_.diversity_link_canonicalizer);
@@ -150,6 +161,16 @@ void BeaconServer::on_interval(TimePoint now) {
     SCION_TRACE(obs::Category::kBeacon, now, "expire",
                 {"as", self_id_.to_string()}, {"expired", expired});
   }
+  if (config_.stale_quarantine) {
+    const std::size_t stale_out =
+        store_.expire_stale(now, config_.stale_timeout);
+    if (stale_out > 0) {
+      stats_.pcbs_stale_expired += stale_out;
+      SCION_METRIC_COUNT("beacon.pcbs_stale_expired", stale_out);
+      SCION_TRACE(obs::Category::kBeacon, now, "stale_expire",
+                  {"as", self_id_.to_string()}, {"expired", stale_out});
+    }
+  }
   SCION_METRIC_GAUGE_MAX("beacon.store_occupancy", store_.total_stored());
   if (diversity_) diversity_->expire(now);
   originate(now);
@@ -157,6 +178,23 @@ void BeaconServer::on_interval(TimePoint now) {
 }
 
 void BeaconServer::on_link_down(topo::LinkIndex link, TimePoint now) {
+  if (config_.reorigination.enabled) {
+    // Invalidate any pending retry for the link and mark it down so an
+    // already-queued callback becomes a no-op.
+    BackoffState& st = backoff_[link];
+    ++st.epoch;
+    st.down = true;
+  }
+  if (config_.stale_quarantine) {
+    const std::size_t quarantined = store_.mark_link_stale(link, now);
+    if (quarantined == 0) return;
+    stats_.pcbs_quarantined += quarantined;
+    SCION_METRIC_COUNT("beacon.pcbs_quarantined", quarantined);
+    SCION_TRACE(obs::Category::kBeacon, now, "quarantine",
+                {"as", self_id_.to_string()}, {"link", link},
+                {"quarantined", quarantined});
+    return;
+  }
   const std::size_t revoked = store_.drop_link(link);
   if (revoked == 0) return;
   stats_.pcbs_revoked += revoked;
@@ -164,6 +202,63 @@ void BeaconServer::on_link_down(topo::LinkIndex link, TimePoint now) {
   SCION_TRACE(obs::Category::kBeacon, now, "revoke",
               {"as", self_id_.to_string()}, {"link", link},
               {"revoked", revoked});
+}
+
+void BeaconServer::on_link_up(topo::LinkIndex link, TimePoint now) {
+  if (config_.stale_quarantine) {
+    const std::size_t revalidated = store_.revalidate_link(link);
+    if (revalidated > 0) {
+      stats_.pcbs_revalidated += revalidated;
+      SCION_METRIC_COUNT("beacon.pcbs_revalidated", revalidated);
+      SCION_TRACE(obs::Category::kBeacon, now, "revalidate",
+                  {"as", self_id_.to_string()}, {"link", link},
+                  {"revalidated", revalidated});
+    }
+  }
+  if (config_.reorigination.enabled &&
+      std::binary_search(origination_links_.begin(), origination_links_.end(),
+                         link)) {
+    schedule_reorigination(link, now);
+  }
+}
+
+void BeaconServer::schedule_reorigination(topo::LinkIndex link, TimePoint now) {
+  const auto& b = config_.reorigination;
+  BackoffState& st = backoff_[link];
+  st.down = false;
+  // A link that stayed up long enough since its previous recovery earns a
+  // fresh (fast) retry schedule; a flapping link keeps escalating.
+  if (st.last_recovery != TimePoint{} &&
+      now - st.last_recovery > b.stable_reset) {
+    st.attempts = 0;
+  }
+  st.last_recovery = now;
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < st.attempts; ++i) scale *= b.multiplier;
+  const double capped = std::min(static_cast<double>(b.base.ns()) * scale,
+                                 static_cast<double>(b.max.ns()));
+  // The jitter draw happens on every recovery (even with jitter == 0) so
+  // the stream position is independent of the configured amplitude.
+  const double jittered =
+      capped * backoff_rng_.uniform(1.0 - b.jitter, 1.0 + b.jitter);
+  const auto delay = Duration::nanoseconds(static_cast<std::int64_t>(jittered));
+  ++st.attempts;
+  const std::uint32_t epoch = st.epoch;
+  SCION_TRACE(obs::Category::kBeacon, now, "reorigin_scheduled",
+              {"as", self_id_.to_string()}, {"link", link},
+              {"delay_ns", delay.ns()});
+  config_.schedule(delay, [this, link, epoch](TimePoint fire_now) {
+    const auto it = backoff_.find(link);
+    if (it == backoff_.end() || it->second.epoch != epoch ||
+        it->second.down) {
+      return;  // link flapped again before the retry fired
+    }
+    ++stats_.reoriginations;
+    SCION_METRIC_COUNT("beacon.reoriginations", 1);
+    SCION_TRACE(obs::Category::kBeacon, fire_now, "reoriginate",
+                {"as", self_id_.to_string()}, {"link", link});
+    send_origin_pcb(link, fire_now);
+  });
 }
 
 std::vector<PeerEntry> BeaconServer::peer_entries() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "core/algorithms.hpp"
@@ -20,6 +21,7 @@
 #include "crypto/hopfield_mac.hpp"
 #include "crypto/signature.hpp"
 #include "topology/topology.hpp"
+#include "util/rng.hpp"
 
 namespace scion::ctrl {
 
@@ -62,6 +64,37 @@ struct BeaconServerConfig {
   /// carried, zeroed), but signing/verification CPU cost is avoided.
   /// Implies verify_signatures = false.
   bool compute_crypto{true};
+  /// Staleness-aware revalidation: on_link_down quarantines stored PCBs
+  /// riding the link instead of evicting them, on_link_up releases the
+  /// quarantine, and entries continuously stale for longer than
+  /// `stale_timeout` are evicted each interval. A short flap then costs no
+  /// store rebuild. Default off: revocation evicts, as before.
+  bool stale_quarantine{false};
+  util::Duration stale_timeout{util::Duration::minutes(30)};
+  /// Beacon re-origination retry on interface recovery (core ASes only):
+  /// instead of waiting for the next interval, the origin re-beacons on the
+  /// recovered link after an exponential-backoff delay, so one recovery is
+  /// fast but a flapping interface does not amplify control traffic.
+  struct ReoriginationBackoff {
+    bool enabled{false};
+    /// First-retry delay; doubles (times `multiplier`) per recent recovery.
+    util::Duration base{util::Duration::seconds(5)};
+    double multiplier{2.0};
+    util::Duration max{util::Duration::minutes(10)};
+    /// Multiplicative jitter amplitude: delay *= U[1-jitter, 1+jitter].
+    double jitter{0.1};
+    /// A link stable for this long gets its attempt counter reset.
+    util::Duration stable_reset{util::Duration::minutes(10)};
+  };
+  ReoriginationBackoff reorigination{};
+  /// Schedules `fn` to run after `delay`; the callback receives the fire
+  /// time (the server keeps no clock). Wired by the simulation; required
+  /// when reorigination.enabled.
+  std::function<void(util::Duration, std::function<void(TimePoint)>)>
+      schedule{};
+  /// Seed for the re-origination jitter stream (folded with the AS index,
+  /// so every server draws independently of the others).
+  std::uint64_t backoff_seed{0};
 };
 
 struct BeaconServerStats {
@@ -76,6 +109,14 @@ struct BeaconServerStats {
   std::uint64_t store_rejected{0};
   /// Stored PCBs evicted because a link they traverse was revoked.
   std::uint64_t pcbs_revoked{0};
+  /// Stored PCBs quarantined (fresh -> stale) by link failures.
+  std::uint64_t pcbs_quarantined{0};
+  /// Quarantined PCBs that became fully fresh again on link recovery.
+  std::uint64_t pcbs_revalidated{0};
+  /// Quarantined PCBs evicted after exceeding the staleness timeout.
+  std::uint64_t pcbs_stale_expired{0};
+  /// Backoff-scheduled re-originations actually sent.
+  std::uint64_t reoriginations{0};
 };
 
 class BeaconServer {
@@ -96,8 +137,14 @@ class BeaconServer {
   /// Reacts to `link` going down (this AS saw an interface fail, or an
   /// SCMP revocation for it arrived): every stored PCB traversing the link
   /// is evicted so it is neither registered nor propagated further, and the
-  /// diversity history no longer credits it.
+  /// diversity history no longer credits it. With stale_quarantine on, the
+  /// PCBs are quarantined instead of evicted.
   void on_link_down(topo::LinkIndex link, TimePoint now);
+
+  /// Reacts to `link` recovering: releases the staleness quarantine (when
+  /// enabled) and, for a core AS with reorigination backoff enabled,
+  /// schedules a retried origin PCB on the link after the backoff delay.
+  void on_link_up(topo::LinkIndex link, TimePoint now);
 
   topo::AsIndex self() const { return self_; }
   topo::IsdAsId self_id() const { return self_id_; }
@@ -119,8 +166,18 @@ class BeaconServer {
     std::vector<topo::LinkIndex> links;
   };
 
+  /// Per-link reorigination backoff state. `epoch` invalidates scheduled
+  /// retries when the link goes down again before they fire.
+  struct BackoffState {
+    std::uint32_t attempts{0};
+    std::uint32_t epoch{0};
+    bool down{false};
+    TimePoint last_recovery{};
+  };
+
   void originate(TimePoint now);
   void originate_diversity(TimePoint now);
+  void schedule_reorigination(topo::LinkIndex link, TimePoint now);
   void propagate(TimePoint now);
   void send_extended(const StoredPcb& stored, topo::LinkIndex egress,
                      TimePoint now);
@@ -148,6 +205,11 @@ class BeaconServer {
   BeaconServerStats stats_;
   /// Reused by handle_pcb() for link resolution (capacity persists).
   std::vector<topo::LinkIndex> resolve_scratch_;
+  /// Jitter stream for reorigination backoff; a pure function of
+  /// (backoff_seed, self), so runs are deterministic under any scheduling.
+  util::Rng backoff_rng_;
+  /// Ordered so no behavior ever depends on hash iteration (lookups only).
+  std::map<topo::LinkIndex, BackoffState> backoff_;
 };
 
 }  // namespace scion::ctrl

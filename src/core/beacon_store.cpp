@@ -91,6 +91,10 @@ BeaconStore::InsertOutcome BeaconStore::insert(
   slot.links.assign(links.begin(), links.end());
   slot.received_at = received_at;
   slot.path_key = path_key;
+  // The victim's quarantine state dies with it; the new path is admitted
+  // fresh (a PCB can only arrive over a live path).
+  slot.stale_links = 0;
+  slot.stale_since = TimePoint{};
   return InsertOutcome::kReplaced;
 }
 
@@ -194,6 +198,70 @@ std::size_t BeaconStore::drop_link(topo::LinkIndex link) {
     }
   }
   return dropped;
+}
+
+std::size_t BeaconStore::mark_link_stale(topo::LinkIndex link, TimePoint now) {
+  std::size_t quarantined = 0;
+  // Count-only sweep; no cross-bucket state, order-insensitive (the count
+  // is a pure function of the multiset of entries).
+  // simlint:allow(unordered-iter)
+  for (auto& [origin, bucket] : buckets_) {
+    for (StoredPcb& e : bucket) {
+      const auto hits = static_cast<std::uint16_t>(
+          std::count(e.links.begin(), e.links.end(), link));
+      if (hits == 0) continue;
+      if (e.stale_links == 0) {
+        e.stale_since = now;
+        ++quarantined;
+      }
+      e.stale_links = static_cast<std::uint16_t>(e.stale_links + hits);
+    }
+  }
+  return quarantined;
+}
+
+std::size_t BeaconStore::revalidate_link(topo::LinkIndex link) {
+  std::size_t revalidated = 0;
+  // Count-only sweep; no cross-bucket state, order-insensitive (the count
+  // is a pure function of the multiset of entries).
+  // simlint:allow(unordered-iter)
+  for (auto& [origin, bucket] : buckets_) {
+    for (StoredPcb& e : bucket) {
+      const auto hits = static_cast<std::uint16_t>(
+          std::count(e.links.begin(), e.links.end(), link));
+      if (hits == 0 || e.stale_links == 0) continue;
+      // Saturating: an entry admitted mid-outage starts fresh, so the
+      // restore may release more holds than were ever taken on it.
+      e.stale_links =
+          e.stale_links > hits
+              ? static_cast<std::uint16_t>(e.stale_links - hits)
+              : std::uint16_t{0};
+      if (e.stale_links == 0) {
+        e.stale_since = TimePoint{};
+        ++revalidated;
+      }
+    }
+  }
+  return revalidated;
+}
+
+std::size_t BeaconStore::expire_stale(TimePoint now, Duration timeout) {
+  std::size_t expired = 0;
+  // Erase-only sweep; no cross-bucket state, order-insensitive (the count
+  // is a pure function of the multiset of entries).
+  // simlint:allow(unordered-iter)
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    auto& bucket = it->second;
+    expired += std::erase_if(bucket, [now, timeout](const StoredPcb& e) {
+      return e.stale() && now - e.stale_since > timeout;
+    });
+    if (bucket.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
 }
 
 const std::vector<StoredPcb>& BeaconStore::for_origin(IsdAsId origin) const {

@@ -28,6 +28,15 @@ struct StoredPcb {
   std::vector<topo::LinkIndex> links;
   TimePoint received_at;
   std::uint64_t path_key{0};
+  /// Staleness quarantine: how many of this entry's links are currently
+  /// down (maintained by mark_link_stale / revalidate_link), and when the
+  /// entry first went stale. Stale entries are skipped by selection and
+  /// path resolution but stay stored, so a short link flap does not thrash
+  /// the store; expire_stale() evicts long-stale entries.
+  std::uint16_t stale_links{0};
+  TimePoint stale_since{};
+
+  bool stale() const { return stale_links > 0; }
 };
 
 enum class StorePolicy : std::uint8_t { kShortestFresh, kDiversityAware };
@@ -63,6 +72,20 @@ class BeaconStore {
   /// SCMP-revocation reaction to an interface going down); returns how many
   /// were dropped.
   std::size_t drop_link(topo::LinkIndex link);
+
+  /// Staleness-aware alternative to drop_link: quarantines entries riding
+  /// `link` instead of evicting them. Returns how many entries went from
+  /// fresh to stale.
+  std::size_t mark_link_stale(topo::LinkIndex link, TimePoint now);
+
+  /// The link recovered: releases its hold on quarantined entries. Returns
+  /// how many entries became fully fresh again. Saturating per entry, so an
+  /// entry admitted mid-outage never underflows on the restore.
+  std::size_t revalidate_link(topo::LinkIndex link);
+
+  /// Evicts entries that have been continuously stale for longer than
+  /// `timeout`; returns how many were evicted.
+  std::size_t expire_stale(TimePoint now, Duration timeout);
 
   /// Stored PCBs for one origin (possibly empty). Pointers/references are
   /// invalidated by insert/expire.

@@ -20,6 +20,12 @@ constexpr std::uint64_t kKeyDomainSeed = crypto::kDefaultKeyDomainSeed;
 // DESIGN.md's event-labeling recipe).
 const obs::EventLabel kPropagateLabel = obs::event_label("beacon.propagate");
 const obs::EventLabel kIntervalLabel = obs::event_label("beacon.interval");
+const obs::EventLabel kReoriginLabel = obs::event_label("beacon.reorigin");
+
+/// Folded into the sim seed for the reorigination jitter streams, so they
+/// are decorrelated from every other use of the seed without consuming the
+/// constructor RNG (which would shift all existing baselines).
+constexpr std::uint64_t kReoriginSeedMix = 0xB5297A4D3C5B9BD5ULL;
 
 }  // namespace
 
@@ -50,6 +56,16 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
   // simulation via a shared_ptr captured by the send lambdas' owner.
   keys_ = std::make_unique<crypto::KeyStore>(kKeyDomainSeed);
   BeaconServerConfig server_config = config_.server;
+  if (!server_config.schedule) {
+    server_config.schedule = [this](util::Duration delay,
+                                    std::function<void(TimePoint)> fn) {
+      sim_.schedule_after(delay, kReoriginLabel,
+                          [this, fn = std::move(fn)] { fn(sim_.now()); });
+    };
+  }
+  if (server_config.backoff_seed == 0) {
+    server_config.backoff_seed = config_.seed ^ kReoriginSeedMix;
+  }
   if (server_config.include_latency_metadata && !server_config.link_latency_us) {
     // Each AS "measures" its links: expose the simulated channel latency.
     server_config.link_latency_us = [this](topo::LinkIndex l) {
@@ -95,6 +111,11 @@ BeaconingSim::BeaconingSim(const topo::Topology& topology,
       const topo::Link& link = topology_.link(l);
       servers_[link.a]->on_link_down(l, sim_.now());
       servers_[link.b]->on_link_down(l, sim_.now());
+    };
+    hooks.on_link_up = [this](topo::LinkIndex l) {
+      const topo::Link& link = topology_.link(l);
+      servers_[link.a]->on_link_up(l, sim_.now());
+      servers_[link.b]->on_link_up(l, sim_.now());
     };
     injector_ = std::make_unique<faults::FaultInjector>(
         net_, config_.faults, &topology_, std::move(hooks));
@@ -149,6 +170,10 @@ BeaconServerStats BeaconingSim::aggregate_stats() const {
     agg.resolve_failures += st.resolve_failures;
     agg.store_rejected += st.store_rejected;
     agg.pcbs_revoked += st.pcbs_revoked;
+    agg.pcbs_quarantined += st.pcbs_quarantined;
+    agg.pcbs_revalidated += st.pcbs_revalidated;
+    agg.pcbs_stale_expired += st.pcbs_stale_expired;
+    agg.reoriginations += st.reoriginations;
   }
   return agg;
 }
@@ -157,6 +182,7 @@ std::vector<std::vector<topo::LinkIndex>> BeaconingSim::paths_at(
     topo::AsIndex at, topo::IsdAsId origin) const {
   std::vector<std::vector<topo::LinkIndex>> out;
   for (const StoredPcb& s : servers_[at]->store().for_origin(origin)) {
+    if (s.stale()) continue;  // quarantined: not a usable path right now
     out.push_back(s.links);
   }
   return out;

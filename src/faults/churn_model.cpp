@@ -1,0 +1,102 @@
+#include "faults/churn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace scion::faults {
+
+using util::Duration;
+
+namespace {
+
+/// Truncated Pareto on [lo, hi] by inverse CDF (util::Rng::pareto is the
+/// unbounded law; flap durations need both the heavy tail and a hard cap so
+/// one draw cannot out-live the churn window by hours).
+Duration truncated_pareto(util::Rng& rng, Duration lo, Duration hi,
+                          double alpha) {
+  if (lo >= hi) return lo;
+  const double x_min = static_cast<double>(lo.ns());
+  const double x_max = static_cast<double>(hi.ns());
+  const double ratio = std::pow(x_min / x_max, alpha);
+  const double u = rng.uniform();
+  const double x = x_min * std::pow(1.0 - u * (1.0 - ratio), -1.0 / alpha);
+  const auto ns = static_cast<std::int64_t>(x);
+  return std::clamp(Duration::nanoseconds(ns), lo, hi);
+}
+
+}  // namespace
+
+ChurnModel::ChurnModel(ChurnSpec spec, std::size_t spec_index,
+                       std::uint64_t plan_seed)
+    : spec_{spec},
+      // Golden-ratio multiple decorrelates specs sharing one plan seed.
+      stream_{plan_seed ^
+              (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(spec_index + 1))} {
+  SCION_CHECK(spec_.duration > Duration::zero(),
+              "churn window must have positive duration");
+  SCION_CHECK(spec_.up_min > Duration::zero() &&
+                  spec_.down_min > Duration::zero(),
+              "churn up/down minima must be positive");
+  SCION_CHECK(spec_.up_min <= spec_.up_max &&
+                  spec_.down_min <= spec_.down_max,
+              "churn up/down ranges inverted");
+  SCION_CHECK(spec_.link_fraction > 0.0 && spec_.link_fraction <= 1.0,
+              "churn link fraction outside (0, 1]");
+  if (spec_.profile == ChurnSpec::Profile::kBurst) {
+    SCION_CHECK(spec_.burst_len > Duration::zero() &&
+                    spec_.burst_len <= spec_.burst_period,
+                "churn burst length must be in (0, period]");
+  }
+}
+
+std::vector<Event> ChurnModel::events(
+    std::span<const topo::LinkIndex> candidates) const {
+  std::vector<Event> out;
+  const Duration end = spec_.start + spec_.duration;
+  for (const topo::LinkIndex link : candidates) {
+    util::Rng rng = util::Rng::substream(stream_, link);
+    if (spec_.link_fraction < 1.0 && rng.uniform() >= spec_.link_fraction) {
+      continue;
+    }
+    // The link starts its window up; the first down event arrives after one
+    // up-period, so arming churn never fails links at t=0 simultaneously.
+    Duration t =
+        spec_.start + truncated_pareto(rng, spec_.up_min, spec_.up_max,
+                                       spec_.up_alpha);
+    while (t < end) {
+      Duration down = truncated_pareto(rng, spec_.down_min, spec_.down_max,
+                                       spec_.down_alpha);
+      if (t + down > end) down = end - t;  // restore inside the window
+      bool keep = true;
+      switch (spec_.profile) {
+        case ChurnSpec::Profile::kSteady:
+          break;
+        case ChurnSpec::Profile::kBurst: {
+          // Only onsets inside a burst window fail; the downtime itself
+          // elapses in real time (an outage may outlast its burst).
+          const std::int64_t phase =
+              (t - spec_.start).ns() % spec_.burst_period.ns();
+          keep = phase < spec_.burst_len.ns();
+          break;
+        }
+        case ChurnSpec::Profile::kRamp:
+          // Thinning: acceptance probability ramps 0 -> 1 across the
+          // window, so churn intensity grows linearly.
+          keep = rng.uniform() <
+                 (t - spec_.start).as_seconds() / spec_.duration.as_seconds();
+          break;
+      }
+      if (keep && down > Duration::zero()) {
+        out.push_back(Event{Event::Kind::kLinkDown, link, t, down});
+      }
+      t = t + down +
+          truncated_pareto(rng, spec_.up_min, spec_.up_max, spec_.up_alpha);
+    }
+  }
+  return out;
+}
+
+}  // namespace scion::faults

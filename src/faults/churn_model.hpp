@@ -1,0 +1,48 @@
+// Deterministic sustained-churn scenario generator.
+//
+// A ChurnModel expands one ChurnSpec into a finite, FaultPlan-compatible
+// stream of link-down events (each carrying its own downtime). Every
+// eligible link runs an independent ON/OFF renewal process with truncated
+// Pareto up/down durations — the heavy-tailed minute-to-hour flap
+// timescales the SCIONLab path-dynamics study measured on deployed paths —
+// optionally shaped into periodic bursts or a ramp.
+//
+// Determinism: each link draws from util::Rng::substream(stream, link),
+// where the stream is a pure function of (plan seed, spec index). The
+// expanded events therefore do not depend on candidate order, on other
+// specs, on the simulator, or on --jobs; the same plan replays
+// byte-identically everywhere. FaultInjector::arm() performs the expansion
+// and schedules the events through the same refcounted down/up machinery
+// as every other fault.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "topology/topology.hpp"
+
+namespace scion::faults {
+
+class ChurnModel {
+ public:
+  /// `spec_index` is the spec's position in its plan, decorrelating the
+  /// per-link substreams of multiple churn directives in one scenario.
+  ChurnModel(ChurnSpec spec, std::size_t spec_index, std::uint64_t plan_seed);
+
+  /// Expands the per-link ON/OFF processes over `candidates` into scheduled
+  /// link-down events. Offsets are relative to the arm instant (like every
+  /// plan event); downtimes are clipped at the spec window's end, so every
+  /// churn outage restores and never exceeds the window. Within one link the
+  /// events come out time-ascending.
+  std::vector<Event> events(std::span<const topo::LinkIndex> candidates) const;
+
+  const ChurnSpec& spec() const { return spec_; }
+
+ private:
+  ChurnSpec spec_;
+  std::uint64_t stream_;
+};
+
+}  // namespace scion::faults

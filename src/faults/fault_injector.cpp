@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/churn_model.hpp"
 #include "obs/event_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +19,7 @@ namespace {
 const obs::EventLabel kFaultEventLabel = obs::event_label("fault.event");
 const obs::EventLabel kFaultRestoreLabel = obs::event_label("fault.restore");
 const obs::EventLabel kFaultFlapLabel = obs::event_label("fault.flap");
+const obs::EventLabel kFaultChurnLabel = obs::event_label("fault.churn");
 
 }  // namespace
 
@@ -62,7 +64,7 @@ void FaultInjector::arm(TimePoint until) {
   }
   SCION_TRACE(obs::Category::kFault, sim.now(), "armed",
               {"events", plan_.events.size()}, {"flaps", plan_.flaps.size()},
-              {"loss", plan_.loss_probability},
+              {"churn", plan_.churn.size()}, {"loss", plan_.loss_probability},
               {"jitter_ns", plan_.jitter_max.ns()});
   for (const Event& ev : plan_.events) {
     sim.schedule_at(sim.now() + ev.at, kFaultEventLabel,
@@ -71,6 +73,35 @@ void FaultInjector::arm(TimePoint until) {
   for (const FlapProcess& flap : plan_.flaps) {
     start_flap_process(flap, until);
   }
+  for (std::size_t i = 0; i < plan_.churn.size(); ++i) {
+    start_churn(plan_.churn[i], i, until);
+  }
+}
+
+void FaultInjector::start_churn(const ChurnSpec& spec, std::size_t spec_idx,
+                                TimePoint until) {
+  sim::Simulator& sim = net_.simulator();
+  // The stream is expanded up front: it is a pure function of
+  // (plan seed, spec index, link index), so the run stays byte-identical
+  // regardless of what else the simulator schedules meanwhile.
+  const ChurnModel model{spec, spec_idx, plan_.seed};
+  const std::vector<topo::LinkIndex> candidates = flap_candidates(spec.links);
+  std::size_t scheduled = 0;
+  for (const Event& ev : model.events(candidates)) {
+    const TimePoint at = sim.now() + ev.at;
+    if (at > until) continue;  // keep draining simulations terminating
+    ++scheduled;
+    sim.schedule_at(at, kFaultChurnLabel, [this, ev] {
+      ++stats_.churn_events;
+      SCION_METRIC_COUNT("faults.churn_events", 1);
+      SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "churn",
+                  {"link", ev.target}, {"downtime_ns", ev.duration.ns()});
+      flap_link_down(ev.target, ev.duration);
+    });
+  }
+  SCION_TRACE(obs::Category::kFault, sim.now(), "churn_armed",
+              {"profile", to_string(spec.profile)},
+              {"candidates", candidates.size()}, {"events", scheduled});
 }
 
 void FaultInjector::skip_event(const Event& ev) {
@@ -101,6 +132,17 @@ void FaultInjector::run_event(const Event& ev) {
     case Event::Kind::kIsdPartition:
       partition_isd(topo::IsdId{static_cast<std::uint16_t>(ev.target)},
                     ev.duration);
+      break;
+    case Event::Kind::kSessionRestart:
+      if (ev.target >= link_count() || !hooks_.on_session_restart) {
+        return skip_event(ev);
+      }
+      ++stats_.session_restarts;
+      SCION_METRIC_COUNT("faults.session_restarts", 1);
+      SCION_TRACE(obs::Category::kFault, net_.simulator().now(),
+                  "session_restart", {"link", ev.target},
+                  {"duration_ns", ev.duration.ns()});
+      hooks_.on_session_restart(ev.target, ev.duration);
       break;
   }
 }
@@ -190,9 +232,22 @@ void FaultInjector::fire_flap(std::size_t flap_idx, TimePoint until) {
     SCION_METRIC_COUNT("faults.flaps", 1);
     SCION_TRACE(obs::Category::kFault, net_.simulator().now(), "flap",
                 {"link", link}, {"downtime_ns", downtime.ns()});
-    inject_link_down(link, downtime);
+    flap_link_down(link, downtime);
   }
   start_flap_process(flap, until);
+}
+
+void FaultInjector::flap_link_down(topo::LinkIndex link, Duration downtime) {
+  inject_link_down(link, downtime);
+  if (downtime == Duration::zero()) {
+    // inject_link_down treats zero as "permanent" (plan-event semantics);
+    // a flap's zero draw instead means a same-instant bounce. Scheduling the
+    // restore at now() keeps it a true down->up pair: the refcount fires
+    // each hook exactly once, after every event already queued at this
+    // instant observed the link down.
+    net_.simulator().schedule_after(Duration::zero(), kFaultRestoreLabel,
+                                    [this, link] { link_down_unref(link); });
+  }
 }
 
 std::vector<topo::LinkIndex> FaultInjector::flap_candidates(

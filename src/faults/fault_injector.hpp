@@ -38,6 +38,11 @@ struct FaultInjectorStats {
   std::uint64_t node_up_events{0};
   std::uint64_t flaps{0};
   std::uint64_t partitions{0};
+  /// Link-down events fired by expanded churn specs.
+  std::uint64_t churn_events{0};
+  /// Session-restart events handed to the simulator (skipped when the
+  /// simulator installs no on_session_restart hook).
+  std::uint64_t session_restarts{0};
   /// Scenario events whose target was out of range for this topology
   /// (scenarios are portable across topology sizes; extra targets are
   /// skipped, not fatal).
@@ -55,6 +60,11 @@ class FaultInjector {
     /// Fired when a node (AS) transitions up->down / down->up.
     std::function<void(sim::NodeId)> on_node_down;
     std::function<void(sim::NodeId)> on_node_up;
+    /// Fired for kSessionRestart events: the transport carried by `link`
+    /// stays up, but the protocol session riding it drops for the given
+    /// duration. Simulators without session state leave this unset and the
+    /// event is counted as skipped.
+    std::function<void(topo::LinkIndex, util::Duration)> on_session_restart;
     /// Maps a topology link to its network channel. Defaults to identity
     /// (the ChannelId == LinkIndex invariant most simulators keep).
     std::function<sim::ChannelId(topo::LinkIndex)> channel_of_link;
@@ -96,6 +106,13 @@ class FaultInjector {
   void run_event(const Event& ev);
   void start_flap_process(const FlapProcess& flap, util::TimePoint until);
   void fire_flap(std::size_t flap_idx, util::TimePoint until);
+  void start_churn(const ChurnSpec& spec, std::size_t spec_idx,
+                   util::TimePoint until);
+  /// Down-then-restore used by flap and churn paths: unlike plan events,
+  /// a zero downtime here means "bounce now", not "permanent" — the restore
+  /// is scheduled unconditionally so a degenerate flap still fires the down
+  /// and up hooks exactly once each.
+  void flap_link_down(topo::LinkIndex link, util::Duration downtime);
   std::vector<topo::LinkIndex> flap_candidates(LinkClass link_class) const;
   void partition_isd(topo::IsdId isd, util::Duration duration);
 

@@ -1,6 +1,7 @@
 #include "faults/fault_plan.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +27,16 @@ const char* to_string(Event::Kind k) {
     case Event::Kind::kNodeDown: return "as-down";
     case Event::Kind::kNodeUp: return "as-up";
     case Event::Kind::kIsdPartition: return "isd-partition";
+    case Event::Kind::kSessionRestart: return "session-restart";
+  }
+  return "?";
+}
+
+const char* to_string(ChurnSpec::Profile p) {
+  switch (p) {
+    case ChurnSpec::Profile::kSteady: return "steady";
+    case ChurnSpec::Profile::kBurst: return "burst";
+    case ChurnSpec::Profile::kRamp: return "ramp";
   }
   return "?";
 }
@@ -141,6 +152,102 @@ bool parse_event_tail(const std::vector<std::string>& tok, std::size_t from,
   return i == tok.size();
 }
 
+bool parse_profile(const std::string& text, ChurnSpec::Profile* out) {
+  for (const ChurnSpec::Profile p :
+       {ChurnSpec::Profile::kSteady, ChurnSpec::Profile::kBurst,
+        ChurnSpec::Profile::kRamp}) {
+    if (text == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "10m..6h@1.1" → truncated-Pareto bounds + shape.
+bool parse_tail_range(const std::string& text, util::Duration* lo,
+                      util::Duration* hi, double* alpha) {
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) return false;
+  return parse_duration_range(text.substr(0, at), lo, hi) &&
+         parse_double(text.substr(at + 1), alpha) && *alpha > 0.0;
+}
+
+/// churn PROFILE [links CLASS] [fraction F] [up RANGE@ALPHA]
+///       [down RANGE@ALPHA] [period P len L] at T for D
+bool parse_churn(const std::vector<std::string>& tok, ChurnSpec* spec) {
+  if (tok.size() < 2 || !parse_profile(tok[1], &spec->profile)) return false;
+  std::size_t i = 2;
+  while (i < tok.size() && tok[i] != "at") {
+    const std::string& key = tok[i];
+    if (key == "links" && i + 1 < tok.size() &&
+        parse_link_class(tok[i + 1], &spec->links)) {
+      i += 2;
+    } else if (key == "fraction" && i + 1 < tok.size() &&
+               parse_double(tok[i + 1], &spec->link_fraction) &&
+               spec->link_fraction > 0.0 && spec->link_fraction <= 1.0) {
+      i += 2;
+    } else if (key == "up" && i + 1 < tok.size() &&
+               parse_tail_range(tok[i + 1], &spec->up_min, &spec->up_max,
+                                &spec->up_alpha) &&
+               spec->up_min > util::Duration::zero()) {
+      i += 2;
+    } else if (key == "down" && i + 1 < tok.size() &&
+               parse_tail_range(tok[i + 1], &spec->down_min, &spec->down_max,
+                                &spec->down_alpha) &&
+               spec->down_min > util::Duration::zero()) {
+      i += 2;
+    } else if (key == "period" && i + 3 < tok.size() &&
+               parse_duration(tok[i + 1], &spec->burst_period) &&
+               tok[i + 2] == "len" &&
+               parse_duration(tok[i + 3], &spec->burst_len) &&
+               spec->burst_len > util::Duration::zero() &&
+               spec->burst_len <= spec->burst_period) {
+      i += 4;
+    } else {
+      return false;
+    }
+  }
+  // Mandatory window: "at T for D" with D > 0 (a bounded window is what
+  // keeps the expanded event stream finite).
+  if (i + 3 >= tok.size() || tok[i] != "at" || tok[i + 2] != "for") {
+    return false;
+  }
+  return parse_duration(tok[i + 1], &spec->start) &&
+         parse_duration(tok[i + 3], &spec->duration) &&
+         spec->duration > util::Duration::zero() && i + 4 == tok.size();
+}
+
+/// Largest unit that divides the duration exactly, so text produced by
+/// to_text() reparses to the identical nanosecond count.
+std::string format_duration(util::Duration d) {
+  const std::int64_t ns = d.ns();
+  struct Unit {
+    std::int64_t scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {86400000000000LL, "d"}, {3600000000000LL, "h"}, {60000000000LL, "m"},
+      {1000000000LL, "s"},     {1000000LL, "ms"},      {1000LL, "us"},
+  };
+  std::ostringstream out;
+  for (const Unit& u : kUnits) {
+    if (ns != 0 && ns % u.scale == 0) {
+      out << (ns / u.scale) << u.suffix;
+      return out.str();
+    }
+  }
+  out << ns << "ns";
+  return out.str();
+}
+
+std::string format_tail_range(util::Duration lo, util::Duration hi,
+                              double alpha) {
+  std::ostringstream out;
+  out << format_duration(lo) << ".." << format_duration(hi) << '@' << alpha;
+  return out.str();
+}
+
 }  // namespace
 
 bool FaultPlan::parse(std::istream& in, FaultPlan* plan, std::string* error) {
@@ -189,6 +296,15 @@ bool FaultPlan::parse(std::istream& in, FaultPlan* plan, std::string* error) {
                     "all|core|provider-customer|peer]");
       }
       plan->flaps.push_back(flap);
+    } else if (cmd == "churn") {
+      ChurnSpec spec;
+      if (!parse_churn(tok, &spec)) {
+        return fail(error, line_no,
+                    "expected: churn steady|burst|ramp [links CLASS] "
+                    "[fraction F] [up LO..HI@ALPHA] [down LO..HI@ALPHA] "
+                    "[period P len L] at T for D (D > 0)");
+      }
+      plan->churn.push_back(spec);
     } else {
       Event ev;
       bool allow_for = true;
@@ -204,6 +320,8 @@ bool FaultPlan::parse(std::istream& in, FaultPlan* plan, std::string* error) {
         allow_for = false;
       } else if (cmd == "isd-partition") {
         ev.kind = Event::Kind::kIsdPartition;
+      } else if (cmd == "session-restart") {
+        ev.kind = Event::Kind::kSessionRestart;
       } else {
         return fail(error, line_no, "unknown directive '" + cmd + "'");
       }
@@ -227,6 +345,83 @@ bool FaultPlan::parse_file(const std::string& path, FaultPlan* plan,
     return false;
   }
   return parse(in, plan, error);
+}
+
+namespace {
+
+/// Shortest decimal that reparses to the identical double (strtod and
+/// to_chars agree on round-tripping), keeping to_text() loss-free.
+std::string format_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : std::to_string(v);
+}
+
+}  // namespace
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream out;
+  out << "seed " << seed << '\n';
+  if (loss_probability != 0.0) {
+    out << "loss " << format_double(loss_probability) << '\n';
+  }
+  if (jitter_max != util::Duration::zero()) {
+    out << "jitter " << format_duration(jitter_max) << '\n';
+  }
+  for (const FlapProcess& f : flaps) {
+    out << "flap rate/h " << format_double(f.rate_per_hour) << " down "
+        << format_duration(f.downtime_min) << ".."
+        << format_duration(f.downtime_max) << " links " << to_string(f.links)
+        << '\n';
+  }
+  for (const ChurnSpec& c : churn) {
+    out << "churn " << to_string(c.profile) << " links " << to_string(c.links)
+        << " fraction " << format_double(c.link_fraction) << " up "
+        << format_tail_range(c.up_min, c.up_max, c.up_alpha) << " down "
+        << format_tail_range(c.down_min, c.down_max, c.down_alpha);
+    if (c.profile == ChurnSpec::Profile::kBurst) {
+      out << " period " << format_duration(c.burst_period) << " len "
+          << format_duration(c.burst_len);
+    }
+    out << " at " << format_duration(c.start) << " for "
+        << format_duration(c.duration) << '\n';
+  }
+  for (const Event& ev : events) {
+    out << to_string(ev.kind) << ' ' << ev.target << " at "
+        << format_duration(ev.at);
+    if (ev.duration != util::Duration::zero()) {
+      out << " for " << format_duration(ev.duration);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool operator==(const Event& a, const Event& b) {
+  return a.kind == b.kind && a.target == b.target && a.at == b.at &&
+         a.duration == b.duration;
+}
+
+bool operator==(const FlapProcess& a, const FlapProcess& b) {
+  return a.rate_per_hour == b.rate_per_hour &&
+         a.downtime_min == b.downtime_min && a.downtime_max == b.downtime_max &&
+         a.links == b.links;
+}
+
+bool operator==(const ChurnSpec& a, const ChurnSpec& b) {
+  return a.profile == b.profile && a.links == b.links &&
+         a.link_fraction == b.link_fraction && a.up_min == b.up_min &&
+         a.up_max == b.up_max && a.up_alpha == b.up_alpha &&
+         a.down_min == b.down_min && a.down_max == b.down_max &&
+         a.down_alpha == b.down_alpha && a.start == b.start &&
+         a.duration == b.duration && a.burst_period == b.burst_period &&
+         a.burst_len == b.burst_len;
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.events == b.events && a.flaps == b.flaps && a.churn == b.churn &&
+         a.loss_probability == b.loss_probability &&
+         a.jitter_max == b.jitter_max && a.seed == b.seed;
 }
 
 }  // namespace scion::faults

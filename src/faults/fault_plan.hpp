@@ -15,6 +15,9 @@
 //   link-down 7 at 10s for 1m
 //   as-down 3 at 30s for 2m
 //   isd-partition 2 at 5m for 1m
+//   session-restart 4 at 8m for 45s
+//   churn steady links peer fraction 0.5 up 10m..6h@1.1
+//       down 30s..10m@1.3 at 0s for 2h     (one line in the file)
 //
 // All event times are offsets from the instant the FaultInjector is armed
 // (normally the start of the measurement window), so one scenario is
@@ -52,6 +55,10 @@ struct Event {
     kNodeDown,   // AS outage: the control service of `target` goes dark
     kNodeUp,
     kIsdPartition,  // every link with exactly one endpoint in ISD `target`
+    /// Control-plane session restart on link `target`: the transport stays
+    /// up but the protocol session drops for `duration` (router reboot /
+    /// process restart). Simulators without session state skip it.
+    kSessionRestart,
   };
 
   Kind kind{Kind::kLinkDown};
@@ -72,10 +79,50 @@ struct FlapProcess {
   LinkClass links{LinkClass::kAll};
 };
 
+/// A sustained-churn process: every eligible link (independently, with
+/// probability `link_fraction`) alternates ON/OFF with heavy-tailed
+/// (truncated Pareto) up and down durations, calibrated by default to the
+/// minute-to-hour flap timescales of the SCIONLab path-dynamics study.
+/// The whole process is a pure function of (plan seed, spec index, link
+/// index) — the event stream is expanded up front, so it is byte-identical
+/// across binaries, simulators, and --jobs settings.
+struct ChurnSpec {
+  enum class Profile : std::uint8_t {
+    kSteady,  // stationary ON/OFF renewal process over [start, start+duration)
+    kBurst,   // down events only inside periodic burst windows
+    kRamp,    // down-event probability ramps 0 -> 1 across the window
+  };
+
+  Profile profile{Profile::kSteady};
+  LinkClass links{LinkClass::kAll};
+  /// Fraction of eligible links that participate (drawn per link).
+  double link_fraction{1.0};
+  /// Up-time distribution: truncated Pareto on [up_min, up_max], shape
+  /// `up_alpha` (heavier tail for smaller alpha).
+  util::Duration up_min{util::Duration::minutes(10)};
+  util::Duration up_max{util::Duration::hours(6)};
+  double up_alpha{1.1};
+  /// Down-time distribution, same family.
+  util::Duration down_min{util::Duration::seconds(30)};
+  util::Duration down_max{util::Duration::minutes(10)};
+  double down_alpha{1.3};
+  /// Window, as offsets from the arm instant. `duration` must be > 0: the
+  /// generator walks virtual time across the window, so a bounded window is
+  /// what makes the expanded event stream finite.
+  util::Duration start{util::Duration::zero()};
+  util::Duration duration{util::Duration::hours(1)};
+  /// kBurst only: bursts of length `burst_len` every `burst_period`.
+  util::Duration burst_period{util::Duration::minutes(10)};
+  util::Duration burst_len{util::Duration::minutes(2)};
+};
+
+const char* to_string(ChurnSpec::Profile p);
+
 /// A full scenario. Default-constructed plans are empty (no faults).
 struct FaultPlan {
   std::vector<Event> events;
   std::vector<FlapProcess> flaps;
+  std::vector<ChurnSpec> churn;
   /// Applied to every channel when the injector is armed.
   double loss_probability{0.0};
   util::Duration jitter_max{util::Duration::zero()};
@@ -83,8 +130,8 @@ struct FaultPlan {
   std::uint64_t seed{1};
 
   bool empty() const {
-    return events.empty() && flaps.empty() && loss_probability == 0.0 &&
-           jitter_max == util::Duration::zero();
+    return events.empty() && flaps.empty() && churn.empty() &&
+           loss_probability == 0.0 && jitter_max == util::Duration::zero();
   }
 
   /// Parses the text scenario format described above. Returns false and
@@ -95,7 +142,17 @@ struct FaultPlan {
   /// Convenience: parse from a file path.
   static bool parse_file(const std::string& path, FaultPlan* plan,
                          std::string* error);
+
+  /// Serializes the plan back to the text format. parse(to_text(p)) yields
+  /// a plan equal to p (durations print in the largest unit that divides
+  /// them exactly, so the round trip is loss-free).
+  std::string to_text() const;
 };
+
+bool operator==(const Event& a, const Event& b);
+bool operator==(const FlapProcess& a, const FlapProcess& b);
+bool operator==(const ChurnSpec& a, const ChurnSpec& b);
+bool operator==(const FaultPlan& a, const FaultPlan& b);
 
 /// Parses a duration literal like "250ms", "1.5s", "2m", "1h", "30s".
 /// Units: ns, us, ms, s, m, h, d. Returns false on malformed input.

@@ -26,6 +26,12 @@ const obs::EventLabel kRegistrationLabel =
 const obs::EventLabel kRegisterDownLabel =
     obs::event_label("path.register_down");
 const obs::EventLabel kLookupLabel = obs::event_label("path.lookup");
+const obs::EventLabel kReoriginLabel = obs::event_label("beacon.reorigin");
+
+/// Folded into the sim seed for the reorigination jitter streams, so they
+/// are decorrelated from every other use of the seed without consuming the
+/// constructor RNG (which would shift all existing baselines).
+constexpr std::uint64_t kReoriginSeedMix = 0xB5297A4D3C5B9BD5ULL;
 
 }  // namespace
 
@@ -79,6 +85,15 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
   if (config_.algorithm == ctrl::AlgorithmKind::kDiversity) {
     base.store_policy = ctrl::StorePolicy::kDiversityAware;
   }
+  base.stale_quarantine = config_.stale_quarantine;
+  base.stale_timeout = config_.stale_timeout;
+  base.reorigination = config_.reorigination;
+  base.backoff_seed = config_.seed ^ kReoriginSeedMix;
+  base.schedule = [this](util::Duration delay,
+                         std::function<void(util::TimePoint)> fn) {
+    sim_.schedule_after(delay, kReoriginLabel,
+                        [this, fn = std::move(fn)] { fn(sim_.now()); });
+  };
 
   core_servers_.resize(topology_.as_count());
   intra_servers_.resize(topology_.as_count());
@@ -173,6 +188,7 @@ ControlPlaneSim::ControlPlaneSim(const topo::Topology& topology,
   if (legacy_only) plan.seed = config_.seed ^ kFaultSeedMix;
   faults::FaultInjector::Hooks hooks;
   hooks.on_link_down = [this](topo::LinkIndex l) { on_link_down(l); };
+  hooks.on_link_up = [this](topo::LinkIndex l) { on_link_up(l); };
   injector_ = std::make_unique<faults::FaultInjector>(net_, std::move(plan),
                                                       &topology_,
                                                       std::move(hooks));
@@ -411,6 +427,19 @@ void ControlPlaneSim::on_link_down(topo::LinkIndex l) {
       core_servers_[observer]->on_link_down(l, sim_.now());
     }
     intra_servers_[observer]->on_link_down(l, sim_.now());
+  }
+}
+
+void ControlPlaneSim::on_link_up(topo::LinkIndex l) {
+  const topo::Link& link = topology_.link(l);
+  // Both endpoint ASes see the interface recover: quarantined PCBs are
+  // revalidated, and core origination interfaces get a backoff-scheduled
+  // re-beacon so downstream stores refill before the next interval.
+  for (const topo::AsIndex observer : {link.a, link.b}) {
+    if (core_servers_[observer]) {
+      core_servers_[observer]->on_link_up(l, sim_.now());
+    }
+    intra_servers_[observer]->on_link_up(l, sim_.now());
   }
 }
 

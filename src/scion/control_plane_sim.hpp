@@ -45,6 +45,13 @@ struct ControlPlaneSimConfig {
   /// Internally appended to `faults` as a FlapProcess; 0 disables.
   double link_failures_per_hour{2.0};
   util::Duration failure_downtime{util::Duration::minutes(2)};
+  /// Robustness mechanisms, forwarded to every beacon server (default off;
+  /// see BeaconServerConfig). With quarantine on, a link flap suspends the
+  /// affected PCBs instead of evicting them; backoff re-beacons recovered
+  /// origination interfaces without waiting a full interval.
+  bool stale_quarantine{false};
+  util::Duration stale_timeout{util::Duration::minutes(30)};
+  ctrl::BeaconServerConfig::ReoriginationBackoff reorigination{};
   util::Duration sim_duration{util::Duration::hours(1)};
   std::uint64_t seed{5};
   /// Additional fault scenario, armed when the measurement window starts.
@@ -123,6 +130,7 @@ class ControlPlaneSim {
   void do_lookup();
   void schedule_next_lookup();
   void on_link_down(topo::LinkIndex l);
+  void on_link_up(topo::LinkIndex l);
   topo::AsIndex core_of_isd(topo::IsdId isd, std::size_t salt) const;
   // ISD numbers are 1-based; dense per-ISD tables index from 0.
   static std::size_t isd_slot(topo::IsdId isd) { return isd.value() - 1u; }

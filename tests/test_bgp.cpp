@@ -1,8 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "bgp/bgp_sim.hpp"
 #include "bgp/messages.hpp"
 #include "bgp/policy.hpp"
+#include "bgp/speaker.hpp"
+#include "faults/fault_plan.hpp"
+#include "simnet/simulator.hpp"
 #include "topology/generator.hpp"
 
 namespace scion::bgp {
@@ -237,6 +245,207 @@ TEST(BgpSim, SessionFlapWithdrawsAndRecovers) {
   sim.simulator().run();
   EXPECT_TRUE(sim.speaker(2).best(0).has_value());
   EXPECT_TRUE(sim.speaker(0).best(2).has_value());
+}
+
+// --- Churn-survival mechanisms (flap damping, graceful restart) -------------
+
+/// Direct Speaker harness: a simulator backs the clock and every deferred
+/// timer (MRAI, damping reuse, GR sweeps); sends are recorded.
+struct SpeakerFixture : ::testing::Test {
+  sim::Simulator simulator;
+  std::vector<std::pair<topo::AsIndex, BgpUpdateMsg>> sent;
+  std::unique_ptr<Speaker> speaker;
+
+  void make(SpeakerOptions options) {
+    std::vector<Speaker::NeighborInfo> nbrs{
+        {1, Relationship::kCustomer}, {2, Relationship::kCustomer}};
+    speaker = std::make_unique<Speaker>(
+        0, nbrs, options,
+        [this](topo::AsIndex n, BgpUpdateMsg m) {
+          sent.emplace_back(n, std::move(m));
+        },
+        [this](util::Duration d, TimerKind, std::function<void()> fn) {
+          simulator.schedule_after(d, std::move(fn));
+        },
+        [this] { return simulator.now(); }, /*seed=*/7);
+  }
+
+  void announce(topo::AsIndex from, Prefix p,
+                std::initializer_list<topo::AsIndex> path) {
+    BgpUpdateMsg msg;
+    msg.announced = {p};
+    msg.path = std::make_shared<std::vector<topo::AsIndex>>(path);
+    speaker->handle_update(from, msg);
+  }
+
+  void withdraw(topo::AsIndex from, Prefix p) {
+    BgpUpdateMsg msg;
+    msg.withdrawn = {p};
+    speaker->handle_update(from, msg);
+  }
+
+  void run_until(util::Duration since_origin) {
+    simulator.run_until(util::TimePoint::origin() + since_origin);
+  }
+};
+
+TEST_F(SpeakerFixture, DampingSuppressesAndReusesAfterDecay) {
+  SpeakerOptions options;
+  options.damping.enabled = true;
+  options.damping.half_life = Duration::minutes(1);
+  options.damping.max_suppress = Duration::minutes(10);
+  make(options);
+
+  announce(1, 5, {1, 5});
+  withdraw(1, 5);  // one flap: penalty 1000, below the 2000 threshold
+  EXPECT_FALSE(speaker->is_suppressed(1, 5));
+  announce(1, 5, {1, 5});
+  withdraw(1, 5);  // second flap with no decay between: suppressed
+  EXPECT_TRUE(speaker->is_suppressed(1, 5));
+  EXPECT_EQ(speaker->routes_suppressed(), 1u);
+
+  // Suppression removes the adjacency from the decision process; an
+  // alternative via neighbor 2 wins even though it is longer.
+  announce(1, 5, {1, 5});
+  EXPECT_FALSE(speaker->best(5).has_value());
+  announce(2, 5, {2, 9, 5});
+  ASSERT_TRUE(speaker->best(5).has_value());
+  EXPECT_EQ(speaker->best(5)->neighbor, 2u);
+
+  // Penalty 2000 decays to the 750 reuse threshold after log2(2000/750)
+  // half-lives (~85 s): still suppressed at 60 s, reusable by 120 s, and
+  // the re-decision promotes the shorter path again.
+  run_until(Duration::seconds(60));
+  EXPECT_TRUE(speaker->is_suppressed(1, 5));
+  run_until(Duration::seconds(120));
+  EXPECT_FALSE(speaker->is_suppressed(1, 5));
+  EXPECT_EQ(speaker->routes_reused(), 1u);
+  ASSERT_TRUE(speaker->best(5).has_value());
+  EXPECT_EQ(speaker->best(5)->neighbor, 1u);
+}
+
+TEST_F(SpeakerFixture, DampingPenaltyCapBoundsSuppression) {
+  SpeakerOptions options;
+  options.damping.enabled = true;
+  options.damping.half_life = Duration::minutes(1);
+  options.damping.max_suppress = Duration::minutes(2);
+  make(options);
+
+  // Hammer the adjacency far past the suppress threshold: the RFC 2439
+  // penalty ceiling caps it so decaying back to reuse never takes longer
+  // than max_suppress.
+  for (int i = 0; i < 10; ++i) {
+    announce(1, 5, {1, 5});
+    withdraw(1, 5);
+  }
+  EXPECT_TRUE(speaker->is_suppressed(1, 5));
+  EXPECT_EQ(speaker->routes_suppressed(), 1u) << "one suppression episode";
+  run_until(options.damping.max_suppress + Duration::seconds(5));
+  EXPECT_FALSE(speaker->is_suppressed(1, 5));
+  EXPECT_EQ(speaker->routes_reused(), 1u);
+}
+
+TEST_F(SpeakerFixture, DampingOffMeansNoSuppression) {
+  make(SpeakerOptions{});
+  for (int i = 0; i < 10; ++i) {
+    announce(1, 5, {1, 5});
+    withdraw(1, 5);
+  }
+  EXPECT_EQ(speaker->routes_suppressed(), 0u);
+  EXPECT_FALSE(speaker->is_suppressed(1, 5));
+  announce(1, 5, {1, 5});
+  EXPECT_TRUE(speaker->best(5).has_value());
+}
+
+TEST_F(SpeakerFixture, GracefulRestartRetainsOnlyWhenForwardingPreserved) {
+  SpeakerOptions options;
+  options.graceful_restart.enabled = true;
+  make(options);
+
+  // A physical link loss flushes even with GR enabled: a stale route
+  // through a dead link would mask live alternatives.
+  announce(1, 5, {1, 5});
+  speaker->session_down(1, /*forwarding_preserved=*/false);
+  EXPECT_FALSE(speaker->best(5).has_value());
+  EXPECT_EQ(speaker->stale_retained(), 0u);
+
+  // A process restart preserves the data plane: routes stay in the
+  // decision process as stale survivors.
+  speaker->session_up(1);
+  simulator.run();
+  announce(1, 5, {1, 5});
+  speaker->session_down(1, /*forwarding_preserved=*/true);
+  ASSERT_TRUE(speaker->best(5).has_value());
+  EXPECT_EQ(speaker->best(5)->neighbor, 1u);
+  EXPECT_EQ(speaker->stale_retained(), 1u);
+}
+
+TEST_F(SpeakerFixture, GracefulRestartStaleTimerFlushes) {
+  SpeakerOptions options;
+  options.graceful_restart.enabled = true;
+  options.graceful_restart.stale_timer = Duration::minutes(3);
+  make(options);
+
+  announce(1, 5, {1, 5});
+  speaker->session_down(1, /*forwarding_preserved=*/true);
+  run_until(Duration::minutes(2));
+  EXPECT_TRUE(speaker->best(5).has_value()) << "stale but still forwarding";
+  run_until(Duration::minutes(4));
+  EXPECT_FALSE(speaker->best(5).has_value())
+      << "the session never returned; the stale timer flushed";
+  EXPECT_EQ(speaker->stale_expired(), 1u);
+}
+
+TEST_F(SpeakerFixture, GracefulRestartResyncSweepsUnrefreshedRoutes) {
+  SpeakerOptions options;
+  options.graceful_restart.enabled = true;
+  options.graceful_restart.stale_timer = Duration::minutes(3);
+  options.graceful_restart.resync_flush_delay = Duration::minutes(1);
+  make(options);
+
+  announce(1, 5, {1, 5});
+  announce(1, 6, {1, 6});
+  speaker->session_down(1, /*forwarding_preserved=*/true);
+  EXPECT_EQ(speaker->stale_retained(), 2u);
+
+  // Session returns; the epoch bump voids the pending stale timer. The
+  // peer's replay refreshes prefix 5 but never re-announces 6, so the
+  // re-sync sweep (the End-of-RIB substitute) flushes only 6.
+  speaker->session_up(1);
+  announce(1, 5, {1, 5});
+  run_until(Duration::minutes(5));  // past both the sweep and the old timer
+  EXPECT_TRUE(speaker->best(5).has_value()) << "refreshed by the replay";
+  EXPECT_FALSE(speaker->best(6).has_value()) << "swept by the re-sync";
+  EXPECT_EQ(speaker->stale_expired(), 1u);
+}
+
+TEST(BgpSim, SessionRestartEngagesGracefulRestart) {
+  const topo::Topology t = chain3();
+  BgpSimConfig config = quick_bgp_config();
+  config.graceful_restart.enabled = true;
+  faults::Event ev;
+  ev.kind = faults::Event::Kind::kSessionRestart;
+  ev.target = 1;  // the 1-2 link
+  ev.at = Duration::minutes(1);
+  ev.duration = Duration::seconds(90);
+  config.faults.events.push_back(ev);
+  BgpSim sim{t, config};
+  sim.run();
+  EXPECT_GT(sim.total_stale_retained(), 0u)
+      << "a session restart preserves forwarding, so GR retains routes";
+  EXPECT_TRUE(sim.speaker(0).best(2).has_value());
+  EXPECT_TRUE(sim.speaker(2).best(0).has_value());
+}
+
+TEST(BgpSim, DampingCountersEngageUnderChurn) {
+  const topo::Topology t = chain3();
+  BgpSimConfig config = quick_bgp_config();
+  config.damping.enabled = true;
+  config.flaps_per_adjacency_per_day = 2000.0;  // several flaps per 15 min
+  config.churn_window = Duration::hours(1);
+  BgpSim sim{t, config};
+  sim.run();
+  EXPECT_GT(sim.total_routes_suppressed(), 0u);
 }
 
 TEST(BgpSim, MonitorsAccountPerOrigin) {

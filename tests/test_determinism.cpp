@@ -12,6 +12,7 @@
 
 #include "bgp/bgp_sim.hpp"
 #include "core/grid_search.hpp"
+#include "experiments/churn_experiment.hpp"
 #include "experiments/quality_experiment.hpp"
 #include "experiments/scale.hpp"
 #include "faults/fault_plan.hpp"
@@ -425,6 +426,62 @@ TEST(Determinism, GridSearchIsByteIdenticalAcrossJobCounts) {
   const std::string serial = grid_search_transcript(nets.scion_view, 1);
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(grid_search_transcript(nets.scion_view, 8), serial);
+}
+
+/// Full byte-level transcript of a churn-experiment run at the given job
+/// count: every series' counters, the rendered table, the metrics registry
+/// JSON, and the complete trace stream. Five series run concurrently here,
+/// so any shared mutable state or cross-series RNG coupling shows up as a
+/// jobs-dependent diff.
+std::string churn_transcript(const exp::CoreNetworks& nets, std::size_t jobs) {
+  obs::MetricsRegistry::global().reset();
+  std::ostringstream trace;
+  obs::TraceSink sink{trace};
+  sink.enable_all();
+  obs::set_trace_sink(&sink);
+
+  exp::ChurnConfig config;
+  config.sampled_pairs = 12;
+  config.sim_duration = Duration::minutes(20);
+  config.warmup = Duration::minutes(10);
+  config.probe_interval = Duration::seconds(30);
+  config.seed = 13;
+  config.jobs = jobs;
+  const exp::ChurnResult result =
+      exp::run_churn_experiment(nets.bgp_view, nets.scion_view, config);
+  obs::set_trace_sink(nullptr);
+
+  std::ostringstream out;
+  for (const auto& [s, t] : result.pairs) out << s << '-' << t << ' ';
+  out << '\n' << std::hexfloat;
+  for (const exp::ChurnSeries& s : result.series) {
+    out << s.name << " conv=" << s.convergence_seconds.summary()
+        << " outages=" << s.outages << " rec=" << s.recovered << '/'
+        << s.unrecovered << " avail=" << s.availability
+        << " amp=" << s.amplification << " msgs=" << s.control_messages << '/'
+        << s.control_messages_clean << " sup=" << s.routes_suppressed << '/'
+        << s.routes_reused << " stale=" << s.stale_retained << '/'
+        << s.stale_expired << " quar=" << s.pcbs_quarantined << '/'
+        << s.pcbs_revalidated << " reorig=" << s.reoriginations
+        << " churn=" << s.fault_stats.churn_events
+        << " restarts=" << s.fault_stats.session_restarts << '\n';
+  }
+  out << exp::churn_table(result).to_text();
+  out << obs::MetricsRegistry::global().to_json() << '\n';
+  out << trace.str();
+  return std::move(out).str();
+}
+
+// The churn experiment inherits the exec-layer contract: byte-identical
+// results, metrics, and traces no matter how many workers ran the series.
+TEST(Determinism, ChurnExperimentIsByteIdenticalAcrossJobCounts) {
+  const exp::CoreNetworks nets = small_core_networks();
+  const std::string serial = churn_transcript(nets, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("BGP Damping"), std::string::npos);
+  EXPECT_NE(serial.find("SCION Robust"), std::string::npos);
+  EXPECT_EQ(churn_transcript(nets, 8), serial);
+  obs::MetricsRegistry::global().reset();
 }
 
 // Tracing must also be insensitive to the *filter*: dropping events cannot

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "faults/churn_model.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "simnet/network.hpp"
@@ -129,6 +133,222 @@ TEST(FaultPlan, EmptyInputIsEmptyPlan) {
   std::string error;
   ASSERT_TRUE(FaultPlan::parse(in, &plan, &error)) << error;
   EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, ParsesChurnAndSessionRestart) {
+  std::istringstream in{R"(seed 7
+churn steady links peer fraction 0.5 up 10m..2h@1.1 down 30s..10m@1.3 at 0s for 2h
+churn burst links provider-customer up 45s..5m@1.2 down 30s..2m@1.3 period 10m len 2m at 15m for 1h
+churn ramp at 1h for 1h
+session-restart 4 at 8m for 45s
+)"};
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(in, &plan, &error)) << error;
+
+  ASSERT_EQ(plan.churn.size(), 3u);
+  EXPECT_EQ(plan.churn[0].profile, ChurnSpec::Profile::kSteady);
+  EXPECT_EQ(plan.churn[0].links, LinkClass::kPeer);
+  EXPECT_DOUBLE_EQ(plan.churn[0].link_fraction, 0.5);
+  EXPECT_EQ(plan.churn[0].up_min, Duration::minutes(10));
+  EXPECT_EQ(plan.churn[0].up_max, Duration::hours(2));
+  EXPECT_DOUBLE_EQ(plan.churn[0].up_alpha, 1.1);
+  EXPECT_EQ(plan.churn[0].down_min, Duration::seconds(30));
+  EXPECT_EQ(plan.churn[0].down_max, Duration::minutes(10));
+  EXPECT_DOUBLE_EQ(plan.churn[0].down_alpha, 1.3);
+  EXPECT_EQ(plan.churn[0].start, Duration::zero());
+  EXPECT_EQ(plan.churn[0].duration, Duration::hours(2));
+
+  EXPECT_EQ(plan.churn[1].profile, ChurnSpec::Profile::kBurst);
+  EXPECT_EQ(plan.churn[1].burst_period, Duration::minutes(10));
+  EXPECT_EQ(plan.churn[1].burst_len, Duration::minutes(2));
+  EXPECT_EQ(plan.churn[1].start, Duration::minutes(15));
+
+  // Every churn knob except the window has a default.
+  EXPECT_EQ(plan.churn[2].profile, ChurnSpec::Profile::kRamp);
+  EXPECT_EQ(plan.churn[2].links, LinkClass::kAll);
+  EXPECT_DOUBLE_EQ(plan.churn[2].link_fraction, 1.0);
+
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, Event::Kind::kSessionRestart);
+  EXPECT_EQ(plan.events[0].target, 4u);
+  EXPECT_EQ(plan.events[0].at, Duration::minutes(8));
+  EXPECT_EQ(plan.events[0].duration, Duration::seconds(45));
+}
+
+TEST(FaultPlan, ChurnRejectsMalformedDirectives) {
+  const std::vector<std::string> bad = {
+      "churn\n",                                     // missing profile
+      "churn sideways at 0s for 1h\n",               // unknown profile
+      "churn steady\n",                              // missing window
+      "churn steady at 0s\n",                        // window needs `for`
+      "churn steady at 0s for 0s\n",                 // empty window
+      "churn steady fraction 1.5 at 0s for 1h\n",    // fraction out of (0,1]
+      "churn steady up 10m..2h at 0s for 1h\n",      // range without @alpha
+      "churn burst period 1m len 2m at 0s for 1h\n"  // len > period
+  };
+  for (const std::string& text : bad) {
+    std::istringstream in{"# comment line\n" + text};
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse(in, &plan, &error)) << text;
+    EXPECT_NE(error.find("line 2"), std::string::npos)
+        << "error for {" << text << "} was: " << error;
+  }
+}
+
+// ------------------------------------------------------------- churn model
+
+/// Aggressive timescales so a one-hour window yields plenty of events.
+ChurnSpec quick_churn_spec() {
+  ChurnSpec spec;
+  spec.link_fraction = 1.0;
+  spec.up_min = Duration::minutes(1);
+  spec.up_max = Duration::minutes(5);
+  spec.down_min = Duration::seconds(30);
+  spec.down_max = Duration::minutes(2);
+  spec.duration = Duration::hours(1);
+  return spec;
+}
+
+TEST(ChurnModel, ExpansionIsDeterministicAndSeedSensitive) {
+  const std::vector<topo::LinkIndex> links{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<Event> events =
+      ChurnModel{quick_churn_spec(), 0, 42}.events(links);
+  ASSERT_FALSE(events.empty());
+  EXPECT_TRUE(events == ChurnModel(quick_churn_spec(), 0, 42).events(links));
+  // Spec index and plan seed both decorrelate the per-link substreams.
+  EXPECT_FALSE(events == ChurnModel(quick_churn_spec(), 1, 42).events(links));
+  EXPECT_FALSE(events == ChurnModel(quick_churn_spec(), 0, 43).events(links));
+}
+
+TEST(ChurnModel, PerLinkStreamsIgnoreCandidateOrder) {
+  const std::vector<topo::LinkIndex> forward{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<topo::LinkIndex> reverse{forward.rbegin(), forward.rend()};
+  const ChurnModel model{quick_churn_spec(), 0, 42};
+  const auto sorted = [](std::vector<Event> ev) {
+    std::sort(ev.begin(), ev.end(), [](const Event& x, const Event& y) {
+      return std::make_pair(x.target, x.at.ns()) <
+             std::make_pair(y.target, y.at.ns());
+    });
+    return ev;
+  };
+  EXPECT_TRUE(sorted(model.events(forward)) == sorted(model.events(reverse)))
+      << "each link draws from its own substream";
+}
+
+TEST(ChurnModel, EventsStayInsideWindowAndAlwaysRestore) {
+  ChurnSpec spec = quick_churn_spec();
+  spec.start = Duration::minutes(10);
+  spec.duration = Duration::minutes(30);
+  const Duration end = spec.start + spec.duration;
+  const std::vector<topo::LinkIndex> links{0, 1, 2, 3};
+  const std::vector<Event> events = ChurnModel{spec, 0, 1}.events(links);
+  ASSERT_FALSE(events.empty());
+  for (const Event& ev : events) {
+    EXPECT_EQ(ev.kind, Event::Kind::kLinkDown);
+    EXPECT_GE(ev.at.ns(), spec.start.ns()) << "first flap waits one up-period";
+    EXPECT_LT(ev.at.ns(), end.ns());
+    EXPECT_GT(ev.duration.ns(), 0)
+        << "zero duration would read as a permanent plan outage";
+    EXPECT_LE((ev.at + ev.duration).ns(), end.ns())
+        << "downtimes are clipped at the window end";
+    EXPECT_LE(ev.duration.ns(), spec.down_max.ns());
+  }
+}
+
+TEST(ChurnModel, BurstOnsetsConfinedToBurstWindows) {
+  ChurnSpec spec = quick_churn_spec();
+  spec.profile = ChurnSpec::Profile::kBurst;
+  spec.up_min = Duration::seconds(30);
+  spec.up_max = Duration::minutes(2);
+  spec.burst_period = Duration::minutes(10);
+  spec.burst_len = Duration::minutes(2);
+  const std::vector<topo::LinkIndex> links{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<Event> events = ChurnModel{spec, 0, 9}.events(links);
+  ASSERT_FALSE(events.empty());
+  for (const Event& ev : events) {
+    const std::int64_t phase =
+        (ev.at - spec.start).ns() % spec.burst_period.ns();
+    EXPECT_LT(phase, spec.burst_len.ns())
+        << "onsets only inside bursts (the outage itself may outlast one)";
+  }
+}
+
+TEST(ChurnModel, RampShiftsEventsTowardsWindowEnd) {
+  ChurnSpec spec = quick_churn_spec();
+  spec.profile = ChurnSpec::Profile::kRamp;
+  spec.up_min = Duration::seconds(30);
+  spec.up_max = Duration::minutes(2);
+  std::vector<topo::LinkIndex> links(64);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    links[i] = static_cast<topo::LinkIndex>(i);
+  }
+  const std::int64_t mid_ns = spec.start.ns() + spec.duration.ns() / 2;
+  std::size_t first_half = 0, second_half = 0;
+  for (const Event& ev : ChurnModel{spec, 0, 3}.events(links)) {
+    (ev.at.ns() < mid_ns ? first_half : second_half) += 1;
+  }
+  EXPECT_GT(second_half, first_half)
+      << "thinning ramps the accept probability 0 -> 1 across the window";
+}
+
+TEST(ChurnModel, LinkFractionSelectsStableSubset) {
+  std::vector<topo::LinkIndex> links(200);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    links[i] = static_cast<topo::LinkIndex>(i);
+  }
+  const auto participants = [&](double fraction) {
+    ChurnSpec spec = quick_churn_spec();
+    spec.link_fraction = fraction;
+    std::set<topo::LinkIndex> out;
+    for (const Event& ev : ChurnModel{spec, 0, 11}.events(links)) {
+      out.insert(ev.target);
+    }
+    return out;
+  };
+  // up_max is far below the window, so every enlisted link flaps at least
+  // once: the participant set *is* the fraction draw.
+  EXPECT_EQ(participants(1.0).size(), links.size());
+  const std::set<topo::LinkIndex> half = participants(0.5);
+  EXPECT_GT(half.size(), 0u);
+  EXPECT_LT(half.size(), links.size());
+}
+
+TEST(FaultPlan, ChurnTextRoundTripIsLossFree) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.loss_probability = 0.02;
+  plan.jitter_max = Duration::milliseconds(3);
+  FlapProcess flap;
+  flap.rate_per_hour = 6.5;
+  flap.links = LinkClass::kCore;
+  plan.flaps.push_back(flap);
+  ChurnSpec steady = quick_churn_spec();
+  steady.links = LinkClass::kPeer;
+  steady.link_fraction = 0.25;
+  plan.churn.push_back(steady);
+  ChurnSpec burst = quick_churn_spec();
+  burst.profile = ChurnSpec::Profile::kBurst;
+  burst.burst_period = Duration::minutes(10);
+  burst.burst_len = Duration::seconds(90);
+  burst.start = Duration::minutes(15);
+  plan.churn.push_back(burst);
+  ChurnSpec ramp = quick_churn_spec();
+  ramp.profile = ChurnSpec::Profile::kRamp;
+  ramp.up_alpha = 1.25;
+  plan.churn.push_back(ramp);
+  plan.events.push_back(Event{Event::Kind::kSessionRestart, 11,
+                              Duration::minutes(40), Duration::seconds(90)});
+  plan.events.push_back(Event{Event::Kind::kLinkDown, 7, Duration::seconds(10),
+                              Duration::minutes(1)});
+
+  std::istringstream in{plan.to_text()};
+  FaultPlan reparsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::parse(in, &reparsed, &error))
+      << error << "\n" << plan.to_text();
+  EXPECT_TRUE(reparsed == plan) << "not loss-free:\n" << plan.to_text();
 }
 
 // ------------------------------------------------------------- the injector
@@ -331,6 +551,97 @@ TEST_F(InjectorFixture, ChannelOfLinkHookMapsParallelLinks) {
   EXPECT_FALSE(net.channel_up(sim::ChannelId{0})) << "link 4 still holds the channel";
   injector.inject_link_up(4);
   EXPECT_TRUE(net.channel_up(sim::ChannelId{0}));
+}
+
+TEST_F(InjectorFixture, ChurnSpecDrivesRefcountedFlaps) {
+  FaultPlan plan;
+  plan.seed = 21;
+  ChurnSpec spec = quick_churn_spec();
+  spec.duration = Duration::minutes(30);
+  plan.churn.push_back(spec);
+
+  int downs = 0, ups = 0;
+  FaultInjector::Hooks hooks;
+  hooks.on_link_down = [&](topo::LinkIndex) { ++downs; };
+  hooks.on_link_up = [&](topo::LinkIndex) { ++ups; };
+  FaultInjector injector{net, plan, &world, hooks};
+  injector.arm(TimePoint::origin() + spec.duration);
+  simulator.run();
+
+  EXPECT_GT(injector.stats().churn_events, 0u);
+  EXPECT_EQ(injector.stats().link_down_events, injector.stats().churn_events);
+  EXPECT_EQ(downs, ups) << "every churn outage restores inside the window";
+  for (topo::LinkIndex l = 0; l < world.link_count(); ++l) {
+    EXPECT_TRUE(injector.link_up(l)) << "link " << l;
+    EXPECT_TRUE(net.channel_up(sim::ChannelId{l})) << "channel " << l;
+  }
+}
+
+TEST_F(InjectorFixture, ZeroDurationFlapStillBouncesTheLink) {
+  // Regression: a zero downtime draw used to hit inject_link_down's
+  // "permanent outage" semantics and wedge the link down forever. A flap's
+  // zero draw must instead be a same-instant down->up bounce with each hook
+  // firing exactly once.
+  FaultPlan plan;
+  plan.seed = 4;
+  FlapProcess flap;
+  flap.rate_per_hour = 3600.0;
+  flap.downtime_min = flap.downtime_max = Duration::zero();
+  plan.flaps.push_back(flap);
+
+  int downs = 0, ups = 0;
+  FaultInjector::Hooks hooks;
+  hooks.on_link_down = [&](topo::LinkIndex) { ++downs; };
+  hooks.on_link_up = [&](topo::LinkIndex) { ++ups; };
+  FaultInjector injector{net, plan, &world, hooks};
+  injector.arm(TimePoint::origin() + Duration::minutes(2));
+  simulator.run();
+
+  EXPECT_GT(injector.stats().flaps, 10u);
+  EXPECT_EQ(static_cast<std::uint64_t>(downs), injector.stats().flaps)
+      << "a down->up->down burst fires each true transition exactly once";
+  EXPECT_EQ(downs, ups);
+  EXPECT_EQ(injector.stats().link_down_events, injector.stats().link_up_events);
+  for (topo::LinkIndex l = 0; l < world.link_count(); ++l) {
+    EXPECT_TRUE(injector.link_up(l)) << "link " << l;
+    EXPECT_TRUE(net.channel_up(sim::ChannelId{l})) << "channel " << l;
+  }
+}
+
+TEST_F(InjectorFixture, SessionRestartDispatchesWithTransportUp) {
+  FaultPlan plan;
+  plan.events.push_back(Event{Event::Kind::kSessionRestart, 3,
+                              Duration::seconds(5), Duration::seconds(45)});
+  std::vector<std::pair<topo::LinkIndex, std::int64_t>> restarts;
+  FaultInjector::Hooks hooks;
+  hooks.on_session_restart = [&](topo::LinkIndex l, Duration d) {
+    EXPECT_TRUE(net.channel_up(sim::ChannelId{l}))
+        << "the transport stays up across a session restart";
+    restarts.emplace_back(l, d.ns());
+  };
+  FaultInjector injector{net, plan, &world, hooks};
+  injector.arm(TimePoint::origin() + Duration::minutes(1));
+  simulator.run();
+
+  ASSERT_EQ(restarts.size(), 1u);
+  EXPECT_EQ(restarts[0].first, 3u);
+  EXPECT_EQ(restarts[0].second, Duration::seconds(45).ns());
+  EXPECT_EQ(injector.stats().session_restarts, 1u);
+  EXPECT_EQ(injector.stats().events_skipped, 0u);
+  EXPECT_EQ(injector.stats().link_down_events, 0u);
+}
+
+TEST_F(InjectorFixture, SessionRestartSkippedWithoutHookOrTarget) {
+  FaultPlan plan;
+  plan.events.push_back(Event{Event::Kind::kSessionRestart, 3,
+                              Duration::seconds(1), Duration::seconds(45)});
+  plan.events.push_back(Event{Event::Kind::kSessionRestart, 999,
+                              Duration::seconds(1), Duration::seconds(45)});
+  FaultInjector injector{net, plan, &world};  // no on_session_restart hook
+  injector.arm(TimePoint::origin() + Duration::minutes(1));
+  simulator.run();
+  EXPECT_EQ(injector.stats().session_restarts, 0u);
+  EXPECT_EQ(injector.stats().events_skipped, 2u);
 }
 
 TEST(FaultInjector, SameSeedSameFlapSequence) {
