@@ -23,6 +23,8 @@ struct VariantResult {
   double fraction_of_optimal{0.0};
 };
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::vector<VariantResult> g_results;
 
 VariantResult run_variant(const std::string& name,

@@ -20,6 +20,8 @@ struct SweepRow {
   double fraction_of_optimal{0.0};
 };
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::vector<SweepRow> g_rows;
 
 SweepRow run_point(const std::string& label, const topo::Topology& scion_view,

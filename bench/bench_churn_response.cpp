@@ -24,6 +24,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<ChurnResult> g_result;
 
 ChurnConfig bench_config(const Scale& scale) {

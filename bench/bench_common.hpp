@@ -39,6 +39,8 @@
 namespace scion::exp {
 
 inline util::Flags& bench_flags() {
+  // Parsed once in main() before any benchmark runs; read-only after.
+  // simlint:allow(mutable-global)
   static util::Flags flags;
   return flags;
 }

@@ -21,6 +21,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<DynResilienceResult> g_result;
 
 DynResilienceConfig bench_config(const Scale& scale) {

@@ -23,6 +23,8 @@ struct LatencyRunResult {
   double mean_path_latency_ms{0.0};
 };
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::vector<LatencyRunResult> g_results;
 
 LatencyRunResult run(const std::string& name,

@@ -12,6 +12,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<OverheadResult> g_result;
 
 void BM_Fig5Overhead(benchmark::State& state) {

@@ -11,6 +11,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<QualityResult> g_result;
 
 void BM_Fig6aResilience(benchmark::State& state) {

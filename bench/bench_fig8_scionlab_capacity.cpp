@@ -8,6 +8,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<ScionLabResult> g_result;
 
 void BM_Fig8ScionLabCapacity(benchmark::State& state) {

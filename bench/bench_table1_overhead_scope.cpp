@@ -10,6 +10,8 @@
 namespace scion::exp {
 namespace {
 
+// Experiment result captured for the report writer; the bench harness runs
+// experiments sequentially on the main thread. simlint:allow(mutable-global)
 std::optional<Table1Result> g_result;
 
 Table1Config config_from_flags() {

@@ -35,18 +35,26 @@ esac
 # the hot-path cost report is diffed against the checked-in baseline
 # (tools/cost_baseline.json): any per-(file, rule) count increase inside an
 # annotated hot region — even a simlint:allow-suppressed one — fails here
-# until the baseline is updated deliberately.
+# until the baseline is updated deliberately. The shared-state inventory
+# (mutable-global / unguarded-shared / guarded-member counts) gets the same
+# gate against tools/state_baseline.json; a failure names the offending
+# (file, rule) pair. See DESIGN.md "Concurrency discipline" for the
+# regeneration recipe.
 "$build_dir/tools/simlint" --dot="$build_dir/include_graph.dot" \
   --cost-report="$build_dir/cost_report.json" \
   --cost-baseline=tools/cost_baseline.json \
+  --state-report="$build_dir/state_report.json" \
+  --state-baseline=tools/state_baseline.json \
   src bench tools
 
-# Both lint artifacts are published for review: the include graph for
-# DESIGN.md's dependency table, the cost report for hot-path cost triage.
+# All lint artifacts are published for review: the include graph for
+# DESIGN.md's dependency table, the cost report for hot-path cost triage,
+# and the shared-state inventory for concurrency review.
 artifact_dir="$build_dir/artifacts"
 mkdir -p "$artifact_dir"
-cp "$build_dir/include_graph.dot" "$build_dir/cost_report.json" "$artifact_dir/"
-echo "ci: artifacts: $artifact_dir/include_graph.dot $artifact_dir/cost_report.json"
+cp "$build_dir/include_graph.dot" "$build_dir/cost_report.json" \
+   "$build_dir/state_report.json" "$artifact_dir/"
+echo "ci: artifacts: $artifact_dir/include_graph.dot $artifact_dir/cost_report.json $artifact_dir/state_report.json"
 
 # clang-tidy gate (check set pinned by .clang-tidy at the repo root, run
 # against the compile database the configure step exports). The binary is
@@ -128,12 +136,15 @@ mkdir -p "$fault_dir"
 # checked-in baseline so availability/amplification and the survival
 # counters (suppressed, stale-retained, quarantined, re-originated) cannot
 # drift silently. The 60-minute window is load-bearing: the example's burst
-# storm and session restarts start at 15m+.
+# storm and session restarts start at 15m+. --jobs=4 runs the five series
+# on the TaskPool: under the tsan preset this race-gates the PR 8 survival
+# bookkeeping, and the exact bench_diff below doubles as the proof that the
+# parallel run's deterministic fields match the serial baseline.
 churn_dir="$build_dir/churn_ci"
 mkdir -p "$churn_dir"
 "$build_dir/bench/bench_churn_response" \
   --core-isds=3 --core-ases=12 --internet-ases=200 \
-  --sampled-pairs=18 --churn-minutes=60 --probe-interval-s=30 \
+  --sampled-pairs=18 --churn-minutes=60 --probe-interval-s=30 --jobs=4 \
   --faults=examples/churn.faults \
   --metrics-out="$churn_dir/metrics.json" \
   --trace-out="$churn_dir/trace.jsonl" \
@@ -177,4 +188,4 @@ cp "$churn_dir/bench_diff.txt" "$artifact_dir/churn_bench_diff.txt"
 cp "$par_dir/bench.json" "$artifact_dir/BENCH_fig6b_capacity_smoke.json"
 echo "ci: artifacts: $artifact_dir/BENCH_fig5_overhead.json $artifact_dir/chrome_trace.json $artifact_dir/bench_diff.txt"
 
-echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost), fault smoke, churn smoke + regression gate, parallel smoke, bench regression gate, and telemetry artifacts all green"
+echo "ci: $preset build, tests, simlint (determinism + layering + hot-path cost + shared state), fault smoke, churn smoke + regression gate, parallel smoke, bench regression gate, and telemetry artifacts all green"

@@ -6,6 +6,8 @@ namespace scion::exec {
 
 namespace {
 
+// Set once at startup (bench_main / CLI flag parsing) before any parallel
+// region exists; read-only afterwards. simlint:allow(mutable-global)
 std::size_t g_default_jobs = 1;
 
 }  // namespace
@@ -30,7 +32,7 @@ TaskPool::TaskPool(std::size_t jobs) : jobs_{jobs == 0 ? 1 : jobs} {
 
 TaskPool::~TaskPool() {
   {
-    const std::lock_guard<std::mutex> lock{mu_};
+    const util::MutexLock lock{mu_};
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -38,19 +40,20 @@ TaskPool::~TaskPool() {
 }
 
 void TaskPool::worker_loop() {
-  std::unique_lock<std::mutex> lock{mu_};
   std::uint64_t seen = 0;
   for (;;) {
-    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
-    seen = generation_;
-    // Snapshot under the lock: a worker late to one batch can only ever
-    // claim from its snapshot, whose index queue is already exhausted, so
-    // it can never touch a newer batch's slots through stale pointers.
-    const std::shared_ptr<Batch> batch = batch_;
-    lock.unlock();
+    std::shared_ptr<Batch> batch;
+    {
+      const util::MutexLock lock{mu_};
+      while (!stop_ && generation_ == seen) cv_work_.wait(mu_);
+      if (stop_) return;
+      seen = generation_;
+      // Snapshot under the lock: a worker late to one batch can only ever
+      // claim from its snapshot, whose index queue is already exhausted, so
+      // it can never touch a newer batch's slots through stale pointers.
+      batch = batch_;
+    }
     work_on(*batch);
-    lock.lock();
   }
 }
 
@@ -67,7 +70,7 @@ void TaskPool::work_on(Batch& batch) {
     }
     capture.end();
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       if (++batch.done == batch.n) cv_done_.notify_all();
     }
   }
@@ -85,7 +88,7 @@ void TaskPool::run(std::size_t n,
   batch->errors = &errors;
   if (!threads_.empty()) {
     {
-      const std::lock_guard<std::mutex> lock{mu_};
+      const util::MutexLock lock{mu_};
       batch_ = batch;
       ++generation_;
     }
@@ -95,8 +98,8 @@ void TaskPool::run(std::size_t n,
   // task (in index order, exactly the serial trajectory).
   work_on(*batch);
   {
-    std::unique_lock<std::mutex> lock{mu_};
-    cv_done_.wait(lock, [&] { return batch->done == batch->n; });
+    const util::MutexLock lock{mu_};
+    while (batch->done != batch->n) cv_done_.wait(mu_);
   }
   // All workers are past their last unlock of mu_ for this batch, which
   // happens-before the wait above returned: captures and errors are safe to

@@ -26,12 +26,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -40,6 +38,7 @@
 
 #include "obs/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 
 namespace scion::exec {
 
@@ -87,12 +86,14 @@ class TaskPool {
   void work_on(Batch& batch);
 
   const std::size_t jobs_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<Batch> batch_;     // guarded by mu_
-  std::uint64_t generation_{0};      // guarded by mu_
-  bool stop_{false};                 // guarded by mu_
+  util::Mutex mu_;
+  util::CondVar cv_work_;
+  util::CondVar cv_done_;
+  std::shared_ptr<Batch> batch_ SCION_GUARDED_BY(mu_);
+  std::uint64_t generation_ SCION_GUARDED_BY(mu_) = 0;
+  bool stop_ SCION_GUARDED_BY(mu_) = false;
+  // Written in the constructor, joined in the destructor; never touched
+  // while workers run. simlint:allow(unguarded-shared)
   std::vector<std::thread> threads_;
 };
 

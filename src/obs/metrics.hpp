@@ -25,10 +25,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace scion::obs {
 
@@ -112,50 +113,63 @@ class MetricsRegistry {
 
   /// Finds or creates. References stay valid for the registry's lifetime
   /// (std::map nodes are stable; reset() keeps registrations). Thread-safe.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Counter& counter(std::string_view name) SCION_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) SCION_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) SCION_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      SCION_EXCLUDES(mu_);
 
   /// Finds-or-creates *and* assigns a dense id usable in MetricShards.
   /// Thread-safe; called once per macro call site (magic static).
-  CounterHandle intern_counter(std::string_view name);
-  GaugeHandle intern_gauge(std::string_view name);
-  HistogramHandle intern_histogram(std::string_view name);
+  CounterHandle intern_counter(std::string_view name) SCION_EXCLUDES(mu_);
+  GaugeHandle intern_gauge(std::string_view name) SCION_EXCLUDES(mu_);
+  HistogramHandle intern_histogram(std::string_view name) SCION_EXCLUDES(mu_);
 
   /// Read-side accessors; call from the owning (main) thread only, with no
-  /// parallel region in flight.
-  const std::map<std::string, Counter, std::less<>>& counters() const {
+  /// parallel region in flight — a quiescence argument the lock analysis
+  /// cannot see, hence the explicit opt-out.
+  const std::map<std::string, Counter, std::less<>>& counters() const
+      SCION_NO_THREAD_SAFETY_ANALYSIS {
     return counter_map_;
   }
-  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+  const std::map<std::string, Gauge, std::less<>>& gauges() const
+      SCION_NO_THREAD_SAFETY_ANALYSIS {
     return gauge_map_;
   }
-  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+  const std::map<std::string, Histogram, std::less<>>& histograms() const
+      SCION_NO_THREAD_SAFETY_ANALYSIS {
     return histogram_map_;
   }
 
   /// Zeroes every value; registrations (ids, handles) survive.
-  void reset();
+  void reset() SCION_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
   /// name order.
-  std::string to_json() const;
+  std::string to_json() const SCION_EXCLUDES(mu_);
 
  private:
   friend class MetricShard;
 
-  std::mutex mu_;  // guards registration (maps + slot vectors), not values
-  std::map<std::string, Counter, std::less<>> counter_map_;
-  std::map<std::string, Gauge, std::less<>> gauge_map_;
-  std::map<std::string, Histogram, std::less<>> histogram_map_;
+  // Guards registration (maps + slot vectors), not the metric values
+  // themselves: value mutation goes through shards or happens
+  // single-threaded. mutable so const reporting (to_json) can lock.
+  mutable util::Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counter_map_
+      SCION_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauge_map_ SCION_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histogram_map_
+      SCION_GUARDED_BY(mu_);
   // id -> root object, for shard merges; appended under mu_ at intern time.
-  std::vector<Counter*> counter_slots_;
-  std::vector<Gauge*> gauge_slots_;
-  std::vector<Histogram*> histogram_slots_;
-  std::map<std::string, std::size_t, std::less<>> counter_ids_;
-  std::map<std::string, std::size_t, std::less<>> gauge_ids_;
-  std::map<std::string, std::size_t, std::less<>> histogram_ids_;
+  std::vector<Counter*> counter_slots_ SCION_GUARDED_BY(mu_);
+  std::vector<Gauge*> gauge_slots_ SCION_GUARDED_BY(mu_);
+  std::vector<Histogram*> histogram_slots_ SCION_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t, std::less<>> counter_ids_
+      SCION_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t, std::less<>> gauge_ids_
+      SCION_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t, std::less<>> histogram_ids_
+      SCION_GUARDED_BY(mu_);
 };
 
 /// One task's private metric buffer. All SCION_METRIC_* recording on a

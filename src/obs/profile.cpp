@@ -15,7 +15,7 @@ PhaseProfiler& PhaseProfiler::global() {
 
 void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns,
                            std::uint64_t allocs, std::uint64_t alloc_bytes) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   auto it = phases_.find(name);
   if (it == phases_.end()) {
     it = phases_.emplace(std::string{name}, Phase{}).first;
@@ -29,23 +29,24 @@ void PhaseProfiler::record(std::string_view name, std::int64_t wall_ns,
 void PhaseProfiler::record_span(std::string_view name, std::int64_t start_ns,
                                 std::int64_t end_ns,
                                 std::uint32_t thread_ordinal) {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   if (spans_.size() >= kMaxSpans) return;
   spans_.push_back(Span{std::string{name}, start_ns, end_ns, thread_ordinal});
 }
 
 std::vector<PhaseProfiler::Span> PhaseProfiler::spans() const {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   return spans_;
 }
 
 void PhaseProfiler::reset() {
-  const std::lock_guard<std::mutex> lock{mu_};
+  const util::MutexLock lock{mu_};
   phases_.clear();
   spans_.clear();
 }
 
 std::string PhaseProfiler::to_json() const {
+  const util::MutexLock lock{mu_};
   JsonWriter w;
   w.begin_array();
   for (const auto& [name, p] : phases_) {
@@ -78,9 +79,12 @@ namespace {
 
 // Per-thread phase stack head (innermost active phase) for nested alloc
 // attribution, plus a stable small ordinal per thread for trace slices.
+// simlint:allow(mutable-global) — strictly thread-private phase stack head.
 thread_local ProfilePhase* t_current_phase = nullptr;
 
 std::uint32_t thread_ordinal() {
+  // Monotonic ordinal source; atomic, and the value feeds only wall-clock
+  // trace slices, never simulation state. simlint:allow(mutable-global)
   static std::atomic<std::uint32_t> next{0};
   thread_local const std::uint32_t ordinal =
       next.fetch_add(1, std::memory_order_relaxed);

@@ -16,10 +16,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace scion::obs {
 
@@ -54,32 +55,36 @@ class PhaseProfiler {
   /// Call counts stay deterministic across --jobs values; wall times are
   /// wall times and never feed determinism-compared output.
   void record(std::string_view name, std::int64_t wall_ns,
-              std::uint64_t allocs = 0, std::uint64_t alloc_bytes = 0);
+              std::uint64_t allocs = 0, std::uint64_t alloc_bytes = 0)
+      SCION_EXCLUDES(mu_);
   /// Logs one closed phase interval for the Chrome-trace export. Capped at
   /// kMaxSpans (further spans still accumulate via record(), they just stop
   /// appearing as individual trace slices).
   void record_span(std::string_view name, std::int64_t start_ns,
-                   std::int64_t end_ns, std::uint32_t thread_ordinal);
-  /// Main thread only, with no parallel region in flight.
-  const std::map<std::string, Phase, std::less<>>& phases() const {
+                   std::int64_t end_ns, std::uint32_t thread_ordinal)
+      SCION_EXCLUDES(mu_);
+  /// Main thread only, with no parallel region in flight — quiescence the
+  /// lock analysis cannot prove, hence the explicit opt-out.
+  const std::map<std::string, Phase, std::less<>>& phases() const
+      SCION_NO_THREAD_SAFETY_ANALYSIS {
     return phases_;
   }
   /// Snapshot of the span log (main thread / reporting only).
-  std::vector<Span> spans() const;
-  void reset();
+  std::vector<Span> spans() const SCION_EXCLUDES(mu_);
+  void reset() SCION_EXCLUDES(mu_);
 
   /// [{"phase": "beaconing", "calls": 2, "wall_ns": ..., "wall_s": ...,
   ///   "allocs": ..., "alloc_bytes": ...}, ...]
   /// The alloc keys are present in every build (0 without
   /// SCION_MPR_ALLOC_TRACK) so the BENCH_*.json phase schema is stable.
-  std::string to_json() const;
+  std::string to_json() const SCION_EXCLUDES(mu_);
 
  private:
   static constexpr std::size_t kMaxSpans = 4096;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Phase, std::less<>> phases_;
-  std::vector<Span> spans_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Phase, std::less<>> phases_ SCION_GUARDED_BY(mu_);
+  std::vector<Span> spans_ SCION_GUARDED_BY(mu_);
 };
 
 #ifdef SCION_MPR_OBS_ENABLED

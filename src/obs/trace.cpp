@@ -11,7 +11,12 @@ namespace {
 constexpr std::uint32_t kAllMask =
     (1u << static_cast<unsigned>(Category::kCount)) - 1;
 
+// Process-wide sink pointer, installed once by ObsSession on the main
+// thread before workers start and cleared after they join; workers only
+// read it. simlint:allow(mutable-global)
 TraceSink* g_sink = nullptr;
+// Per-thread override for shard-local tracing; thread_local, so never
+// shared between threads. simlint:allow(mutable-global)
 thread_local TraceSink* t_sink_override = nullptr;
 
 }  // namespace

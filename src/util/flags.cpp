@@ -35,6 +35,9 @@ Flags::Flags(int argc, char** argv) {
 
 std::string Flags::get(const std::string& key, const std::string& def) const {
   if (const auto it = values_.find(key); it != values_.end()) return it->second;
+  // getenv is mt-unsafe only against concurrent setenv; flags are read on
+  // the main thread during startup, before any worker exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv(env_key_for(key).c_str())) return env;
   return def;
 }

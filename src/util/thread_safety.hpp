@@ -1,0 +1,139 @@
+// Clang Thread Safety Analysis annotations + annotated lock primitives.
+//
+// ROADMAP item 2 shards the single serial event loop across workers, and
+// the parallel layer already exists (exec::TaskPool, obs shards). Which
+// mutable state those workers share, and under which lock, must be
+// machine-checked, not tribal knowledge: these macros attach the lock
+// protocol to the code (`SCION_GUARDED_BY(mu_)` on a member,
+// `SCION_REQUIRES(mu_)` on a function) so Clang's -Wthread-safety proves
+// every access site holds the right mutex. The checked and tsan presets
+// build with -Wthread-safety -Werror; a missing lock is a compile error
+// there. Under GCC (which has no thread-safety analysis) every macro
+// expands to nothing, so annotated code costs nothing and builds
+// everywhere.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so annotating members with them would verify nothing. Mutex-owning
+// classes therefore use the annotated wrappers below:
+//
+//   util::Mutex      an annotated std::mutex (SCION_CAPABILITY). Satisfies
+//                    BasicLockable, so std::condition_variable_any and the
+//                    standard lock adapters still work with it.
+//   util::MutexLock  annotated RAII scope lock (SCION_SCOPED_CAPABILITY);
+//                    the drop-in replacement for std::lock_guard.
+//   util::CondVar    std::condition_variable_any over util::Mutex; wait()
+//                    declares SCION_REQUIRES(mu), so waiting without the
+//                    lock is a compile error under Clang.
+//
+// Analysis is intraprocedural: predicate lambdas passed into a wait lose
+// the lock context, so annotated code writes waits as explicit loops
+// (`while (!pred) cv.wait(mu_);`). Quiescent-read accessors (documented
+// main-thread-only, no parallel region in flight) opt out with
+// SCION_NO_THREAD_SAFETY_ANALYSIS and say why. See DESIGN.md
+// "Concurrency discipline" for the full recipe; the static half of the
+// same contract (the shared-state inventory) lives in
+// tools/simlint_state.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SCION_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCION_THREAD_ANNOTATION
+#define SCION_THREAD_ANNOTATION(x)  // not Clang: expands to nothing
+#endif
+
+// Type declares a lockable capability (classes acting as mutexes).
+#define SCION_CAPABILITY(x) SCION_THREAD_ANNOTATION(capability(x))
+// RAII type whose lifetime equals the hold of a capability.
+#define SCION_SCOPED_CAPABILITY SCION_THREAD_ANNOTATION(scoped_lockable)
+// Data member readable/writable only while holding the given mutex.
+#define SCION_GUARDED_BY(x) SCION_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose *pointee* is guarded by the given mutex.
+#define SCION_PT_GUARDED_BY(x) SCION_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function acquires / releases / tries the listed capabilities.
+#define SCION_ACQUIRE(...) \
+  SCION_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCION_RELEASE(...) \
+  SCION_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCION_TRY_ACQUIRE(...) \
+  SCION_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Caller must hold / must not hold the listed capabilities.
+#define SCION_REQUIRES(...) \
+  SCION_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCION_EXCLUDES(...) \
+  SCION_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Function returns a reference to the given capability.
+#define SCION_RETURN_CAPABILITY(x) SCION_THREAD_ANNOTATION(lock_returned(x))
+// Opt-out for functions whose safety argument is extra-lexical (quiescent
+// reads, init/teardown); the comment at the site must carry the proof.
+#define SCION_NO_THREAD_SAFETY_ANALYSIS \
+  SCION_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace scion::util {
+
+/// std::mutex with the capability attribute, so members can be declared
+/// SCION_GUARDED_BY(mu_) and the analysis has something to track. Satisfies
+/// Lockable (lock/unlock/try_lock), so std::condition_variable_any and
+/// std::unique_lock accept it directly.
+class SCION_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCION_ACQUIRE() { mu_.lock(); }
+  void unlock() SCION_RELEASE() { mu_.unlock(); }
+  bool try_lock() SCION_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scope lock over util::Mutex — the std::lock_guard replacement for
+/// annotated classes. SCION_SCOPED_CAPABILITY tells the analysis the
+/// capability is held for exactly this object's lifetime.
+class SCION_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SCION_ACQUIRE(mu) : mu_{mu} { mu_.lock(); }
+  ~MutexLock() SCION_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over util::Mutex. wait() declares that the caller
+/// holds `mu`, so Clang rejects an unlocked wait at compile time. The
+/// lambda-predicate overloads are deliberately absent: the analysis is
+/// intraprocedural and cannot see the lock inside a predicate lambda, so
+/// callers write the loop out (`while (!pred) cv.wait(mu_);`), which also
+/// keeps the wakeup condition visible at the wait site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// The body is opted out of analysis: condition_variable_any's internal
+  /// unlock/relock of `mu` is invisible to the checker and would be
+  /// misdiagnosed as a double acquire.
+  void wait(Mutex& mu) SCION_REQUIRES(mu) SCION_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace scion::util

@@ -9,6 +9,7 @@
 #include "tools/simlint_core.hpp"
 #include "tools/simlint_hotpath.hpp"
 #include "tools/simlint_includes.hpp"
+#include "tools/simlint_state.hpp"
 
 namespace scion::lint {
 namespace {
@@ -776,6 +777,266 @@ TEST(SimlintDot, OutputIsDeterministicAndSorted) {
   EXPECT_NE(dot.find("\"a\" -> \"b\" [label=\"2\"]"), std::string::npos);
   // Declared-but-unobserved modules still appear as nodes.
   EXPECT_NE(dot.find("\"b\";"), std::string::npos);
+}
+
+
+// --- shared-state analyzer (simlint_state.hpp) -------------------------------
+
+std::vector<Finding> state_lint_one(const std::string& content,
+                                    const std::string& name = "src/x.cpp") {
+  StateAnalyzer a;
+  a.set_allowlist({});  // exercise the rules, not the built-in registry list
+  a.add_file(name, content);
+  return a.check();
+}
+
+TEST(SimlintState, NamespaceScopeGlobalIsFlagged) {
+  const auto f = state_lint_one("namespace scion {\n"
+                                "int g_count = 0;\n"
+                                "}  // namespace scion\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "mutable-global");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_NE(f[0].message.find("g_count"), std::string::npos);
+  // Top of file counts as namespace scope even without a namespace keyword.
+  EXPECT_EQ(rules_of(state_lint_one("std::vector<int> g_rows;\n")),
+            std::vector<std::string>{"mutable-global"});
+}
+
+TEST(SimlintState, FunctionLocalStaticAndThreadLocalAreFlagged) {
+  EXPECT_EQ(rules_of(state_lint_one("int f() {\n"
+                                    "  static int calls = 0;\n"
+                                    "  return ++calls;\n"
+                                    "}\n")),
+            std::vector<std::string>{"mutable-global"});
+  EXPECT_EQ(rules_of(state_lint_one("thread_local int t_depth = 0;\n")),
+            std::vector<std::string>{"mutable-global"});
+}
+
+TEST(SimlintState, ConstAndConstexprAreClean) {
+  EXPECT_TRUE(state_lint_one("static constexpr int kMax = 4;\n").empty());
+  EXPECT_TRUE(state_lint_one("const std::string kName = \"x\";\n").empty());
+  EXPECT_TRUE(
+      state_lint_one("static const std::regex kRe{\"a\"};\n").empty());
+  // constinit promises constant initialization, not immutability.
+  EXPECT_EQ(rules_of(state_lint_one("constinit int g_mode = 0;\n")),
+            std::vector<std::string>{"mutable-global"});
+}
+
+TEST(SimlintState, FunctionsAndLocalsAreClean) {
+  EXPECT_TRUE(state_lint_one("int parse(const char* s);\n").empty());
+  EXPECT_TRUE(state_lint_one("static int helper() { return 1; }\n").empty());
+  // A plain local inside a function body is block scope, not namespace.
+  EXPECT_TRUE(state_lint_one("void f() {\n"
+                             "  int local = 0;\n"
+                             "  use(local);\n"
+                             "}\n")
+                  .empty());
+  // Continuation lines of a wrapped parameter list are not declarations.
+  EXPECT_TRUE(state_lint_one("void record(int a,\n"
+                             "            int allocs = 0, int bytes = 0);\n")
+                  .empty());
+}
+
+TEST(SimlintState, AllowDirectivePlacementAndWhitespace) {
+  // Same line.
+  EXPECT_TRUE(
+      state_lint_one("int g_x = 0;  // simlint:allow(mutable-global)\n")
+          .empty());
+  // Line directly above.
+  EXPECT_TRUE(state_lint_one("// why it is safe. simlint:allow(mutable-global)\n"
+                             "int g_x = 0;\n")
+                  .empty());
+  // Whitespace inside the directive's rule list is ignored.
+  EXPECT_TRUE(
+      state_lint_one("int g_x = 0;  // simlint:allow( mutable-global )\n")
+          .empty());
+  // Two lines above is too far: the directive must touch the declaration.
+  EXPECT_EQ(state_lint_one("// simlint:allow(mutable-global)\n"
+                           "\n"
+                           "int g_x = 0;\n")
+                .size(),
+            1u);
+}
+
+TEST(SimlintState, CommentedAndDisabledRegionsAreClean) {
+  // Inside a block comment.
+  EXPECT_TRUE(state_lint_one("/*\n"
+                             "static int g_old = 0;\n"
+                             "*/\n")
+                  .empty());
+  // Inside #if 0, including nested conditional blocks.
+  EXPECT_TRUE(state_lint_one("#if 0\n"
+                             "static int g_dead = 0;\n"
+                             "#ifdef FOO\n"
+                             "static int g_deader = 0;\n"
+                             "#endif\n"
+                             "#endif\n")
+                  .empty());
+  // The #else of a disabled region is live again.
+  EXPECT_EQ(state_lint_one("#if 0\n"
+                           "static int g_dead = 0;\n"
+                           "#else\n"
+                           "static int g_live = 0;\n"
+                           "#endif\n")
+                .size(),
+            1u);
+  // Inside a string literal (the JSON emitters spell such text).
+  EXPECT_TRUE(
+      state_lint_one("const char* kMsg = \"static int g_fake = 0;\";\n")
+          .empty());
+}
+
+TEST(SimlintState, MacroGeneratedStaticIsFlagged) {
+  EXPECT_EQ(rules_of(state_lint_one(
+                "#define DEFINE_COUNTER(name) static int name = 0;\n")),
+            std::vector<std::string>{"mutable-global"});
+}
+
+TEST(SimlintState, UnguardedMemberOfMutexOwningClassIsFlagged) {
+  const auto f = state_lint_one("class C {\n"
+                                " private:\n"
+                                "  std::mutex mu_;\n"
+                                "  int total_ = 0;\n"
+                                "};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unguarded-shared");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].message.find("total_"), std::string::npos);
+  // util::Mutex declares a lock protocol just like std::mutex.
+  EXPECT_EQ(rules_of(state_lint_one("class C {\n"
+                                    "  util::Mutex mu_;\n"
+                                    "  int n_ = 0;\n"
+                                    "};\n")),
+            std::vector<std::string>{"unguarded-shared"});
+}
+
+TEST(SimlintState, GuardedAndExemptMembersAreClean) {
+  EXPECT_TRUE(state_lint_one("class C {\n"
+                             "  mutable util::Mutex mu_;\n"
+                             "  int total_ SCION_GUARDED_BY(mu_) = 0;\n"
+                             "  std::vector<int> rows_ SCION_GUARDED_BY(mu_);\n"
+                             "  util::CondVar cv_;\n"
+                             "  const int limit_ = 4;\n"
+                             "  static constexpr int kCap = 8;\n"
+                             "};\n")
+                  .empty());
+  // A wrapped declaration with the annotation on its continuation line.
+  EXPECT_TRUE(state_lint_one("class C {\n"
+                             "  std::mutex mu_;\n"
+                             "  std::map<std::string, int> by_name_\n"
+                             "      SCION_GUARDED_BY(mu_);\n"
+                             "};\n")
+                  .empty());
+}
+
+TEST(SimlintState, AnnotationInsideCommentDoesNotCount) {
+  EXPECT_EQ(rules_of(state_lint_one("class C {\n"
+                                    "  std::mutex mu_;\n"
+                                    "  int n_ = 0;  // SCION_GUARDED_BY(mu_)\n"
+                                    "};\n")),
+            std::vector<std::string>{"unguarded-shared"});
+}
+
+TEST(SimlintState, MutexFreeClassIsClean) {
+  EXPECT_TRUE(state_lint_one("class PlainCounter {\n"
+                             "  int total_ = 0;\n"
+                             "  std::vector<int> rows_;\n"
+                             "};\n")
+                  .empty());
+  // A mutex *reference* is not ownership: no lock protocol declared here.
+  EXPECT_TRUE(state_lint_one("class Lock {\n"
+                             "  util::Mutex& mu_;\n"
+                             "};\n")
+                  .empty());
+}
+
+TEST(SimlintState, AllowOnMemberSuppresses) {
+  EXPECT_TRUE(state_lint_one(
+                  "class C {\n"
+                  "  std::mutex mu_;\n"
+                  "  // Set once in the constructor. "
+                  "simlint:allow(unguarded-shared)\n"
+                  "  std::vector<std::thread> threads_;\n"
+                  "};\n")
+                  .empty());
+}
+
+TEST(SimlintState, AllowlistSuppressesByFileAndName) {
+  StateAnalyzer a;
+  a.set_allowlist({{"src/obs/metrics.cpp", "registry"}});
+  a.add_file("src/obs/metrics.cpp",
+             "static MetricsRegistry registry;\n"
+             "static int g_other = 0;\n");
+  const auto f = a.check();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("g_other"), std::string::npos);
+}
+
+TEST(SimlintState, ReportCountsAllowedSitesAndIsDeterministic) {
+  const auto build = [] {
+    StateAnalyzer a;
+    a.set_allowlist({});
+    a.add_file("src/x.cpp",
+               "int g_a = 0;  // simlint:allow(mutable-global)\n"
+               "int g_b = 0;\n");
+    a.add_file("src/y.hpp",
+               "class C {\n"
+               "  std::mutex mu_;\n"
+               "  int n_ SCION_GUARDED_BY(mu_) = 0;\n"
+               "};\n");
+    a.check();
+    return a.state_report_json();
+  };
+  const std::string report = build();
+  EXPECT_EQ(report, build());
+  // Allowed sites still count: the report is the budget, lint is the gate.
+  EXPECT_NE(report.find("\"src/x.cpp\", \"counts\": {\"guarded-member\": 0, "
+                        "\"mutable-global\": 2, \"unguarded-shared\": 0}"),
+            std::string::npos);
+  EXPECT_NE(report.find("\"src/y.hpp\", \"counts\": {\"guarded-member\": 1, "
+                        "\"mutable-global\": 0, \"unguarded-shared\": 0}"),
+            std::string::npos);
+}
+
+TEST(SimlintState, BaselineDiffFlagsIncreasesOnly) {
+  StateAnalyzer a;
+  a.set_allowlist({});
+  a.add_file("src/x.cpp", "int g_a = 0;  // simlint:allow(mutable-global)\n");
+  a.check();
+  const std::string baseline = a.state_report_json();
+
+  // Same counts: clean.
+  EXPECT_TRUE(a.diff_baseline(baseline).empty());
+
+  // One more global in the same file: exactly one regression finding that
+  // names the file and the rule.
+  StateAnalyzer b;
+  b.set_allowlist({});
+  b.add_file("src/x.cpp",
+             "int g_a = 0;  // simlint:allow(mutable-global)\n"
+             "int g_b = 0;  // simlint:allow(mutable-global)\n");
+  b.check();
+  const auto regressions = b.diff_baseline(baseline);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].rule, "state-regression");
+  EXPECT_EQ(regressions[0].file, "src/x.cpp");
+  EXPECT_NE(regressions[0].message.find("mutable-global"), std::string::npos);
+
+  // A file absent from the baseline counts as zero everywhere.
+  StateAnalyzer c;
+  c.set_allowlist({});
+  c.add_file("src/fresh.cpp",
+             "int g_new = 0;  // simlint:allow(mutable-global)\n");
+  c.check();
+  EXPECT_EQ(c.diff_baseline(baseline).size(), 1u);
+
+  // Fewer findings than baseline is fine (progress, not regression).
+  StateAnalyzer d;
+  d.set_allowlist({});
+  d.add_file("src/x.cpp", "void f();\n");
+  d.check();
+  EXPECT_TRUE(d.diff_baseline(baseline).empty());
 }
 
 }  // namespace

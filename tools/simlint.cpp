@@ -14,6 +14,11 @@
 // sites included). --cost-baseline=PATH diffs those counts against a
 // checked-in report (tools/cost_baseline.json) and fails on any increase.
 //
+// --state-report=PATH / --state-baseline=PATH do the same for the
+// shared-state inventory (simlint_state.hpp): per-file mutable-global /
+// unguarded-shared / guarded-member counts, gated against
+// tools/state_baseline.json.
+//
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 //
 // Registered as a ctest (`ctest -R simlint`) over src/, bench/, and tools/,
@@ -32,6 +37,7 @@
 #include "tools/simlint_core.hpp"
 #include "tools/simlint_hotpath.hpp"
 #include "tools/simlint_includes.hpp"
+#include "tools/simlint_state.hpp"
 
 namespace {
 
@@ -50,7 +56,8 @@ bool fixture_dir(const fs::path& p) {
 }
 
 bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
-              scion::lint::HotPathAnalyzer& hotpath, const fs::path& path) {
+              scion::lint::HotPathAnalyzer& hotpath,
+              scion::lint::StateAnalyzer& state, const fs::path& path) {
   std::error_code ec;
   if (fs::is_directory(path, ec)) {
     std::vector<fs::path> files;
@@ -68,7 +75,7 @@ bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
     // Deterministic report order regardless of directory enumeration.
     std::sort(files.begin(), files.end());
     for (const fs::path& f : files) {
-      if (!add_path(linter, graph, hotpath, f)) return false;
+      if (!add_path(linter, graph, hotpath, state, f)) return false;
     }
     return true;
   }
@@ -84,6 +91,7 @@ bool add_path(scion::lint::Linter& linter, scion::lint::IncludeGraph& graph,
   linter.add_file(path.generic_string(), content);
   graph.add_file(path.generic_string(), content);
   hotpath.add_file(path.generic_string(), content);
+  state.add_file(path.generic_string(), content);
   return true;
 }
 
@@ -93,6 +101,8 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string cost_report_path;
   std::string cost_baseline_path;
+  std::string state_report_path;
+  std::string state_baseline_path;
   std::vector<const char*> inputs;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dot=", 6) == 0) {
@@ -101,6 +111,10 @@ int main(int argc, char** argv) {
       cost_report_path = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--cost-baseline=", 16) == 0) {
       cost_baseline_path = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--state-report=", 15) == 0) {
+      state_report_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--state-baseline=", 17) == 0) {
+      state_baseline_path = argv[i] + 17;
     } else {
       inputs.push_back(argv[i]);
     }
@@ -108,26 +122,32 @@ int main(int argc, char** argv) {
   if (inputs.empty()) {
     std::fprintf(stderr,
                  "usage: simlint [--dot=PATH] [--cost-report=PATH] "
-                 "[--cost-baseline=PATH] <file-or-dir>...\n"
+                 "[--cost-baseline=PATH]\n"
+                 "               [--state-report=PATH] "
+                 "[--state-baseline=PATH] <file-or-dir>...\n"
                  "rules: wall-clock std-rng unordered-iter float-accum "
                  "raw-output raw-thread layering module-cycle\n"
                  "       hot-alloc hot-string hot-copy-arg hot-map-lookup "
                  "hot-unlabeled-schedule\n"
                  "       (inside SCION_HOT_FN / SCION_HOT_PATH regions)\n"
+                 "       mutable-global unguarded-shared\n"
                  "suppress with // simlint:allow(<rule>) on or above the "
                  "offending line\n"
                  "--dot=PATH writes the observed module include graph as "
                  "deterministic DOT\n"
                  "--cost-report=PATH writes the hot-path cost JSON; "
-                 "--cost-baseline=PATH fails on regressions against it\n");
+                 "--cost-baseline=PATH fails on regressions against it\n"
+                 "--state-report=PATH writes the shared-state inventory "
+                 "JSON; --state-baseline=PATH fails on regressions\n");
     return 2;
   }
 
   scion::lint::Linter linter;
   scion::lint::IncludeGraph graph;
   scion::lint::HotPathAnalyzer hotpath;
+  scion::lint::StateAnalyzer state;
   for (const char* input : inputs) {
-    if (!add_path(linter, graph, hotpath, input)) return 2;
+    if (!add_path(linter, graph, hotpath, state, input)) return 2;
   }
 
   std::vector<scion::lint::Finding> findings = linter.run();
@@ -135,6 +155,9 @@ int main(int argc, char** argv) {
     findings.push_back(std::move(f));
   }
   for (scion::lint::Finding& f : hotpath.check()) {
+    findings.push_back(std::move(f));
+  }
+  for (scion::lint::Finding& f : state.check()) {
     findings.push_back(std::move(f));
   }
   if (!cost_baseline_path.empty()) {
@@ -147,6 +170,19 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     for (scion::lint::Finding& f : hotpath.diff_baseline(buf.str())) {
+      findings.push_back(std::move(f));
+    }
+  }
+  if (!state_baseline_path.empty()) {
+    std::ifstream in{state_baseline_path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "simlint: cannot read state baseline %s\n",
+                   state_baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    for (scion::lint::Finding& f : state.diff_baseline(buf.str())) {
       findings.push_back(std::move(f));
     }
   }
@@ -171,6 +207,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << hotpath.cost_report_json();
+  }
+  if (!state_report_path.empty()) {
+    std::ofstream out{state_report_path, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "simlint: cannot write %s\n",
+                   state_report_path.c_str());
+      return 2;
+    }
+    out << state.state_report_json();
   }
 
   if (!findings.empty()) {

@@ -69,13 +69,16 @@ inline const std::vector<std::string>& rule_names() {
   // layering / module-cycle are produced by the include-graph analyzer
   // (simlint_includes.hpp); the hot-* rules by the hot-path-cost analyzer
   // (simlint_hotpath.hpp, including the baseline-diff hot-cost-regression);
-  // the rest by Linter::run().
+  // mutable-global / unguarded-shared / state-regression by the
+  // shared-state analyzer (simlint_state.hpp); the rest by Linter::run().
   static const std::vector<std::string> kNames{
       "wall-clock",      "std-rng",        "unordered-iter",
       "float-accum",     "raw-output",     "raw-thread",
       "layering",        "module-cycle",   "hot-alloc",
       "hot-string",      "hot-copy-arg",   "hot-map-lookup",
-      "hot-cost-regression"};
+      "hot-unlabeled-schedule",            "hot-cost-regression",
+      "mutable-global",  "unguarded-shared",
+      "state-regression"};
   return kNames;
 }
 
